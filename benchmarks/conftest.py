@@ -1,0 +1,6 @@
+"""Make the benchmarks' shared helper importable as a plain module."""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))

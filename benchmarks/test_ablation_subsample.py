@@ -1,0 +1,74 @@
+"""Ablation: subsample-based λ-range pruning (paper §8 future work).
+
+The paper's future-work list proposes "using a smaller sample training set
+to quickly prune certain λ values".  OmniFair's ``subsample`` option trains
+the bounding-stage fits (exponential/linear search) on a stratified
+fraction of the training data and re-verifies the bracket on the full set.
+This bench measures the wall-clock effect and checks quality is unchanged.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _common import bench_splits, emit, load_bench_dataset, run_once
+
+from repro import FairnessSpec, OmniFair
+from repro.analysis import format_table
+from repro.datasets import two_group_view
+from repro.ml import LogisticRegression, RandomForest
+
+EPSILON = 0.04
+
+
+def _run():
+    data = two_group_view(load_bench_dataset("compas"))
+    train, val, test = bench_splits(data)
+    rows = []
+    for est_name, est in [
+        ("LR", LogisticRegression(max_iter=300)),
+        ("RF", RandomForest(n_estimators=12, max_depth=5)),
+    ]:
+        for fraction in (None, 0.25):
+            of = OmniFair(
+                est.clone(), FairnessSpec("SP", EPSILON),
+                subsample=fraction,
+            )
+            t0 = time.perf_counter()
+            of.fit(train, val)
+            seconds = time.perf_counter() - t0
+            report = of.evaluate(test)
+            rows.append(
+                (
+                    est_name,
+                    "full" if fraction is None else f"{fraction:.2f}",
+                    seconds,
+                    report["accuracy"],
+                    of.feasible_,
+                )
+            )
+    return rows
+
+
+def test_ablation_subsample_pruning(benchmark):
+    rows = run_once(_run, benchmark)
+    emit(
+        "ablation_subsample",
+        format_table(
+            ["model", "bounding data", "time", "test acc", "feasible"],
+            [
+                [m, f, f"{s:.2f}s", f"{a:.3f}", str(ok)]
+                for m, f, s, a, ok in rows
+            ],
+            title="Ablation — subsample λ-pruning (paper §8 future work)",
+        ),
+    )
+    by_key = {(m, f): (s, a, ok) for m, f, s, a, ok in rows}
+    for model in ("LR", "RF"):
+        full = by_key[(model, "full")]
+        sub = by_key[(model, "0.25")]
+        assert sub[2], f"{model}: pruned run must stay feasible"
+        # quality unchanged within noise
+        assert sub[1] >= full[1] - 0.03
+        # pruning must not be drastically slower
+        assert sub[0] < full[0] * 1.6

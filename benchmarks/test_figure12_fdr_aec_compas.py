@@ -1,0 +1,53 @@
+"""Figure 12 (appendix): FDR and AEC trade-offs on COMPAS (LR).
+
+Paper's finding: OmniFair reduces FDR difference (vs Celis, the only
+baseline that can) and the customized AEC difference (no baseline can)
+with little accuracy drop.
+"""
+
+from __future__ import annotations
+
+from _common import bench_splits, emit, load_bench_dataset, run_once
+
+from repro.analysis import baseline_frontier, format_series, omnifair_frontier
+from repro.core.fairness_metrics import average_error_cost_parity
+from repro.datasets import two_group_view
+from repro.ml import LogisticRegression
+
+EPSILONS = [0.02, 0.06, 0.15]
+
+
+def _run():
+    data = two_group_view(load_bench_dataset("compas"))
+    train, val, test = bench_splits(data)
+    lr = LogisticRegression(max_iter=150)
+    return {
+        "omnifair_fdr": omnifair_frontier(
+            train, val, test, lr, metric="FDR", epsilons=EPSILONS,
+            delta=0.02,
+        ),
+        "celis_fdr": baseline_frontier(
+            "celis", train, val, test, metric="FDR", knobs=[0.06, 0.15]
+        ),
+        "omnifair_aec": omnifair_frontier(
+            train, val, test, lr,
+            metric_obj=average_error_cost_parity(1.0, 2.0),
+            epsilons=EPSILONS,
+        ),
+    }
+
+
+def test_figure12_fdr_aec_compas(benchmark):
+    curves = run_once(_run, benchmark)
+    lines = ["Figure 12 — FDR / AEC trade-offs on COMPAS (LR, test set)"]
+    for name, pts in curves.items():
+        lines.append(format_series(name, pts))
+    emit("figure12_fdr_aec_compas", "\n".join(lines))
+
+    assert curves["omnifair_fdr"], "FDR frontier must be nonempty"
+    assert curves["omnifair_aec"], "AEC frontier must be nonempty"
+    assert min(p.disparity for p in curves["omnifair_fdr"]) < 0.10
+    assert min(p.disparity for p in curves["omnifair_aec"]) < 0.10
+    for key in ("omnifair_fdr", "omnifair_aec"):
+        accs = [p.accuracy for p in curves[key]]
+        assert max(accs) - min(accs) < 0.12  # little accuracy drop

@@ -1,0 +1,48 @@
+"""Figure 8: accuracy vs average-error-cost (AEC) disparity on Adult (LR).
+
+AEC is the paper's customized metric (Example 4): per-group average error
+cost with user-chosen C_fp/C_fn.  No baseline supports it; OmniFair handles
+it through the same declarative interface.
+"""
+
+from __future__ import annotations
+
+from _common import bench_splits, emit, load_bench_dataset, run_once
+
+from repro.analysis import format_series, omnifair_frontier
+from repro.core.fairness_metrics import average_error_cost_parity
+from repro.ml import LogisticRegression
+
+EPSILONS = [0.02, 0.05, 0.1, 0.2]
+COST_FP, COST_FN = 1.0, 2.0
+
+
+def _run():
+    data = load_bench_dataset("adult")
+    train, val, test = bench_splits(data)
+    metric = average_error_cost_parity(cost_fp=COST_FP, cost_fn=COST_FN)
+    return omnifair_frontier(
+        train, val, test, LogisticRegression(max_iter=150),
+        metric_obj=metric, epsilons=EPSILONS,
+    )
+
+
+def test_figure8_aec_adult(benchmark):
+    points = run_once(_run, benchmark)
+    emit(
+        "figure8_aec_adult",
+        "\n".join(
+            [
+                f"Figure 8 — accuracy vs AEC disparity "
+                f"(C_fp={COST_FP}, C_fn={COST_FN}), Adult LR",
+                format_series("omnifair", points),
+            ]
+        ),
+    )
+    assert points, "custom AEC metric must be tunable"
+    # OmniFair reduces the custom-metric disparity; on the synthetic twin
+    # the strict-parity end costs more accuracy than the paper's Adult,
+    # so the shape check bounds the loss rather than pinning it
+    assert min(p.disparity for p in points) < 0.08
+    accs = [p.accuracy for p in points]
+    assert max(accs) - min(accs) < 0.15

@@ -1,0 +1,142 @@
+"""Table 5: accuracy drop under SP ε=0.03, all datasets × algorithms × methods.
+
+Paper's claims this bench checks:
+* OmniFair's accuracy drop is the smallest or a close second everywhere;
+* non-model-agnostic methods (Zafar, Celis, Thomas) render NA(2) for
+  RF/XGB/NN; Celis renders NA(1) at the tight ε; Calmon is NA(1) on
+  LSAC/Bank (no distortion parameters).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from _common import bench_splits, emit, load_bench_dataset, run_once
+
+from repro.analysis import format_percent, format_table, make_estimator
+from repro.analysis.runner import run_baseline, run_omnifair, run_unconstrained
+from repro.baselines import (
+    CelisMetaAlgorithm,
+    ExponentiatedGradient,
+    OptimizedPreprocessing,
+    Reweighing,
+    SeldonianClassifier,
+    ZafarFairClassifier,
+)
+from repro.datasets import two_group_view
+
+EPSILON = 0.03
+DATASETS = ["compas", "adult", "lsac", "bank"]
+ALGORITHMS = ["LR", "XGB"]  # RF/NN shapes match XGB; trimmed for runtime
+METHODS = [
+    ("OmniFair", None),
+    ("Kamiran", Reweighing),
+    ("Calmon", OptimizedPreprocessing),
+    ("Zafar", ZafarFairClassifier),
+    ("Celis", CelisMetaAlgorithm),
+    ("Agarwal", ExponentiatedGradient),
+    ("Thomas", SeldonianClassifier),
+]
+
+
+def _dataset(name):
+    data = load_bench_dataset(name)
+    if name == "compas":
+        data = two_group_view(data)
+    return data
+
+
+def _method_kwargs(method_cls):
+    if method_cls is CelisMetaAlgorithm:
+        return {"grid_size": 5}
+    if method_cls is ExponentiatedGradient:
+        return {"n_iterations": 12}
+    if method_cls is SeldonianClassifier:
+        return {"max_evals": 1200}
+    return {}
+
+
+def _run_table5():
+    rows = {}
+    for ds_name in DATASETS:
+        data = _dataset(ds_name)
+        for algo in ALGORITHMS:
+            estimator = make_estimator(algo)
+            base = run_unconstrained(data, estimator, n_splits=1)
+            for method_name, method_cls in METHODS:
+                # non-model-agnostic methods support only LR (NA(2))
+                if algo != "LR" and method_cls is not None \
+                        and not method_cls.MODEL_AGNOSTIC:
+                    drop = float("nan")
+                elif method_cls is None:
+                    agg = run_omnifair(
+                        data, estimator, epsilon=EPSILON, n_splits=1
+                    )
+                    drop = agg.accuracy - base.accuracy
+                else:
+                    agg = run_baseline(
+                        method_cls, data,
+                        estimator=estimator if method_cls.MODEL_AGNOSTIC
+                        else None,
+                        epsilon=EPSILON, n_splits=1,
+                        **_method_kwargs(method_cls),
+                    )
+                    drop = (
+                        agg.accuracy - base.accuracy
+                        if agg.supported else float("nan")
+                    )
+                rows[(method_name, ds_name, algo)] = drop
+    return rows
+
+
+def test_table5_accuracy_drop(benchmark):
+    rows = run_once(_run_table5, benchmark)
+
+    headers = ["Method"] + [
+        f"{d}/{a}" for d in DATASETS for a in ALGORITHMS
+    ]
+    table_rows = []
+    for method_name, _cls in METHODS:
+        table_rows.append(
+            [method_name]
+            + [
+                format_percent(rows[(method_name, d, a)])
+                for d in DATASETS
+                for a in ALGORITHMS
+            ]
+        )
+    emit(
+        "table5_accuracy_drop",
+        format_table(
+            headers, table_rows,
+            title=f"Table 5 — accuracy drop vs unconstrained, SP eps={EPSILON}",
+        ),
+    )
+
+    # shape assertions ------------------------------------------------------
+    # (1) OmniFair is supported everywhere
+    omni = [rows[("OmniFair", d, a)] for d in DATASETS for a in ALGORITHMS]
+    assert all(v == v for v in omni), "OmniFair must support every cell"
+    # (2) OmniFair never catastrophically loses accuracy
+    assert all(v > -0.12 for v in omni)
+    # (3) non-agnostic methods are NA for non-LR algorithms
+    for m in ("Zafar", "Celis", "Thomas"):
+        for d in DATASETS:
+            assert rows[(m, d, "XGB")] != rows[(m, d, "XGB")], (
+                f"{m} should be NA(2) for XGB"
+            )
+    # (4) per column, OmniFair is best or a close runner-up ("close second"
+    #     claim; single-split noise can hand any method a lucky +1-2%)
+    gaps = []
+    for d in DATASETS:
+        for a in ALGORITHMS:
+            supported = [
+                rows[(m, d, a)]
+                for m, _ in METHODS
+                if rows[(m, d, a)] == rows[(m, d, a)]
+            ]
+            best = max(supported)
+            gap = best - rows[("OmniFair", d, a)]
+            gaps.append(gap)
+            assert gap <= 0.05, f"OmniFair too far behind best on {d}/{a}"
+    # (5) in aggregate across cells, OmniFair is near the per-cell best
+    assert float(np.mean(gaps)) <= 0.02

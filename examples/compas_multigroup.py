@@ -1,0 +1,53 @@
+"""Multi-group fairness: equalize selection rates across three race groups.
+
+The COMPAS dataset has African-American, Caucasian and Hispanic
+defendants; a single statistical-parity specification over the sensitive
+attribute induces all three pairwise constraints (Definition 1), and
+OmniFair's hill-climbing Algorithm 2 tunes one λ per constraint — the
+scenario of the paper's Figure 9 that existing baselines fail at.
+
+Run:  python examples/compas_multigroup.py
+"""
+
+import numpy as np
+
+from repro import FairnessSpec, OmniFair
+from repro.datasets import load_compas
+from repro.ml import LogisticRegression
+from repro.ml.model_selection import train_val_test_split
+
+
+def selection_rates(pred, dataset):
+    return {
+        name: float(np.mean(pred[dataset.sensitive == code]))
+        for code, name in enumerate(dataset.group_names)
+    }
+
+
+def main():
+    data = load_compas(n=4000, seed=0)
+    strat = data.sensitive * 2 + data.y
+    tr, va, te = train_val_test_split(len(data), seed=0, stratify=strat)
+    train, val, test = data.subset(tr), data.subset(va), data.subset(te)
+
+    base = LogisticRegression().fit(train.X, train.y)
+    rates = selection_rates(base.predict(test.X), test)
+    print("Unconstrained selection rates:", {
+        k: f"{v:.3f}" for k, v in rates.items()
+    })
+    print(f"  max pairwise SP gap: {max(rates.values()) - min(rates.values()):.3f}")
+
+    of = OmniFair(
+        LogisticRegression(), FairnessSpec("SP", 0.05)
+    ).fit(train, val)
+    rates = selection_rates(of.predict(test.X), test)
+    print(f"\nOmniFair (3 constraints, Lambda={np.round(of.lambdas_, 3)}, "
+          f"{of.n_rounds_} hill-climbing rounds, {of.n_fits_} fits):")
+    print("  selection rates:", {k: f"{v:.3f}" for k, v in rates.items()})
+    print(f"  max pairwise SP gap: {max(rates.values()) - min(rates.values()):.3f}")
+    print(f"  test accuracy: {of.model_.score(test.X, test.y):.3f} "
+          f"(unconstrained: {base.score(test.X, test.y):.3f})")
+
+
+if __name__ == "__main__":
+    main()

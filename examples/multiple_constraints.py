@@ -1,0 +1,46 @@
+"""Enforcing several fairness metrics at once (§6, Table 7).
+
+Statistical parity and false-negative-rate parity are enforced
+simultaneously on COMPAS.  At tight ε the combination can be infeasible —
+a consequence of the Kleinberg et al. impossibility result the paper cites
+— and OmniFair reports that honestly instead of returning an unfair model.
+
+Run:  python examples/multiple_constraints.py
+"""
+
+from repro import FairnessSpec, InfeasibleConstraintError, OmniFair
+from repro.datasets import load_compas, two_group_view
+from repro.ml import LogisticRegression
+from repro.ml.model_selection import train_val_test_split
+
+
+def main():
+    data = two_group_view(load_compas(n=4000, seed=0))
+    strat = data.sensitive * 2 + data.y
+    tr, va, te = train_val_test_split(len(data), seed=0, stratify=strat)
+    train, val, test = data.subset(tr), data.subset(va), data.subset(te)
+
+    base = LogisticRegression().fit(train.X, train.y)
+    print(f"Unconstrained test accuracy: {base.score(test.X, test.y):.3f}\n")
+
+    for eps in (0.01, 0.05, 0.10, 0.15):
+        specs = [FairnessSpec("SP", eps), FairnessSpec("FNR", eps)]
+        of = OmniFair(LogisticRegression(), specs)
+        try:
+            of.fit(train, val)
+        except InfeasibleConstraintError as exc:
+            print(f"eps={eps:<5} N/A — {exc}")
+            continue
+        report = of.evaluate(test)
+        disparities = ", ".join(
+            f"{k.split('|')[0]}={abs(v):.3f}"
+            for k, v in report["disparities"].items()
+        )
+        print(
+            f"eps={eps:<5} accuracy={report['accuracy']:.3f}  {disparities}"
+            f"  (rounds={of.n_rounds_}, fits={of.n_fits_})"
+        )
+
+
+if __name__ == "__main__":
+    main()

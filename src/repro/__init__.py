@@ -1,0 +1,43 @@
+"""repro — reproduction of OmniFair (SIGMOD 2021).
+
+A declarative, model-agnostic system for enforcing group fairness
+constraints on black-box binary classifiers, plus the full substrate it
+needs (from-scratch ML models, benchmark-dataset twins, and the baseline
+fairness methods the paper compares against).
+
+Quickstart::
+
+    from repro import OmniFair, FairnessSpec
+    from repro.datasets import load_compas, two_group_view
+    from repro.ml import LogisticRegression
+
+    data = two_group_view(load_compas())
+    of = OmniFair(LogisticRegression(), FairnessSpec("SP", 0.03))
+    of.fit(data)
+    print(of.validation_report_)
+"""
+
+from .core import (
+    Constraint,
+    FairnessMetric,
+    FairnessSpec,
+    InfeasibleConstraintError,
+    OmniFair,
+    OmniFairError,
+    SpecificationError,
+)
+from .datasets import Dataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "OmniFair",
+    "FairnessSpec",
+    "FairnessMetric",
+    "Constraint",
+    "Dataset",
+    "OmniFairError",
+    "SpecificationError",
+    "InfeasibleConstraintError",
+    "__version__",
+]

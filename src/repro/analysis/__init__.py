@@ -1,0 +1,30 @@
+"""Experiment harness: protocol runner, trade-off sweeps, reporting."""
+
+from .reporting import format_percent, format_series, format_table
+from .timing import stopwatch, time_call
+from .runner import (
+    AggregateResult,
+    SplitResult,
+    make_estimator,
+    run_baseline,
+    run_omnifair,
+    run_unconstrained,
+)
+from .tradeoff import FrontierPoint, baseline_frontier, omnifair_frontier
+
+__all__ = [
+    "make_estimator",
+    "run_unconstrained",
+    "run_omnifair",
+    "run_baseline",
+    "AggregateResult",
+    "SplitResult",
+    "omnifair_frontier",
+    "baseline_frontier",
+    "FrontierPoint",
+    "format_table",
+    "format_series",
+    "format_percent",
+    "stopwatch",
+    "time_call",
+]

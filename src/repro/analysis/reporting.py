@@ -1,0 +1,47 @@
+"""Plain-text table/series rendering for the benchmark harness.
+
+The benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep the formatting consistent and readable in
+pytest output.
+"""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "format_series", "format_percent"]
+
+
+def format_percent(value, signed=True):
+    """Render a fraction as a percent string; NaN renders as NA."""
+    if value != value:  # NaN
+        return "NA"
+    pct = 100.0 * value
+    return f"{pct:+.1f}%" if signed else f"{pct:.1f}%"
+
+
+def format_table(headers, rows, title=None):
+    """Fixed-width table; cells are pre-formatted strings."""
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(headers[j])), *(len(r[j]) for r in rows)) if rows
+        else len(str(headers[j]))
+        for j in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name, points, x="disparity", y="accuracy"):
+    """Render a trade-off curve as ``name: (x, y) (x, y) ...``."""
+    if not points:
+        return f"{name}: (not supported)"
+    parts = " ".join(
+        f"({getattr(p, x):.3f}, {getattr(p, y):.3f})" for p in points
+    )
+    return f"{name}: {parts}"

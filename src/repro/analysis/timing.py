@@ -1,0 +1,31 @@
+"""Small timing utilities used by the runtime benchmarks (Figures 5/6)."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+__all__ = ["stopwatch", "time_call"]
+
+
+@contextmanager
+def stopwatch():
+    """Context manager yielding a dict whose ``seconds`` is filled on exit.
+
+    >>> with stopwatch() as t:
+    ...     work()
+    >>> t["seconds"]
+    """
+    record = {"seconds": None}
+    start = time.perf_counter()
+    try:
+        yield record
+    finally:
+        record["seconds"] = time.perf_counter() - start
+
+
+def time_call(fn, *args, **kwargs):
+    """Return ``(result, seconds)`` for a single call."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start

@@ -1,0 +1,33 @@
+"""Baseline fairness methods compared against OmniFair (Table 1)."""
+
+from .agarwal import ExponentiatedGradient, MixtureClassifier
+from .base import FairnessMethod, NotSupportedError
+from .calmon import OptimizedPreprocessing, solve_flip_lp
+from .celis import CelisMetaAlgorithm
+from .kamiran import Reweighing, reweighing_weights
+from .thomas import NoSolutionFoundError, SeldonianClassifier
+from .zafar import ZafarFairClassifier
+
+__all__ = [
+    "FairnessMethod",
+    "NotSupportedError",
+    "Reweighing",
+    "reweighing_weights",
+    "OptimizedPreprocessing",
+    "solve_flip_lp",
+    "ZafarFairClassifier",
+    "CelisMetaAlgorithm",
+    "ExponentiatedGradient",
+    "MixtureClassifier",
+    "SeldonianClassifier",
+    "NoSolutionFoundError",
+]
+
+METHODS = {
+    "kamiran": Reweighing,
+    "calmon": OptimizedPreprocessing,
+    "zafar": ZafarFairClassifier,
+    "celis": CelisMetaAlgorithm,
+    "agarwal": ExponentiatedGradient,
+    "thomas": SeldonianClassifier,
+}

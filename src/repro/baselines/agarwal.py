@@ -1,0 +1,189 @@
+"""Agarwal et al. (2018) — reductions via exponentiated gradient.
+
+The only pre-existing *model-agnostic* in-processing baseline (Table 1).
+Fair classification is reduced to a sequence of cost-sensitive problems:
+
+* a vector of dual variables λ over the moment constraints is maintained
+  by exponentiated-gradient updates;
+* each round's best response is the classifier minimizing
+  ``err(h) + λᵀ·moments(h)``, which for linear moments is a *weighted*
+  classification problem any black-box learner can solve
+  (label = sign of the per-example cost, weight = |cost|);
+* the output is the *randomized* classifier mixing all iterates.
+
+This saddle-point computation is why Agarwal is ~10× slower than
+OmniFair's monotone binary search (Figure 5) despite both being
+model-agnostic reweighting schemes.
+
+Supported moments: SP, FPR, FNR, MR (the paper's Table 1 row).  FDR/FOR
+are *not* expressible as linear moments of h — exactly the gap OmniFair's
+§5.2 closes — so requesting them raises :class:`NotSupportedError`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ml.logistic import LogisticRegression
+from .base import FairnessMethod
+
+__all__ = ["ExponentiatedGradient", "MixtureClassifier"]
+
+
+class MixtureClassifier:
+    """Uniform mixture over the iterates' deterministic classifiers."""
+
+    def __init__(self, models):
+        if not models:
+            raise ValueError("empty mixture")
+        self.models = list(models)
+
+    def predict_proba(self, X):
+        p1 = np.mean([m.predict(X) for m in self.models], axis=0)
+        return np.column_stack([1.0 - p1, p1])
+
+    def predict(self, X):
+        return (self.predict_proba(X)[:, 1] >= 0.5).astype(np.int64)
+
+
+def _moment_masks(metric, y, n):
+    """Row masks defining the conditioning event of each moment.
+
+    Returns (event_mask, is_error_moment): SP conditions on everything and
+    measures E[h]; FPR on y=0; FNR on y=1 measuring E[1−h]; MR measures
+    E[h≠y] over everything.
+    """
+    if metric == "SP":
+        return np.ones(n, dtype=bool), False
+    if metric == "FPR":
+        return np.asarray(y) == 0, False
+    if metric == "FNR":
+        return np.asarray(y) == 1, True
+    if metric == "MR":
+        return np.ones(n, dtype=bool), True
+    raise ValueError(f"unsupported moment {metric!r}")
+
+
+class ExponentiatedGradient(FairnessMethod):
+    """Reductions approach (exponentiated gradient over moments).
+
+    Parameters
+    ----------
+    n_iterations : int
+        Rounds of dual update + best response (each = one model fit).
+    eta : float
+        Dual learning rate.
+    bound : float
+        Total dual mass B; larger enforces constraints more aggressively.
+    """
+
+    NAME = "Agarwal"
+    SUPPORTED_METRICS = ("SP", "MR", "FPR", "FNR")
+    MODEL_AGNOSTIC = True
+    STAGE = "in-processing"
+
+    def __init__(self, estimator=None, metric="SP", epsilon=0.03,
+                 n_iterations=25, eta=0.5, bound=3.0):
+        super().__init__(estimator, metric, epsilon)
+        self.n_iterations = n_iterations
+        self.eta = eta
+        self.bound = bound
+
+    def _signed_moment(self, pred, sensitive, event, error_signal):
+        """γ_g(h) = E[signal | g, event] − E[signal | event] per group."""
+        out = []
+        base = float(np.mean(error_signal[event]))
+        for g in (0, 1):
+            mask = event & (sensitive == g)
+            val = float(np.mean(error_signal[mask])) if mask.any() else base
+            out.append(val - base)
+        return np.array(out)
+
+    def _fit(self, train, val):
+        X, y, s = train.X, train.y, train.sensitive
+        n = len(y)
+        event, is_error = _moment_masks(self.metric, y, n)
+        # dual over 4 coordinates: (g0,+), (g0,-), (g1,+), (g1,-)
+        theta = np.zeros(4)
+        models = []
+        base_estimator = self.estimator or LogisticRegression()
+
+        # per-example contribution of predicting 1 to each group moment
+        p_event = max(float(event.mean()), 1e-12)
+        group_frac = np.array(
+            [max(float((event & (s == g)).mean()), 1e-12) for g in (0, 1)]
+        )
+
+        for _ in range(self.n_iterations):
+            exp_theta = np.exp(theta - theta.max())
+            lam = self.bound * exp_theta / (1.0 + exp_theta.sum())
+
+            # cost of predicting 1 for each example:
+            # error part: (1 − 2y)/n; moment part per group
+            cost = (1.0 - 2.0 * y.astype(np.float64)) / n
+            for g in (0, 1):
+                lam_net = lam[2 * g] - lam[2 * g + 1]
+                in_g = event & (s == g)
+                # E[signal|g,event] − E[signal|event]; signal is h (or
+                # the error indicator, which for h-measurable moments
+                # flips sign on y=1 rows)
+                sign = np.ones(n)
+                if is_error:
+                    sign = np.where(y == 1, -1.0, 1.0)
+                contrib = np.zeros(n)
+                contrib[in_g] += sign[in_g] / (group_frac[g] * n)
+                contrib[event] -= sign[event] / (p_event * n)
+                cost += lam_net * contrib
+
+            # best response: weighted classification with pseudo-labels
+            z = (cost < 0).astype(np.int64)
+            w = np.abs(cost) * n
+            w = np.maximum(w, 1e-8)
+            model = base_estimator.clone()
+            model.fit(X, z, sample_weight=w)
+            models.append(model)
+
+            pred = model.predict(X)
+            signal = (pred != y).astype(np.float64) if is_error \
+                else pred.astype(np.float64)
+            gamma = self._signed_moment(pred, s, event, signal)
+            grad = np.array(
+                [gamma[0] - self.epsilon, -gamma[0] - self.epsilon,
+                 gamma[1] - self.epsilon, -gamma[1] - self.epsilon]
+            )
+            theta += self.eta * grad
+
+        self.model_ = self._select_mixture(models, val)
+        self.n_fits_ = len(models)
+
+    def _select_mixture(self, models, val):
+        """Pick the best prefix mixture on the validation split.
+
+        The EG saddle-point average corresponds to mixing the iterates;
+        early prefixes are unfair, long prefixes may overcorrect.  We scan
+        prefix mixtures and keep the feasible one with the best validation
+        accuracy (falling back to the least-violating prefix) — the same
+        validation-driven knob tuning the paper applies to every method.
+        """
+        if val is None:
+            return MixtureClassifier(models)
+        from ..core.spec import FairnessSpec, bind_specs
+        from ..ml.metrics import accuracy_score
+
+        constraint = bind_specs(
+            [FairnessSpec(self.metric, self.epsilon)], val
+        )[0]
+        preds = np.array([m.predict(val.X) for m in models], dtype=np.float64)
+        cumulative = np.cumsum(preds, axis=0)
+        best = (None, -np.inf)
+        fallback = (None, np.inf)
+        for t in range(len(models)):
+            mixed = (cumulative[t] / (t + 1) >= 0.5).astype(np.int64)
+            disparity = constraint.disparity(val.y, mixed)
+            acc = accuracy_score(val.y, mixed)
+            if abs(disparity) <= self.epsilon and acc > best[1]:
+                best = (t, acc)
+            if abs(disparity) < fallback[1]:
+                fallback = (t, abs(disparity))
+        chosen = best[0] if best[0] is not None else fallback[0]
+        return MixtureClassifier(models[: chosen + 1])

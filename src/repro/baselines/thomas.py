@@ -1,0 +1,127 @@
+"""Thomas et al. (2019) — Seldonian classification via CMA-ES.
+
+"Preventing undesirable behavior of intelligent machines" proposes
+algorithms that take behavioral (here: fairness) constraints as input and
+return *No Solution Found* rather than an unsafe model.  The classifier is
+trained in two phases:
+
+* **candidate selection** — CMA-ES minimizes, over linear-model weights, a
+  surrogate ``−accuracy + barrier·(constraint violation on candidate
+  data)``;
+* **safety test** — the candidate is accepted only if the constraint holds
+  on a held-out safety split (with a small confidence inflation).
+
+The method ships its own optimizer/model; it is *not* usable with an
+arbitrary external classifier — which is exactly the NA(2)* column of
+Table 5 (CMA-ES supports no other algorithm, no other method supports
+CMA-ES).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ml.logistic import sigmoid
+from ..ml.metrics import accuracy_score
+from ..optim.cmaes import cmaes_minimize
+from .base import FairnessMethod, NotSupportedError
+
+__all__ = ["SeldonianClassifier", "NoSolutionFoundError"]
+
+
+class NoSolutionFoundError(NotSupportedError):
+    """The Seldonian safety test rejected every candidate (NSF)."""
+
+
+class _SeldonianLinearModel:
+    def __init__(self, params):
+        self.coef_ = params[:-1]
+        self.intercept_ = float(params[-1])
+
+    def decision_function(self, X):
+        return np.asarray(X, dtype=np.float64) @ self.coef_ + self.intercept_
+
+    def predict(self, X):
+        return (self.decision_function(X) >= 0.0).astype(np.int64)
+
+    def predict_proba(self, X):
+        p1 = sigmoid(self.decision_function(X))
+        return np.column_stack([1.0 - p1, p1])
+
+
+class SeldonianClassifier(FairnessMethod):
+    """CMA-ES-trained linear classifier with a Seldonian safety test.
+
+    Parameters
+    ----------
+    barrier : float
+        Penalty multiplier on constraint violation during candidate search.
+    safety_margin : float
+        Inflation subtracted from ε during candidate search so candidates
+        pass the stricter held-out safety test.
+    max_evals : int
+        CMA-ES evaluation budget.
+    """
+
+    NAME = "Thomas(CMA-ES)"
+    SUPPORTED_METRICS = ("SP", "MR", "FPR", "FNR")
+    MODEL_AGNOSTIC = False
+    STAGE = "in-processing"
+
+    def __init__(self, estimator=None, metric="SP", epsilon=0.03,
+                 barrier=20.0, safety_margin=0.005, max_evals=3000, seed=0):
+        super().__init__(estimator, metric, epsilon)
+        self.barrier = barrier
+        self.safety_margin = safety_margin
+        self.max_evals = max_evals
+        self.seed = seed
+
+    def check_estimator(self):
+        if self.estimator is not None:
+            raise NotSupportedError(
+                f"{self.NAME} trains its own CMA-ES linear model and does "
+                "not provide an API for external classifiers (NA(2)* in "
+                "Table 5)"
+            )
+
+    def _fit(self, train, val):
+        if val is None:
+            raise ValueError(f"{self.NAME} needs a validation (safety) set")
+        from ..core.spec import FairnessSpec, bind_specs
+
+        cand_constraint = bind_specs(
+            [FairnessSpec(self.metric, self.epsilon)], train
+        )[0]
+        safety_constraint = bind_specs(
+            [FairnessSpec(self.metric, self.epsilon)], val
+        )[0]
+        target = max(self.epsilon - self.safety_margin, 0.0)
+
+        X, y = train.X, train.y
+
+        def objective(params):
+            model = _SeldonianLinearModel(params)
+            pred = model.predict(X)
+            acc = accuracy_score(y, pred)
+            violation = max(
+                0.0, abs(cand_constraint.disparity(y, pred)) - target
+            )
+            return -acc + self.barrier * violation
+
+        x0 = np.zeros(X.shape[1] + 1)
+        result = cmaes_minimize(
+            objective, x0, sigma0=0.5, max_evals=self.max_evals,
+            seed=self.seed,
+        )
+        candidate = _SeldonianLinearModel(result.x)
+
+        # safety test on the held-out split
+        pred_val = candidate.predict(val.X)
+        disparity = safety_constraint.disparity(val.y, pred_val)
+        if abs(disparity) > self.epsilon:
+            raise NoSolutionFoundError(
+                f"{self.NAME}: safety test failed "
+                f"(|{self.metric}| = {abs(disparity):.4f} > {self.epsilon})"
+            )
+        self.model_ = candidate
+        self.n_evals_ = result.n_evals

@@ -1,0 +1,62 @@
+"""OmniFair core: declarative specs, weight translation, λ/Λ tuning."""
+
+from .evaluation import evaluate_model
+from .exceptions import (
+    InfeasibleConstraintError,
+    OmniFairError,
+    SpecificationError,
+)
+from .fairness_metrics import (
+    FairnessMetric,
+    average_error_cost_parity,
+    custom_metric,
+    false_discovery_rate_parity,
+    false_negative_rate_parity,
+    false_omission_rate_parity,
+    false_positive_rate_parity,
+    misclassification_rate_parity,
+    statistical_parity,
+)
+from .grouping import (
+    by_groups,
+    by_predicate,
+    by_sensitive_attribute,
+    intersectional,
+)
+from .spec import (
+    Constraint,
+    FairnessSpec,
+    bind_specs,
+    equalized_odds_specs,
+    predictive_parity_specs,
+)
+from .trainer import OmniFair
+from .weights import compute_weights, resolve_negative_weights
+
+__all__ = [
+    "OmniFair",
+    "FairnessSpec",
+    "Constraint",
+    "bind_specs",
+    "equalized_odds_specs",
+    "predictive_parity_specs",
+    "FairnessMetric",
+    "statistical_parity",
+    "misclassification_rate_parity",
+    "false_positive_rate_parity",
+    "false_negative_rate_parity",
+    "false_omission_rate_parity",
+    "false_discovery_rate_parity",
+    "average_error_cost_parity",
+    "custom_metric",
+    "by_sensitive_attribute",
+    "by_groups",
+    "by_predicate",
+    "intersectional",
+    "compute_weights",
+    "resolve_negative_weights",
+    "evaluate_model",
+    "OmniFairError",
+    "SpecificationError",
+    "InfeasibleConstraintError",
+]

@@ -1,0 +1,45 @@
+"""Model evaluation against bound fairness constraints."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ml.metrics import accuracy_score
+
+__all__ = ["evaluate_model", "max_violation", "all_satisfied"]
+
+
+def evaluate_model(model, X, y, constraints):
+    """Accuracy plus per-constraint disparities of ``model`` on ``(X, y)``.
+
+    Returns a dict with keys ``accuracy``, ``disparities`` (label → FP
+    value), ``violations`` (label → ``max(0, |FP| − ε)``) and
+    ``feasible``.
+    """
+    pred = model.predict(X)
+    disparities = {c.label: c.disparity(y, pred) for c in constraints}
+    violations = {
+        c.label: max(0.0, abs(disparities[c.label]) - c.epsilon)
+        for c in constraints
+    }
+    return {
+        "accuracy": accuracy_score(y, pred),
+        "disparities": disparities,
+        "violations": violations,
+        "feasible": all(v <= 1e-12 for v in violations.values()),
+    }
+
+
+def max_violation(y, pred, constraints):
+    """Largest ``|FP_i| − ε_i`` over constraints (may be negative)."""
+    return max(abs(c.disparity(y, pred)) - c.epsilon for c in constraints)
+
+
+def all_satisfied(y, pred, constraints, tol=1e-12):
+    """True when every constraint holds on ``(y, pred)``."""
+    return max_violation(y, pred, constraints) <= tol
+
+
+def disparity_vector(y, pred, constraints):
+    """Array of FP_i values, ordered like ``constraints``."""
+    return np.array([c.disparity(y, pred) for c in constraints])

@@ -1,0 +1,31 @@
+"""Exceptions raised by the OmniFair core."""
+
+from __future__ import annotations
+
+__all__ = [
+    "OmniFairError",
+    "SpecificationError",
+    "InfeasibleConstraintError",
+]
+
+
+class OmniFairError(Exception):
+    """Base class for OmniFair errors."""
+
+
+class SpecificationError(OmniFairError):
+    """A fairness specification is malformed (bad grouping, metric, or ε)."""
+
+
+class InfeasibleConstraintError(OmniFairError):
+    """No hyperparameter setting satisfying all constraints was found.
+
+    Mirrors the paper's Table 7 "N/A" rows (ε = 0.01/0.02 on COMPAS with
+    SP + FNR simultaneously) and Algorithm 2's "Not found after 5k
+    iterations" return.
+    """
+
+    def __init__(self, message, best_model=None, best_disparities=None):
+        super().__init__(message)
+        self.best_model = best_model
+        self.best_disparities = best_disparities

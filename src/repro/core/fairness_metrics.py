@@ -1,0 +1,258 @@
+"""Declarative fairness metrics (§4.2, Definition 3, Table 2).
+
+A fairness metric is a weighted linear combination of the per-example
+correctness indicator::
+
+    f(h, g) = Σ_{i∈g} c_i · 1(h(x_i) = y_i) + c_0
+
+Each :class:`FairnessMetric` produces the coefficients ``(c, c_0)`` for a
+group, given the group's labels (and, for model-parameterized metrics like
+FOR/FDR, the current model's predictions on the group).
+
+Sign convention.  The paper's Table 2 and Table 3 are mutually inconsistent
+in sign for the error-rate metrics (Table 2's FPR row encodes the true
+negative rate, while Table 3's FPR weights encode the false positive rate).
+Signs only flip the direction λ must move, and Algorithm 1 reorients the
+group pair from the sign of FP(θ₀) anyway, so either choice trains the same
+models.  We pick coefficients such that ``f(h, g)`` equals the
+*conventional* metric value exactly (FPR is the false positive rate, FOR
+matches the appendix Eq. (26) derivation, etc.); tests in
+``tests/test_fairness_metrics.py`` verify each identity against
+:mod:`repro.ml.metrics`.
+
+Implementation note: the coefficient/rate callables are module-level
+functions (parameterized ones via ``functools.partial``) so that fitted
+models holding metrics are picklable (see :mod:`repro.ml.persistence`).
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+import numpy as np
+
+from ..ml import metrics as mlm
+from .exceptions import SpecificationError
+
+__all__ = [
+    "FairnessMetric",
+    "statistical_parity",
+    "misclassification_rate_parity",
+    "false_positive_rate_parity",
+    "false_negative_rate_parity",
+    "false_omission_rate_parity",
+    "false_discovery_rate_parity",
+    "average_error_cost_parity",
+    "custom_metric",
+    "METRIC_FACTORIES",
+]
+
+
+class FairnessMetric:
+    """A declarative group fairness metric.
+
+    Parameters
+    ----------
+    name : str
+        Short identifier ("SP", "FDR", ...).
+    coefficients : callable
+        ``(y_group, pred_group) -> (c, c0)`` with ``c`` shaped like
+        ``y_group``.  ``pred_group`` is ``None`` unless
+        ``parameterized_by_model``.
+    rate : callable
+        ``(y_group, pred_group) -> float`` — the conventional metric value,
+        used for evaluation/reporting.  Must equal
+        ``Σ c_i·1(pred_i=y_i) + c0`` (property-tested).
+    parameterized_by_model : bool
+        True when the coefficients depend on the model's own predictions
+        (FOR, FDR) — these trigger Algorithm 1's linear-search path.
+    """
+
+    def __init__(self, name, coefficients, rate, parameterized_by_model=False):
+        self.name = name
+        self._coefficients = coefficients
+        self._rate = rate
+        self.parameterized_by_model = parameterized_by_model
+
+    def __repr__(self):
+        kind = "model-parameterized" if self.parameterized_by_model else "constant"
+        return f"FairnessMetric({self.name!r}, {kind})"
+
+    def coefficients(self, y_group, pred_group=None):
+        """Return ``(c, c0)`` for one group."""
+        y_group = np.asarray(y_group, dtype=np.int64)
+        if self.parameterized_by_model:
+            if pred_group is None:
+                raise SpecificationError(
+                    f"{self.name} coefficients require model predictions"
+                )
+            pred_group = np.asarray(pred_group, dtype=np.int64)
+        c, c0 = self._coefficients(y_group, pred_group)
+        c = np.asarray(c, dtype=np.float64)
+        if c.shape != y_group.shape:
+            raise SpecificationError(
+                f"{self.name}: coefficient array has shape {c.shape}, "
+                f"expected {y_group.shape}"
+            )
+        return c, float(c0)
+
+    def value(self, y_group, pred_group):
+        """Conventional metric value ``f(h, g)`` on one group."""
+        y_group = np.asarray(y_group, dtype=np.int64)
+        pred_group = np.asarray(pred_group, dtype=np.int64)
+        return float(self._rate(y_group, pred_group))
+
+    def value_from_coefficients(self, y_group, pred_group):
+        """Evaluate via ``Σ c_i·1(pred=y) + c0`` (must match :meth:`value`)."""
+        pred_group = np.asarray(pred_group, dtype=np.int64)
+        c, c0 = self.coefficients(
+            y_group, pred_group if self.parameterized_by_model else None
+        )
+        correct = (pred_group == np.asarray(y_group)).astype(np.float64)
+        return float(np.dot(c, correct) + c0)
+
+
+# -- module-level coefficient / rate functions (picklable) -------------------
+
+
+def _sp_coeff(y, _pred):
+    n = len(y)
+    c = np.where(y == 1, 1.0 / n, -1.0 / n)
+    return c, float(np.sum(y == 0)) / n
+
+
+def _sp_rate(y, pred):
+    return float(np.mean(pred == 1))
+
+
+def _mr_coeff(y, _pred):
+    return np.full(len(y), -1.0 / len(y)), 1.0
+
+
+def _mr_rate(y, pred):
+    return float(np.mean(pred != y))
+
+
+def _fpr_coeff(y, _pred):
+    n0 = int(np.sum(y == 0))
+    c = np.zeros(len(y))
+    if n0:
+        c[y == 0] = -1.0 / n0
+    return c, 1.0 if n0 else 0.0
+
+
+def _fnr_coeff(y, _pred):
+    n1 = int(np.sum(y == 1))
+    c = np.zeros(len(y))
+    if n1:
+        c[y == 1] = -1.0 / n1
+    return c, 1.0 if n1 else 0.0
+
+
+def _for_coeff(y, pred):
+    n_negpred = int(np.sum(pred == 0))
+    c = np.zeros(len(y))
+    if n_negpred:
+        c[y == 0] = -1.0 / n_negpred
+    return c, 1.0 if n_negpred else 0.0
+
+
+def _fdr_coeff(y, pred):
+    n_pospred = int(np.sum(pred == 1))
+    c = np.zeros(len(y))
+    if n_pospred:
+        c[y == 1] = -1.0 / n_pospred
+    return c, 1.0 if n_pospred else 0.0
+
+
+def _aec_coeff(y, _pred, cost_fp, cost_fn):
+    n = len(y)
+    c = np.where(y == 0, -cost_fp / n, -cost_fn / n)
+    c0 = (cost_fp * np.sum(y == 0) + cost_fn * np.sum(y == 1)) / n
+    return c, float(c0)
+
+
+def _aec_rate(y, pred, cost_fp, cost_fn):
+    return mlm.average_error_cost(y, pred, cost_fp=cost_fp, cost_fn=cost_fn)
+
+
+# -- factories ----------------------------------------------------------------
+
+
+def statistical_parity():
+    """SP: ``f(h,g) = P(h(x)=1)`` (Eq. 3, derivation Eq. 8)."""
+    return FairnessMetric("SP", _sp_coeff, _sp_rate)
+
+
+def misclassification_rate_parity():
+    """MR: ``f(h,g) = P(h(x) != y)`` (Eq. 6; appendix uses accuracy form)."""
+    return FairnessMetric("MR", _mr_coeff, _mr_rate)
+
+
+def false_positive_rate_parity():
+    """FPR: ``f(h,g) = P(h(x)=1 | y=0)`` (Eq. 4)."""
+    return FairnessMetric("FPR", _fpr_coeff, mlm.false_positive_rate)
+
+
+def false_negative_rate_parity():
+    """FNR: ``f(h,g) = P(h(x)=0 | y=1)``."""
+    return FairnessMetric("FNR", _fnr_coeff, mlm.false_negative_rate)
+
+
+def false_omission_rate_parity():
+    """FOR: ``f(h,g) = P(y=1 | h(x)=0)`` (Eq. 5, appendix Eq. 26).
+
+    Coefficients depend on ``|{i : h(x_i)=0}|`` — the model's own negative
+    predictions — so the metric is *parameterized by θ*.
+    """
+    return FairnessMetric(
+        "FOR", _for_coeff, mlm.false_omission_rate,
+        parameterized_by_model=True,
+    )
+
+
+def false_discovery_rate_parity():
+    """FDR: ``f(h,g) = P(y=0 | h(x)=1)``."""
+    return FairnessMetric(
+        "FDR", _fdr_coeff, mlm.false_discovery_rate,
+        parameterized_by_model=True,
+    )
+
+
+def average_error_cost_parity(cost_fp=1.0, cost_fn=1.0):
+    """AEC: average cost of errors with user-chosen FP/FN costs.
+
+    ``f(h,g) = (C_fp·#FP + C_fn·#FN) / |g|`` — the customized metric of
+    Example 4, derived in Appendix A:
+    ``c_i = −C_fp/|g|`` for ``y_i=0``, ``c_i = −C_fn/|g|`` for ``y_i=1``,
+    ``c0 = (C_fp·#{y=0} + C_fn·#{y=1})/|g|``.
+    """
+    if cost_fp < 0 or cost_fn < 0:
+        raise SpecificationError("error costs must be non-negative")
+    return FairnessMetric(
+        f"AEC(fp={cost_fp},fn={cost_fn})",
+        partial(_aec_coeff, cost_fp=cost_fp, cost_fn=cost_fn),
+        partial(_aec_rate, cost_fp=cost_fp, cost_fn=cost_fn),
+    )
+
+
+def custom_metric(name, coefficients, rate, parameterized_by_model=False):
+    """Declare a fully custom metric from user-supplied callables.
+
+    This is the extension point §4.3 describes: any metric expressible as a
+    linear combination of the identity function is admissible.  (For the
+    model to remain picklable, pass module-level callables.)
+    """
+    return FairnessMetric(
+        name, coefficients, rate, parameterized_by_model=parameterized_by_model
+    )
+
+
+METRIC_FACTORIES = {
+    "SP": statistical_parity,
+    "MR": misclassification_rate_parity,
+    "FPR": false_positive_rate_parity,
+    "FNR": false_negative_rate_parity,
+    "FOR": false_omission_rate_parity,
+    "FDR": false_discovery_rate_parity,
+}

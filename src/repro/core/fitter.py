@@ -1,0 +1,169 @@
+"""Weighted retraining of the black-box estimator for a Λ setting.
+
+This is the only place OmniFair touches the ML algorithm: it computes the
+example weights for the current Λ (Eq. 12 / Eq. 21), resolves negative
+weights, and calls ``fit(X, y, sample_weight=w)`` on a fresh clone (or the
+same instance when warm-starting).  Everything above this layer treats the
+model as a black box.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from .weights import compute_weights, resolve_negative_weights
+
+__all__ = ["WeightedFitter"]
+
+
+class WeightedFitter:
+    """Trains ``estimator`` on the weighted training set for given Λ.
+
+    Parameters
+    ----------
+    estimator : BaseClassifier
+        Prototype estimator; cloned per fit unless ``warm_start``.
+    X_train, y_train : ndarray
+        Training data.
+    constraints : list of Constraint
+        Constraints bound to the *training* set (their indices address
+        ``X_train`` rows).
+    negative_weights : {"flip", "clip"}
+        Strategy for negative weights (see :mod:`repro.core.weights`).
+    warm_start : bool
+        Reuse one estimator instance across fits, enabling its own
+        ``warm_start`` hyperparameter when it has one (Table 6).
+    subsample : float or None
+        When set (in ``(0, 1)``), a stratified row subset of that fraction
+        is prepared and ``fit(..., use_subsample=True)`` trains on it — the
+        paper's future-work optimization for quickly pruning λ ranges with
+        cheap fits before refining on the full training set (§8).
+    subsample_seed : int
+        Seed for the subsample draw.
+    """
+
+    def __init__(
+        self,
+        estimator,
+        X_train,
+        y_train,
+        constraints,
+        negative_weights="flip",
+        warm_start=False,
+        subsample=None,
+        subsample_seed=0,
+    ):
+        self.estimator = estimator
+        self.X_train = np.asarray(X_train, dtype=np.float64)
+        self.y_train = np.asarray(y_train, dtype=np.int64)
+        self.constraints = list(constraints)
+        self.negative_weights = negative_weights
+        self.warm_start = warm_start
+        self.n_fits = 0
+        self._shared = None
+        if warm_start:
+            self._shared = estimator.clone()
+            if "warm_start" in self._shared.get_params():
+                self._shared.set_params(warm_start=True)
+        self.subsample = subsample
+        self._sub_idx = None
+        self._sub_constraints = None
+        if subsample is not None:
+            if not 0.0 < subsample < 1.0:
+                raise ValueError(
+                    f"subsample must be in (0, 1), got {subsample}"
+                )
+            self._prepare_subsample(subsample_seed)
+
+    def _prepare_subsample(self, seed):
+        """Draw a stratified subsample and remap constraint indices."""
+        from .spec import Constraint
+
+        rng = np.random.default_rng(seed)
+        n = len(self.y_train)
+        k = max(2, int(round(n * self.subsample)))
+        # stratify on label so small-base-rate groups keep positives
+        idx = []
+        for label in (0, 1):
+            rows = np.nonzero(self.y_train == label)[0]
+            take = max(1, int(round(len(rows) * self.subsample)))
+            idx.append(rng.choice(rows, size=min(take, len(rows)),
+                                  replace=False))
+        self._sub_idx = np.sort(np.concatenate(idx))[:max(k, 2)]
+        positions = np.full(n, -1, dtype=np.int64)
+        positions[self._sub_idx] = np.arange(len(self._sub_idx))
+        subbed = []
+        for c in self.constraints:
+            g1 = positions[c.g1_idx]
+            g2 = positions[c.g2_idx]
+            subbed.append(
+                Constraint(
+                    metric=c.metric,
+                    epsilon=c.epsilon,
+                    group_names=c.group_names,
+                    g1_idx=g1[g1 >= 0],
+                    g2_idx=g2[g2 >= 0],
+                    label=c.label + "|subsample",
+                )
+            )
+        self._sub_constraints = subbed
+
+    @property
+    def parameterized(self):
+        """True when any constraint's metric needs model predictions."""
+        return any(c.metric.parameterized_by_model for c in self.constraints)
+
+    def fit(self, lambdas, prev_model=None, use_subsample=False):
+        """Fit the estimator with weights ``w(Λ[, h_prev])``.
+
+        ``prev_model`` supplies the predictions that parameterize FOR/FDR
+        weights (§5.2's continuation approximation); it is ignored for
+        constant-weight metrics.  ``use_subsample=True`` trains on the
+        prepared subsample (cheap λ-range pruning; requires the
+        ``subsample`` constructor argument).
+        """
+        if use_subsample:
+            if self._sub_idx is None:
+                raise ValueError(
+                    "use_subsample requires the subsample constructor "
+                    "argument"
+                )
+            X, y = self.X_train[self._sub_idx], self.y_train[self._sub_idx]
+            constraints = self._sub_constraints
+        else:
+            X, y = self.X_train, self.y_train
+            constraints = self.constraints
+        predictions = None
+        if self.parameterized and np.any(np.asarray(lambdas) != 0):
+            if prev_model is None:
+                raise ValueError(
+                    "model-parameterized constraints require prev_model "
+                    "for nonzero lambda"
+                )
+            predictions = prev_model.predict(X)
+        w = compute_weights(
+            len(y),
+            constraints,
+            lambdas,
+            y,
+            predictions=predictions,
+        )
+        w, y_fit = resolve_negative_weights(
+            w, y, strategy=self.negative_weights
+        )
+        if self.warm_start:
+            self._shared.fit(X, y_fit, sample_weight=w)
+            # snapshot so callers can keep models for different λ values
+            # while the shared instance keeps warm-starting in place
+            model = copy.deepcopy(self._shared)
+        else:
+            model = self.estimator.clone()
+            model.fit(X, y_fit, sample_weight=w)
+        self.n_fits += 1
+        return model
+
+    def fit_unweighted(self):
+        """Fit with Λ = 0 — the unconstrained accuracy-maximizing model."""
+        return self.fit(np.zeros(len(self.constraints)))

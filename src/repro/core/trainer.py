@@ -1,0 +1,234 @@
+"""The OmniFair trainer — the system's public entry point.
+
+Usage mirrors Figure 1 of the paper::
+
+    from repro import OmniFair, FairnessSpec
+    from repro.core.grouping import by_sensitive_attribute
+    from repro.ml import LogisticRegression
+
+    spec = FairnessSpec(metric="SP", epsilon=0.03,
+                        grouping=by_sensitive_attribute())
+    of = OmniFair(LogisticRegression(), [spec]).fit(train, val)
+    predictions = of.predict(test.X)
+
+``fit`` binds the specs to the train and validation datasets, translates
+the constrained problem into weighted training (§5), and tunes λ
+(Algorithm 1) or Λ (Algorithm 2) on the validation split.  The result is a
+plain fitted classifier plus tuning diagnostics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datasets.schema import Dataset
+from ..ml.model_selection import train_test_split
+from .evaluation import evaluate_model
+from .exceptions import SpecificationError
+from .fitter import WeightedFitter
+from .multi import grid_search_lambdas, hill_climb
+from .single import lambda_grid_search, tune_single_lambda
+from .spec import FairnessSpec, bind_specs
+
+__all__ = ["OmniFair"]
+
+
+class OmniFair:
+    """Model-agnostic group-fair training with declarative constraints.
+
+    Parameters
+    ----------
+    estimator : BaseClassifier
+        Any classifier following the ``fit(X, y, sample_weight)`` protocol.
+    specs : FairnessSpec or list of FairnessSpec
+        One or more declarative specifications; a single spec whose
+        grouping yields >2 groups already induces multiple constraints.
+    delta : float
+        Linear-search step for model-parameterized metrics (paper §5.3:
+        0.001; default 0.01 for laptop-scale runs).
+    tau : float
+        Binary-search termination width (paper: 1e-4; default 1e-3).
+    negative_weights : {"flip", "clip"}
+        How to make Eq. (12) weights non-negative (DESIGN.md §5.1).
+    warm_start : bool
+        Reuse estimator parameters across λ fits when the estimator
+        supports it (Table 6 optimization).
+    search : {"auto", "hill_climb", "grid"}
+        Multi-constraint strategy; ``"grid"`` selects the Table 8 baseline.
+    max_rounds : int, optional
+        Hill-climbing budget (default ``5k``).
+    grid_max, grid_steps : float, int
+        Grid-search extent/resolution when ``search="grid"``.
+    subsample : float or None
+        When set (in ``(0, 1)``), Algorithm 1's bounding stage trains on a
+        stratified subsample of this fraction to prune λ ranges cheaply —
+        the paper's §8 future-work scalability optimization.  The binary
+        search refinement always uses the full training set.
+    """
+
+    def __init__(
+        self,
+        estimator,
+        specs,
+        delta=0.01,
+        tau=1e-3,
+        negative_weights="flip",
+        warm_start=False,
+        search="auto",
+        max_rounds=None,
+        grid_max=1.0,
+        grid_steps=5,
+        lambda_max=1e5,
+        subsample=None,
+    ):
+        if isinstance(specs, FairnessSpec):
+            specs = [specs]
+        if not specs:
+            raise SpecificationError("at least one FairnessSpec is required")
+        for spec in specs:
+            if not isinstance(spec, FairnessSpec):
+                raise SpecificationError(
+                    f"expected FairnessSpec, got {type(spec).__name__}"
+                )
+        if search not in ("auto", "hill_climb", "grid"):
+            raise SpecificationError(f"unknown search strategy {search!r}")
+        self.estimator = estimator
+        self.specs = list(specs)
+        self.delta = delta
+        self.tau = tau
+        self.negative_weights = negative_weights
+        self.warm_start = warm_start
+        self.search = search
+        self.max_rounds = max_rounds
+        self.grid_max = grid_max
+        self.grid_steps = grid_steps
+        self.lambda_max = lambda_max
+        self.subsample = subsample
+        self._fitted = False
+
+    # -- fitting --------------------------------------------------------------
+
+    @staticmethod
+    def _split_validation(train, val_fraction, seed):
+        idx = np.arange(len(train))
+        strat = train.sensitive * 2 + train.y  # keep group×label mix stable
+        train_idx, val_idx = train_test_split(
+            idx, test_size=val_fraction, seed=seed, stratify=strat
+        )
+        return train.subset(train_idx), train.subset(val_idx)
+
+    def fit(self, train, val=None, val_fraction=0.25, seed=0):
+        """Train a fair classifier on ``train``; tune λ on ``val``.
+
+        Parameters
+        ----------
+        train : Dataset
+            Training data (``repro.datasets.schema.Dataset``).
+        val : Dataset, optional
+            Validation data for FP/AP evaluation; if omitted, a stratified
+            ``val_fraction`` slice of ``train`` is held out.
+        """
+        if not isinstance(train, Dataset):
+            raise SpecificationError(
+                "train must be a repro.datasets.Dataset; wrap raw arrays "
+                "with Dataset(name=..., X=..., y=..., sensitive=...)"
+            )
+        if val is None:
+            train, val = self._split_validation(train, val_fraction, seed)
+
+        train_constraints = bind_specs(self.specs, train)
+        val_constraints = bind_specs(self.specs, val)
+        if [c.label for c in train_constraints] != [
+            c.label for c in val_constraints
+        ]:
+            raise SpecificationError(
+                "grouping produced different groups on train and validation "
+                "splits; use a deterministic grouping or larger splits"
+            )
+
+        fitter = WeightedFitter(
+            self.estimator,
+            train.X,
+            train.y,
+            train_constraints,
+            negative_weights=self.negative_weights,
+            warm_start=self.warm_start,
+            subsample=self.subsample,
+        )
+
+        if len(train_constraints) == 1:
+            if self.search == "grid":
+                grid = np.linspace(
+                    -self.grid_max, self.grid_max, self.grid_steps * 2 + 1
+                )
+                result = lambda_grid_search(
+                    fitter, val_constraints[0], val.X, val.y, grid
+                )
+            else:
+                result = tune_single_lambda(
+                    fitter,
+                    val_constraints[0],
+                    val.X,
+                    val.y,
+                    delta=self.delta,
+                    tau=self.tau,
+                    lambda_max=self.lambda_max,
+                )
+            self.model_ = result.model
+            self.lambdas_ = np.array([result.lam])
+            self.n_rounds_ = 0
+        else:
+            if self.search == "grid":
+                result = grid_search_lambdas(
+                    fitter,
+                    val_constraints,
+                    val.X,
+                    val.y,
+                    grid_max=self.grid_max,
+                    grid_steps=self.grid_steps,
+                )
+            else:
+                result = hill_climb(
+                    fitter,
+                    val_constraints,
+                    val.X,
+                    val.y,
+                    max_rounds=self.max_rounds,
+                    tau=self.tau,
+                )
+            self.model_ = result.model
+            self.lambdas_ = np.asarray(result.lambdas, dtype=np.float64)
+            self.n_rounds_ = result.n_rounds
+
+        self.feasible_ = result.feasible
+        self.n_fits_ = result.n_fits
+        self.history_ = result.history
+        self.train_constraints_ = fitter.constraints
+        self.val_constraints_ = val_constraints
+        self.validation_report_ = evaluate_model(
+            self.model_, val.X, val.y, val_constraints
+        )
+        self._fitted = True
+        return self
+
+    # -- prediction / evaluation ----------------------------------------------
+
+    def _check_is_fitted(self):
+        if not self._fitted:
+            raise RuntimeError("OmniFair is not fitted; call fit() first")
+
+    def predict(self, X):
+        """Hard labels from the tuned fair model."""
+        self._check_is_fitted()
+        return self.model_.predict(X)
+
+    def predict_proba(self, X):
+        """Class probabilities from the tuned fair model."""
+        self._check_is_fitted()
+        return self.model_.predict_proba(X)
+
+    def evaluate(self, dataset):
+        """Accuracy and disparities of the fair model on any Dataset."""
+        self._check_is_fitted()
+        constraints = bind_specs(self.specs, dataset)
+        return evaluate_model(self.model_, dataset.X, dataset.y, constraints)

@@ -1,0 +1,105 @@
+"""Example-weight derivation (§5.2 Eq. 12, Table 3; §6 Eq. 21).
+
+Expanding ``AP(θ) + Σ_k λ_k · FP_k(θ)`` as a linear combination of the
+correctness indicator gives per-example weights
+
+    w_i = 1 + N · Σ_k λ_k · ( [i ∈ g1_k]·c^{g1_k}_i − [i ∈ g2_k]·c^{g2_k}_i )
+
+(points in both groups of a constraint receive both contributions, points
+in neither receive none — the overlapping-groups case §5.2 spells out).
+
+Large λ can push weights negative.  Maximizing ``w·1(h(x)=y)`` with
+``w < 0`` is identical (up to an additive constant) to maximizing
+``|w|·1(h(x)=1−y)``, so :func:`resolve_negative_weights` flips the label
+and weights by ``|w|`` — the exact identity, and the same device Agarwal
+et al.'s reduction uses.  A clipping strategy is kept for the ablation
+benchmark (DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["compute_weights", "resolve_negative_weights"]
+
+
+def compute_weights(n, constraints, lambdas, y, predictions=None):
+    """Compute OmniFair example weights for a Λ setting.
+
+    Parameters
+    ----------
+    n : int
+        Number of training examples (``N`` in the paper; weights default
+        to 1 for rows in no group).
+    constraints : list of Constraint
+        Bound constraints whose ``g1_idx``/``g2_idx`` index into the
+        training set.
+    lambdas : array-like of shape (k,)
+        One multiplier per constraint.
+    y : ndarray (n,)
+        Training labels (coefficients depend on them — Table 2).
+    predictions : ndarray (n,) or None
+        Current-model predictions on the training set; required iff any
+        constraint's metric is parameterized by the model (FOR/FDR).
+
+    Returns
+    -------
+    w : ndarray (n,)
+        Raw weights; may contain negative entries (see
+        :func:`resolve_negative_weights`).
+    """
+    lambdas = np.asarray(lambdas, dtype=np.float64)
+    if lambdas.shape != (len(constraints),):
+        raise ValueError(
+            f"lambdas has shape {lambdas.shape}, expected ({len(constraints)},)"
+        )
+    y = np.asarray(y)
+    if len(y) != n:
+        raise ValueError(f"y has length {len(y)}, expected {n}")
+    w = np.ones(n, dtype=np.float64)
+    for lam, constraint in zip(lambdas, constraints):
+        if lam == 0.0:
+            continue
+        metric = constraint.metric
+        for sign, idx in ((+1.0, constraint.g1_idx), (-1.0, constraint.g2_idx)):
+            pred_group = None
+            if metric.parameterized_by_model:
+                if predictions is None:
+                    raise ValueError(
+                        f"constraint {constraint.label} needs model "
+                        "predictions to derive weights (FOR/FDR path)"
+                    )
+                pred_group = np.asarray(predictions)[idx]
+            c, _c0 = metric.coefficients(y[idx], pred_group)
+            w[idx] += sign * lam * n * c
+    return w
+
+
+def resolve_negative_weights(w, y, strategy="flip"):
+    """Make weights non-negative so any black-box learner accepts them.
+
+    Parameters
+    ----------
+    w : ndarray
+        Raw weights from :func:`compute_weights`.
+    y : ndarray
+        Labels aligned with ``w``.
+    strategy : {"flip", "clip"}
+        ``"flip"`` (default, exact): negative-weight rows get ``|w|`` and a
+        flipped label.  ``"clip"`` (lossy, for ablation): negative weights
+        become zero.
+
+    Returns
+    -------
+    (w_out, y_out) : non-negative weights and (possibly adjusted) labels.
+    """
+    w = np.asarray(w, dtype=np.float64)
+    y = np.asarray(y, dtype=np.int64)
+    negative = w < 0
+    if not np.any(negative):
+        return w, y
+    if strategy == "flip":
+        return np.abs(w), np.where(negative, 1 - y, y)
+    if strategy == "clip":
+        return np.where(negative, 0.0, w), y
+    raise ValueError(f"unknown strategy {strategy!r}; use 'flip' or 'clip'")

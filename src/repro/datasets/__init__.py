@@ -1,0 +1,46 @@
+"""Benchmark datasets (synthetic twins of Adult, COMPAS, LSAC, Bank).
+
+The real files are public but not downloadable in this offline environment;
+each loader generates a calibrated synthetic twin — see
+:mod:`repro.datasets.synthetic` and DESIGN.md §2 for the substitution
+rationale.
+"""
+
+from .adult import ADULT_N_ROWS, load_adult
+from .bank import BANK_N_ROWS, load_bank
+from .compas import COMPAS_N_ROWS, load_compas, two_group_view
+from .lsac import LSAC_N_ROWS, load_lsac
+from .schema import Dataset
+from .synthetic import make_biased_dataset
+
+__all__ = [
+    "Dataset",
+    "make_biased_dataset",
+    "load_adult",
+    "load_compas",
+    "two_group_view",
+    "load_lsac",
+    "load_bank",
+    "ADULT_N_ROWS",
+    "COMPAS_N_ROWS",
+    "LSAC_N_ROWS",
+    "BANK_N_ROWS",
+]
+
+LOADERS = {
+    "adult": load_adult,
+    "compas": load_compas,
+    "lsac": load_lsac,
+    "bank": load_bank,
+}
+
+
+def load(name, n=None, seed=0):
+    """Load a benchmark dataset twin by name."""
+    try:
+        loader = LOADERS[name]
+    except KeyError:
+        raise KeyError(f"unknown dataset {name!r}; known: {sorted(LOADERS)}") from None
+    if n is None:
+        return loader(seed=seed)
+    return loader(n=n, seed=seed)

@@ -1,0 +1,42 @@
+"""Synthetic twin of the UCI Bank Marketing dataset.
+
+Paper's Table 4: 30,488 rows, 20 attributes, sensitive attribute *age*,
+task "predict if marketing works" (term-deposit subscription).
+Calibration targets:
+
+* age binarized into "young" (<25 or >60 in the common fairness extract,
+  ~10% of rows) vs "middle" (~90%);
+* strongly imbalanced positives (~23% young vs ~10% middle subscribe —
+  younger and retired customers respond more often), overall ~11%;
+* the small group and mild gap make the Bank column of Table 5 the one
+  where accuracy drops are near zero for every method — the twin keeps
+  that property.
+"""
+
+from __future__ import annotations
+
+from .synthetic import make_biased_dataset
+
+__all__ = ["load_bank", "BANK_N_ROWS"]
+
+BANK_N_ROWS = 30_488
+
+
+def load_bank(n=5000, seed=0):
+    """Generate the Bank twin with ``n`` rows (paper size: 30,488)."""
+    return make_biased_dataset(
+        name="bank",
+        n=n,
+        group_names=("middle", "young"),
+        group_proportions=(0.90, 0.10),
+        group_base_rates=(0.10, 0.23),
+        n_informative=5,
+        n_group_correlated=2,
+        n_noise=3,
+        n_categorical=2,
+        separation=0.4,
+        group_shift=0.4,
+        sensitive_attribute="age",
+        task="predict if marketing works",
+        seed=seed,
+    )

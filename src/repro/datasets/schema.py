@@ -1,0 +1,105 @@
+"""Dataset container shared by all benchmark dataset generators.
+
+A :class:`Dataset` bundles the model-ready feature matrix, binary labels,
+and the sensitive attribute as integer group codes, together with the
+human-readable names needed by grouping functions and reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Dataset"]
+
+
+@dataclass
+class Dataset:
+    """A tabular binary-classification dataset with a sensitive attribute.
+
+    Attributes
+    ----------
+    name : str
+        Dataset identifier (``"adult"``, ``"compas"``, ...).
+    X : ndarray (n, d)
+        Model-ready (encoded, scaled) feature matrix.
+    y : ndarray (n,)
+        Binary labels in {0, 1}.
+    sensitive : ndarray (n,)
+        Integer group code per row (index into ``group_names``).
+    group_names : tuple of str
+        Names of the demographic groups, e.g. ``("Male", "Female")``.
+    sensitive_attribute : str
+        Name of the sensitive attribute (``"sex"``, ``"race"``, ...).
+    feature_names : tuple of str
+        Column names of ``X``.
+    task : str
+        One-line description of the prediction task.
+    """
+
+    name: str
+    X: np.ndarray
+    y: np.ndarray
+    sensitive: np.ndarray
+    group_names: tuple = ()
+    sensitive_attribute: str = "group"
+    feature_names: tuple = ()
+    task: str = ""
+    extras: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.X = np.asarray(self.X, dtype=np.float64)
+        self.y = np.asarray(self.y, dtype=np.int64)
+        self.sensitive = np.asarray(self.sensitive, dtype=np.int64)
+        n = len(self.X)
+        if len(self.y) != n or len(self.sensitive) != n:
+            raise ValueError("X, y, sensitive must have equal lengths")
+        if self.group_names and self.sensitive.max(initial=0) >= len(self.group_names):
+            raise ValueError("sensitive codes exceed group_names")
+
+    def __len__(self):
+        return len(self.y)
+
+    @property
+    def n_features(self):
+        return self.X.shape[1]
+
+    @property
+    def n_groups(self):
+        return len(self.group_names) if self.group_names \
+            else int(self.sensitive.max()) + 1
+
+    def subset(self, idx):
+        """Return a new Dataset restricted to the rows in ``idx``."""
+        return Dataset(
+            name=self.name,
+            X=self.X[idx],
+            y=self.y[idx],
+            sensitive=self.sensitive[idx],
+            group_names=self.group_names,
+            sensitive_attribute=self.sensitive_attribute,
+            feature_names=self.feature_names,
+            task=self.task,
+            extras=dict(self.extras),
+        )
+
+    def group_mask(self, group):
+        """Boolean mask for a group given by name or integer code."""
+        if isinstance(group, str):
+            try:
+                group = self.group_names.index(group)
+            except ValueError:
+                raise KeyError(
+                    f"unknown group {group!r}; known: {self.group_names}"
+                ) from None
+        return self.sensitive == group
+
+    def base_rates(self):
+        """``P(y=1 | group)`` per group, as a dict keyed by group name."""
+        out = {}
+        for code in range(self.n_groups):
+            mask = self.sensitive == code
+            name = self.group_names[code] if self.group_names else str(code)
+            out[name] = float(self.y[mask].mean()) if mask.any() else float("nan")
+        return out

@@ -1,0 +1,168 @@
+"""Generic generator for biased tabular classification data.
+
+The paper evaluates on four public datasets (Adult, COMPAS, LSAC, Bank)
+that cannot be downloaded in this offline environment.  Each dataset module
+(:mod:`repro.datasets.adult` etc.) is a thin parameterization of
+:func:`make_biased_dataset`, calibrated to the published row counts,
+attribute counts, group proportions, and group base-rate gaps.
+
+The generative model is chosen so that the *phenomenon the paper studies*
+is present:
+
+* the label depends on informative features **and** on the group (different
+  base rates), so an accuracy-maximizing classifier exhibits a statistical
+  parity gap close to the configured one;
+* several features are correlated with the group, so simply dropping the
+  sensitive column does not remove the bias (redlining effect);
+* feature noise keeps accuracy in a realistic range rather than saturating.
+
+Generative process for a row in group ``g`` with configured base rate
+``β_g``:  ``y ~ Bernoulli(β_g)``; informative numerics
+``x_j = y·sep_j + shift_{g,j} + ε``; plus group-correlated and pure-noise
+columns; categoricals are quantized informative columns, one-hot encoded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .schema import Dataset
+
+__all__ = ["make_biased_dataset"]
+
+
+def make_biased_dataset(
+    name,
+    n,
+    group_names,
+    group_proportions,
+    group_base_rates,
+    n_informative=4,
+    n_group_correlated=2,
+    n_noise=2,
+    n_categorical=2,
+    separation=1.0,
+    group_shift=0.6,
+    noise_scale=1.0,
+    sensitive_attribute="group",
+    task="",
+    include_sensitive_feature=True,
+    seed=0,
+):
+    """Generate a synthetic dataset with group-dependent label bias.
+
+    Parameters
+    ----------
+    name : str
+        Dataset name for the :class:`~repro.datasets.schema.Dataset`.
+    n : int
+        Number of rows.
+    group_names : sequence of str
+        Demographic group names; ``len >= 2``.
+    group_proportions : sequence of float
+        Mixing proportions per group (normalized internally).
+    group_base_rates : sequence of float
+        ``P(y=1 | group)`` per group — this is where the bias comes from.
+    n_informative : int
+        Numeric columns whose mean depends on the label.
+    n_group_correlated : int
+        Numeric columns whose mean depends on the *group* (redlining
+        proxies) but not directly on the label.
+    n_noise : int
+        Pure-noise numeric columns.
+    n_categorical : int
+        Categorical columns derived by quantizing informative signals into
+        4 levels, then one-hot encoded (adds ``4 * n_categorical`` columns).
+    separation : float
+        Label signal strength (higher = easier task, higher accuracy).
+    group_shift : float
+        Group signal strength in the correlated columns.
+    noise_scale : float
+        Standard deviation of the additive feature noise.
+    include_sensitive_feature : bool
+        Append the group one-hot itself as features (the benchmark datasets
+        all expose the sensitive column to the model).
+    seed : int
+        RNG seed; generation is fully deterministic given the seed.
+
+    Returns
+    -------
+    Dataset
+    """
+    group_names = tuple(group_names)
+    k = len(group_names)
+    if k < 2:
+        raise ValueError("need at least two groups")
+    props = np.asarray(group_proportions, dtype=np.float64)
+    if len(props) != k or np.any(props <= 0):
+        raise ValueError("group_proportions must be positive, one per group")
+    props = props / props.sum()
+    rates = np.asarray(group_base_rates, dtype=np.float64)
+    if len(rates) != k or np.any((rates <= 0) | (rates >= 1)):
+        raise ValueError("group_base_rates must be in (0, 1), one per group")
+
+    rng = np.random.default_rng(seed)
+    sensitive = rng.choice(k, size=n, p=props)
+    y = (rng.random(n) < rates[sensitive]).astype(np.int64)
+
+    columns = []
+    feature_names = []
+    y_signal = (2.0 * y - 1.0)  # {-1, +1}
+
+    # informative numerics: shifted by label, with per-column strength decay
+    for j in range(n_informative):
+        strength = separation / (1.0 + 0.5 * j)
+        col = y_signal * strength + rng.normal(scale=noise_scale, size=n)
+        columns.append(col)
+        feature_names.append(f"num_info_{j}")
+
+    # group-correlated numerics (redlining proxies): mean depends on group
+    group_centers = np.linspace(-1.0, 1.0, k)
+    for j in range(n_group_correlated):
+        col = group_centers[sensitive] * group_shift \
+            + rng.normal(scale=noise_scale, size=n)
+        columns.append(col)
+        feature_names.append(f"num_proxy_{j}")
+
+    for j in range(n_noise):
+        columns.append(rng.normal(scale=noise_scale, size=n))
+        feature_names.append(f"num_noise_{j}")
+
+    X_num = np.column_stack(columns) if columns else np.empty((n, 0))
+
+    # categoricals: quantized noisy copies of the label signal, one-hot
+    cat_blocks = []
+    for j in range(n_categorical):
+        latent = y_signal * (separation * 0.6) \
+            + rng.normal(scale=noise_scale, size=n)
+        levels = np.digitize(latent, np.quantile(latent, [0.25, 0.5, 0.75]))
+        block = np.zeros((n, 4))
+        block[np.arange(n), levels] = 1.0
+        cat_blocks.append(block)
+        feature_names.extend(f"cat_{j}_lvl{lvl}" for lvl in range(4))
+
+    parts = [X_num] + cat_blocks
+    if include_sensitive_feature:
+        onehot = np.zeros((n, k))
+        onehot[np.arange(n), sensitive] = 1.0
+        parts.append(onehot)
+        feature_names.extend(
+            f"{sensitive_attribute}_{g}" for g in group_names
+        )
+
+    X = np.hstack(parts)
+    return Dataset(
+        name=name,
+        X=X,
+        y=y,
+        sensitive=sensitive,
+        group_names=group_names,
+        sensitive_attribute=sensitive_attribute,
+        feature_names=tuple(feature_names),
+        task=task,
+        extras={
+            "group_proportions": props.tolist(),
+            "group_base_rates": rates.tolist(),
+            "seed": seed,
+        },
+    )

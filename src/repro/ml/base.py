@@ -1,0 +1,166 @@
+"""Base classes for the from-scratch ML substrate.
+
+The paper's OmniFair system is *model-agnostic*: it only requires that the
+training algorithm ``A`` accepts per-example weights (or that weights can be
+simulated by replication).  Every classifier in :mod:`repro.ml` therefore
+follows a small scikit-learn-like protocol:
+
+* ``fit(X, y, sample_weight=None)`` — train, return ``self``;
+* ``predict(X)`` — hard 0/1 labels;
+* ``predict_proba(X)`` — ``(n, 2)`` array of class probabilities;
+* ``get_params()`` / ``set_params(**p)`` / ``clone()`` — hyperparameter
+  introspection so OmniFair can retrain fresh copies for each λ.
+
+All estimators are pure numpy and deterministic given ``random_state``.
+"""
+
+from __future__ import annotations
+
+import copy
+import inspect
+
+import numpy as np
+
+__all__ = [
+    "BaseClassifier",
+    "check_Xy",
+    "check_sample_weight",
+    "clone",
+]
+
+
+def check_Xy(X, y=None):
+    """Validate and convert inputs to float/int numpy arrays.
+
+    Parameters
+    ----------
+    X : array-like of shape (n_samples, n_features)
+    y : array-like of shape (n_samples,), optional
+        Binary labels in {0, 1}.
+
+    Returns
+    -------
+    X : ndarray of float64
+    y : ndarray of int64 or None
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim == 1:
+        X = X.reshape(-1, 1)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-dimensional, got shape {X.shape}")
+    if not np.all(np.isfinite(X)):
+        raise ValueError("X contains NaN or infinite values")
+    if y is None:
+        return X, None
+    y = np.asarray(y)
+    if y.ndim != 1:
+        raise ValueError(f"y must be 1-dimensional, got shape {y.shape}")
+    if len(y) != len(X):
+        raise ValueError(f"X has {len(X)} rows but y has {len(y)}")
+    y = y.astype(np.int64)
+    labels = np.unique(y)
+    if not np.all(np.isin(labels, [0, 1])):
+        raise ValueError(f"y must be binary in {{0,1}}, got labels {labels}")
+    return X, y
+
+
+def check_sample_weight(sample_weight, n_samples):
+    """Validate sample weights; ``None`` becomes uniform ones.
+
+    Weights must be finite and non-negative.  OmniFair's weight derivation
+    can produce negative weights for large λ; the core layer converts those
+    to positive weights on flipped labels *before* calling the estimator
+    (see :mod:`repro.core.weights`), so estimators only ever see
+    non-negative weights.
+    """
+    if sample_weight is None:
+        return np.ones(n_samples, dtype=np.float64)
+    w = np.asarray(sample_weight, dtype=np.float64)
+    if w.shape != (n_samples,):
+        raise ValueError(
+            f"sample_weight has shape {w.shape}, expected ({n_samples},)"
+        )
+    if not np.all(np.isfinite(w)):
+        raise ValueError("sample_weight contains NaN or infinite values")
+    if np.any(w < 0):
+        raise ValueError(
+            "sample_weight must be non-negative; OmniFair converts negative "
+            "weights to flipped labels before training (repro.core.weights)"
+        )
+    if w.sum() <= 0:
+        raise ValueError("sample_weight sums to zero")
+    return w
+
+
+class BaseClassifier:
+    """Common machinery for all estimators in :mod:`repro.ml`.
+
+    Subclasses declare hyperparameters as ``__init__`` keyword arguments and
+    store them verbatim on ``self`` (scikit-learn convention), which makes
+    :meth:`get_params`, :meth:`set_params` and :func:`clone` work generically.
+    """
+
+    def get_params(self):
+        """Return a dict of constructor hyperparameters."""
+        names = [
+            p.name
+            for p in inspect.signature(type(self).__init__).parameters.values()
+            if p.name != "self" and p.kind != p.VAR_KEYWORD
+        ]
+        return {name: getattr(self, name) for name in names}
+
+    def set_params(self, **params):
+        """Update hyperparameters in place; unknown names raise."""
+        valid = self.get_params()
+        for key, value in params.items():
+            if key not in valid:
+                raise ValueError(
+                    f"Unknown parameter {key!r} for {type(self).__name__}; "
+                    f"valid parameters: {sorted(valid)}"
+                )
+            setattr(self, key, value)
+        return self
+
+    def clone(self):
+        """Return an unfitted copy with identical hyperparameters."""
+        return type(self)(**copy.deepcopy(self.get_params()))
+
+    # -- prediction helpers -------------------------------------------------
+
+    def predict(self, X):
+        """Predict hard 0/1 labels (thresholding probabilities at 0.5)."""
+        return (self.predict_proba(X)[:, 1] >= 0.5).astype(np.int64)
+
+    def predict_proba(self, X):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def decision_function(self, X):
+        """Signed score; default is ``P(y=1) - 0.5``."""
+        return self.predict_proba(X)[:, 1] - 0.5
+
+    def score(self, X, y, sample_weight=None):
+        """Weighted accuracy on ``(X, y)``."""
+        X, y = check_Xy(X, y)
+        w = check_sample_weight(sample_weight, len(y))
+        correct = (self.predict(X) == y).astype(np.float64)
+        return float(np.average(correct, weights=w))
+
+    def _check_is_fitted(self):
+        if not getattr(self, "_fitted", False):
+            raise RuntimeError(
+                f"{type(self).__name__} is not fitted; call fit() first"
+            )
+
+    @property
+    def supports_sample_weight(self):
+        """Whether ``fit`` natively consumes ``sample_weight``.
+
+        All built-in estimators do; external black boxes wrapped via
+        :mod:`repro.ml.replication` may not.
+        """
+        return True
+
+
+def clone(estimator):
+    """Module-level clone helper mirroring ``sklearn.base.clone``."""
+    return estimator.clone()

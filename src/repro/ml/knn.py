@@ -1,0 +1,66 @@
+"""Weighted k-nearest-neighbours classifier.
+
+A lazy learner with *no* training procedure at all — the extreme end of
+OmniFair's model-agnostic spectrum.  Example weights enter at vote time:
+each neighbour contributes its ``sample_weight`` to its class's vote.
+Prediction is brute-force (chunked pairwise distances), which is plenty at
+benchmark scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseClassifier, check_Xy, check_sample_weight
+
+__all__ = ["KNearestNeighbors"]
+
+
+class KNearestNeighbors(BaseClassifier):
+    """k-NN with weighted votes.
+
+    Parameters
+    ----------
+    n_neighbors : int
+        Number of neighbours consulted per query point.
+    chunk_size : int
+        Query rows scored per distance-matrix block (memory control).
+    """
+
+    def __init__(self, n_neighbors=15, chunk_size=256):
+        self.n_neighbors = n_neighbors
+        self.chunk_size = chunk_size
+        self._fitted = False
+
+    def fit(self, X, y, sample_weight=None):
+        X, y = check_Xy(X, y)
+        w = check_sample_weight(sample_weight, len(y))
+        keep = w > 0  # zero-weight rows must not vote
+        self._X = X[keep]
+        self._y = y[keep]
+        self._w = w[keep]
+        if len(self._y) == 0:
+            raise ValueError("all sample weights are zero")
+        self._fitted = True
+        return self
+
+    def predict_proba(self, X):
+        self._check_is_fitted()
+        X, _ = check_Xy(X)
+        k = min(self.n_neighbors, len(self._y))
+        p1 = np.empty(len(X))
+        for start in range(0, len(X), self.chunk_size):
+            block = X[start : start + self.chunk_size]
+            # squared euclidean distances, (b, n_train)
+            d2 = (
+                np.sum(block**2, axis=1, keepdims=True)
+                - 2.0 * block @ self._X.T
+                + np.sum(self._X**2, axis=1)
+            )
+            nearest = np.argpartition(d2, k - 1, axis=1)[:, :k]
+            votes_w = self._w[nearest]
+            votes_y = self._y[nearest]
+            total = votes_w.sum(axis=1)
+            pos = (votes_w * votes_y).sum(axis=1)
+            p1[start : start + len(block)] = pos / np.maximum(total, 1e-300)
+        return np.column_stack([1.0 - p1, p1])

@@ -1,0 +1,149 @@
+"""Classification metrics (accuracy, ROC AUC, confusion counts).
+
+Pure-numpy replacements for the scikit-learn metrics the paper's evaluation
+relies on, plus the group-conditional rates (selection rate, FPR, FNR, FOR,
+FDR, misclassification rate) that the fairness metrics in
+:mod:`repro.core.fairness_metrics` are checked against in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "accuracy_score",
+    "error_rate",
+    "roc_auc_score",
+    "confusion_counts",
+    "selection_rate",
+    "true_positive_rate",
+    "false_positive_rate",
+    "false_negative_rate",
+    "false_omission_rate",
+    "false_discovery_rate",
+    "misclassification_rate",
+    "average_error_cost",
+]
+
+
+def _as_arrays(y_true, y_pred):
+    y_true = np.asarray(y_true, dtype=np.int64)
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ValueError("empty inputs")
+    return y_true, y_pred
+
+
+def accuracy_score(y_true, y_pred, sample_weight=None):
+    """Fraction (or weighted fraction) of correct predictions."""
+    y_true, y_pred = _as_arrays(y_true, y_pred)
+    correct = (y_true == y_pred).astype(np.float64)
+    if sample_weight is None:
+        return float(correct.mean())
+    w = np.asarray(sample_weight, dtype=np.float64)
+    return float(np.average(correct, weights=w))
+
+
+def error_rate(y_true, y_pred, sample_weight=None):
+    """``1 - accuracy``."""
+    return 1.0 - accuracy_score(y_true, y_pred, sample_weight)
+
+
+def roc_auc_score(y_true, y_score):
+    """Area under the ROC curve via the rank statistic (ties averaged).
+
+    Equivalent to the Mann-Whitney U formulation used by scikit-learn.
+    """
+    y_true = np.asarray(y_true, dtype=np.int64)
+    y_score = np.asarray(y_score, dtype=np.float64)
+    if y_true.shape != y_score.shape:
+        raise ValueError("y_true and y_score must have the same shape")
+    n_pos = int(y_true.sum())
+    n_neg = len(y_true) - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("ROC AUC is undefined with a single class present")
+    order = np.argsort(y_score, kind="mergesort")
+    ranks = np.empty(len(y_score), dtype=np.float64)
+    ranks[order] = np.arange(1, len(y_score) + 1)
+    # average ranks over tied scores
+    sorted_scores = y_score[order]
+    i = 0
+    while i < len(sorted_scores):
+        j = i
+        while j + 1 < len(sorted_scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        if j > i:
+            ranks[order[i : j + 1]] = (i + 1 + j + 1) / 2.0
+        i = j + 1
+    rank_sum_pos = ranks[y_true == 1].sum()
+    u = rank_sum_pos - n_pos * (n_pos + 1) / 2.0
+    return float(u / (n_pos * n_neg))
+
+
+def confusion_counts(y_true, y_pred):
+    """Return ``(tn, fp, fn, tp)`` counts."""
+    y_true, y_pred = _as_arrays(y_true, y_pred)
+    tp = int(np.sum((y_true == 1) & (y_pred == 1)))
+    tn = int(np.sum((y_true == 0) & (y_pred == 0)))
+    fp = int(np.sum((y_true == 0) & (y_pred == 1)))
+    fn = int(np.sum((y_true == 1) & (y_pred == 0)))
+    return tn, fp, fn, tp
+
+
+def _safe_div(num, den):
+    return float(num) / float(den) if den else 0.0
+
+
+def selection_rate(y_true, y_pred):
+    """``P(h(x)=1)`` — the quantity statistical parity compares."""
+    _, y_pred = _as_arrays(y_true, y_pred)
+    return float(np.mean(y_pred == 1))
+
+
+def true_positive_rate(y_true, y_pred):
+    """``P(h(x)=1 | y=1)``."""
+    tn, fp, fn, tp = confusion_counts(y_true, y_pred)
+    return _safe_div(tp, tp + fn)
+
+
+def false_positive_rate(y_true, y_pred):
+    """``P(h(x)=1 | y=0)``."""
+    tn, fp, fn, tp = confusion_counts(y_true, y_pred)
+    return _safe_div(fp, fp + tn)
+
+
+def false_negative_rate(y_true, y_pred):
+    """``P(h(x)=0 | y=1)``."""
+    tn, fp, fn, tp = confusion_counts(y_true, y_pred)
+    return _safe_div(fn, fn + tp)
+
+
+def false_omission_rate(y_true, y_pred):
+    """``P(y=1 | h(x)=0)``."""
+    tn, fp, fn, tp = confusion_counts(y_true, y_pred)
+    return _safe_div(fn, fn + tn)
+
+
+def false_discovery_rate(y_true, y_pred):
+    """``P(y=0 | h(x)=1)``."""
+    tn, fp, fn, tp = confusion_counts(y_true, y_pred)
+    return _safe_div(fp, fp + tp)
+
+
+def misclassification_rate(y_true, y_pred):
+    """``P(h(x) != y)``."""
+    return error_rate(y_true, y_pred)
+
+
+def average_error_cost(y_true, y_pred, cost_fp=1.0, cost_fn=1.0):
+    """Average per-example cost of errors (Example 4 / Appendix A).
+
+    ``(cost_fp * #FP + cost_fn * #FN) / n``.
+    """
+    y_true, y_pred = _as_arrays(y_true, y_pred)
+    tn, fp, fn, tp = confusion_counts(y_true, y_pred)
+    return (cost_fp * fp + cost_fn * fn) / len(y_true)

@@ -1,0 +1,81 @@
+"""Data splitting utilities.
+
+The paper's protocol (§7.1): each dataset is randomly split 60/20/20 into
+train/validation/test; hyperparameters (including fairness λ) are tuned on
+the validation split; all reported numbers are test-set averages over 10
+random splits.  :func:`train_val_test_split` and :func:`multi_split` encode
+exactly that protocol.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["train_test_split", "train_val_test_split", "multi_split"]
+
+
+def _permutation(n, seed, stratify=None):
+    rng = np.random.default_rng(seed)
+    if stratify is None:
+        return rng.permutation(n)
+    # interleave a shuffled permutation of each stratum so any prefix is
+    # approximately stratified
+    stratify = np.asarray(stratify)
+    order = np.empty(n, dtype=np.int64)
+    slots = rng.permutation(n)
+    cursor = 0
+    for value in np.unique(stratify):
+        idx = np.nonzero(stratify == value)[0]
+        idx = rng.permutation(idx)
+        order[np.sort(slots[cursor : cursor + len(idx)])] = idx
+        cursor += len(idx)
+    return order
+
+
+def train_test_split(*arrays, test_size=0.2, seed=0, stratify=None):
+    """Split arrays into train/test along axis 0.
+
+    Returns ``train_a1, test_a1, train_a2, test_a2, ...``.
+    """
+    if not arrays:
+        raise ValueError("at least one array required")
+    n = len(arrays[0])
+    for a in arrays:
+        if len(a) != n:
+            raise ValueError("all arrays must have the same length")
+    order = _permutation(n, seed, stratify)
+    n_test = int(round(n * test_size))
+    test_idx, train_idx = order[:n_test], order[n_test:]
+    out = []
+    for a in arrays:
+        a = np.asarray(a)
+        out.extend([a[train_idx], a[test_idx]])
+    return tuple(out)
+
+
+def train_val_test_split(n, train=0.6, val=0.2, seed=0, stratify=None):
+    """Return index arrays (train_idx, val_idx, test_idx).
+
+    Sizes follow the paper's 60/20/20 default; the remainder after
+    ``train`` and ``val`` becomes the test split.
+    """
+    if train <= 0 or val < 0 or train + val >= 1.0:
+        raise ValueError(f"invalid fractions train={train}, val={val}")
+    order = _permutation(n, seed, stratify)
+    n_train = int(round(n * train))
+    n_val = int(round(n * val))
+    train_idx = order[:n_train]
+    val_idx = order[n_train : n_train + n_val]
+    test_idx = order[n_train + n_val :]
+    return train_idx, val_idx, test_idx
+
+
+def multi_split(n, n_splits=10, train=0.6, val=0.2, seed=0, stratify=None):
+    """Yield ``n_splits`` independent (train, val, test) index triples.
+
+    Encodes the paper's "average over 10 random splits" protocol.
+    """
+    for k in range(n_splits):
+        yield train_val_test_split(
+            n, train=train, val=val, seed=seed + 1000 * k, stratify=stratify
+        )

@@ -1,0 +1,77 @@
+"""Weighted Gaussian Naive Bayes.
+
+A third *training paradigm* (generative, no loss function, no trees) for
+exercising OmniFair's model-agnostic claim: per-class feature means and
+variances are weighted moments, so ``sample_weight`` integrates exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseClassifier, check_Xy, check_sample_weight
+
+__all__ = ["GaussianNaiveBayes"]
+
+
+class GaussianNaiveBayes(BaseClassifier):
+    """Gaussian NB with weighted class priors and feature moments.
+
+    Parameters
+    ----------
+    var_smoothing : float
+        Portion of the largest feature variance added to all variances for
+        numerical stability (scikit-learn's convention).
+    """
+
+    def __init__(self, var_smoothing=1e-9):
+        self.var_smoothing = var_smoothing
+        self._fitted = False
+
+    def fit(self, X, y, sample_weight=None):
+        X, y = check_Xy(X, y)
+        w = check_sample_weight(sample_weight, len(y))
+        if w.sum() <= 0:
+            raise ValueError("sample weights sum to zero")
+        self.classes_ = np.array([0, 1])
+        n_features = X.shape[1]
+        self.theta_ = np.zeros((2, n_features))
+        self.var_ = np.zeros((2, n_features))
+        self.class_prior_ = np.zeros(2)
+        for k in (0, 1):
+            mask = y == k
+            wk = w[mask]
+            if wk.sum() <= 0:
+                # absent class: keep a vanishing prior, neutral moments
+                self.class_prior_[k] = 1e-12
+                self.theta_[k] = 0.0
+                self.var_[k] = 1.0
+                continue
+            self.class_prior_[k] = wk.sum() / w.sum()
+            mean = np.average(X[mask], axis=0, weights=wk)
+            var = np.average((X[mask] - mean) ** 2, axis=0, weights=wk)
+            self.theta_[k] = mean
+            self.var_[k] = var
+        eps = self.var_smoothing * max(float(self.var_.max()), 1e-12)
+        self.var_ = self.var_ + eps
+        self._fitted = True
+        return self
+
+    def _joint_log_likelihood(self, X):
+        X, _ = check_Xy(X)
+        jll = np.zeros((len(X), 2))
+        for k in (0, 1):
+            log_prior = np.log(max(self.class_prior_[k], 1e-300))
+            log_det = -0.5 * np.sum(np.log(2.0 * np.pi * self.var_[k]))
+            quad = -0.5 * np.sum(
+                (X - self.theta_[k]) ** 2 / self.var_[k], axis=1
+            )
+            jll[:, k] = log_prior + log_det + quad
+        return jll
+
+    def predict_proba(self, X):
+        self._check_is_fitted()
+        jll = self._joint_log_likelihood(X)
+        jll -= jll.max(axis=1, keepdims=True)
+        probs = np.exp(jll)
+        return probs / probs.sum(axis=1, keepdims=True)

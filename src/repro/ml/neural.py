@@ -1,0 +1,117 @@
+"""One-hidden-layer neural network (MLP) with weighted cross-entropy.
+
+Stands in for the paper's "NN" column.  Trained with full-batch gradient
+descent plus momentum; ``sample_weight`` scales each example's contribution
+to the loss, and ``warm_start`` reuses the previous weights (the same
+optimization Table 6 measures for LR applies to NN per the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseClassifier, check_Xy, check_sample_weight
+from .logistic import sigmoid
+
+__all__ = ["NeuralNetwork"]
+
+
+def _relu(z):
+    return np.maximum(z, 0.0)
+
+
+class NeuralNetwork(BaseClassifier):
+    """MLP with one ReLU hidden layer and a sigmoid output.
+
+    Parameters
+    ----------
+    hidden_units : int
+        Width of the hidden layer.
+    learning_rate : float
+        Gradient-descent step size.
+    momentum : float
+        Classical momentum coefficient.
+    max_iter : int
+        Full-batch iterations.
+    l2 : float
+        L2 penalty on all weight matrices.
+    warm_start : bool
+        Reuse previous parameters on refit.
+    random_state : int
+        Seed for He initialization.
+    """
+
+    def __init__(
+        self,
+        hidden_units=16,
+        learning_rate=0.1,
+        momentum=0.9,
+        max_iter=300,
+        l2=1e-4,
+        warm_start=False,
+        random_state=0,
+    ):
+        self.hidden_units = hidden_units
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self.max_iter = max_iter
+        self.l2 = l2
+        self.warm_start = warm_start
+        self.random_state = random_state
+        self._params = None
+        self._fitted = False
+
+    def _init_params(self, n_features):
+        rng = np.random.default_rng(self.random_state)
+        scale1 = np.sqrt(2.0 / n_features)
+        scale2 = np.sqrt(2.0 / self.hidden_units)
+        return {
+            "W1": rng.normal(scale=scale1, size=(n_features, self.hidden_units)),
+            "b1": np.zeros(self.hidden_units),
+            "W2": rng.normal(scale=scale2, size=self.hidden_units),
+            "b2": 0.0,
+        }
+
+    def _forward(self, X, params):
+        z1 = X @ params["W1"] + params["b1"]
+        a1 = _relu(z1)
+        z2 = a1 @ params["W2"] + params["b2"]
+        return z1, a1, sigmoid(z2)
+
+    def fit(self, X, y, sample_weight=None):
+        X, y = check_Xy(X, y)
+        w = check_sample_weight(sample_weight, len(y))
+        w_norm = w / w.sum()
+        n_features = X.shape[1]
+        reuse = (
+            self.warm_start
+            and self._params is not None
+            and self._params["W1"].shape == (n_features, self.hidden_units)
+        )
+        params = self._params if reuse else self._init_params(n_features)
+        velocity = {k: np.zeros_like(np.asarray(v, dtype=float))
+                    for k, v in params.items()}
+        yf = y.astype(np.float64)
+        for _ in range(self.max_iter):
+            z1, a1, p = self._forward(X, params)
+            delta2 = w_norm * (p - yf)  # dL/dz2 per example
+            grad_W2 = a1.T @ delta2 + self.l2 * params["W2"]
+            grad_b2 = delta2.sum()
+            delta1 = np.outer(delta2, params["W2"]) * (z1 > 0)
+            grad_W1 = X.T @ delta1 + self.l2 * params["W1"]
+            grad_b1 = delta1.sum(axis=0)
+            grads = {"W1": grad_W1, "b1": grad_b1, "W2": grad_W2, "b2": grad_b2}
+            for key in params:
+                velocity[key] = (
+                    self.momentum * velocity[key] - self.learning_rate * grads[key]
+                )
+                params[key] = params[key] + velocity[key]
+        self._params = params
+        self._fitted = True
+        return self
+
+    def predict_proba(self, X):
+        self._check_is_fitted()
+        X, _ = check_Xy(X)
+        _, _, p1 = self._forward(X, self._params)
+        return np.column_stack([1.0 - p1, p1])

@@ -1,0 +1,60 @@
+"""Model persistence: save and load fitted estimators.
+
+A downstream user who tunes a fair model wants to ship it.  Estimators are
+plain-Python objects with numpy state, so pickle is sufficient; these
+helpers add a versioned envelope and a round-trip check so an incompatible
+library version fails loudly instead of mis-predicting.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+__all__ = ["save_model", "load_model", "ModelFormatError"]
+
+_MAGIC = "repro-model"
+_FORMAT_VERSION = 1
+
+
+class ModelFormatError(Exception):
+    """The file is not a repro model envelope (or an incompatible one)."""
+
+
+def save_model(model, path):
+    """Serialize a fitted estimator (or an OmniFair trainer) to ``path``."""
+    # import here: repro/__init__ imports repro.ml, so a top-level import
+    # of the package version would be circular
+    from .. import __version__
+
+    envelope = {
+        "magic": _MAGIC,
+        "format_version": _FORMAT_VERSION,
+        "library_version": __version__,
+        "class": type(model).__name__,
+        "model": model,
+    }
+    with open(path, "wb") as fh:
+        pickle.dump(envelope, fh)
+
+
+def load_model(path):
+    """Load a model saved by :func:`save_model`.
+
+    Raises
+    ------
+    ModelFormatError
+        If the file lacks the envelope or uses a newer format version.
+    """
+    with open(path, "rb") as fh:
+        try:
+            envelope = pickle.load(fh)
+        except Exception as exc:
+            raise ModelFormatError(f"not a repro model file: {exc}") from exc
+    if not isinstance(envelope, dict) or envelope.get("magic") != _MAGIC:
+        raise ModelFormatError("not a repro model file (bad envelope)")
+    if envelope["format_version"] > _FORMAT_VERSION:
+        raise ModelFormatError(
+            f"model format v{envelope['format_version']} is newer than this "
+            f"library supports (v{_FORMAT_VERSION})"
+        )
+    return envelope["model"]

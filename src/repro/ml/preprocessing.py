@@ -1,0 +1,106 @@
+"""Feature preprocessing: scaling and one-hot encoding.
+
+Minimal replacements for the scikit-learn transformers the paper's
+experimental pipeline relies on to turn the tabular benchmark datasets
+(mixed numeric/categorical) into model-ready matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["StandardScaler", "OneHotEncoder", "TabularEncoder"]
+
+
+class StandardScaler:
+    """Standardize numeric columns to zero mean, unit variance."""
+
+    def fit(self, X):
+        X = np.asarray(X, dtype=np.float64)
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        self.scale_ = np.where(std > 0, std, 1.0)
+        return self
+
+    def transform(self, X):
+        X = np.asarray(X, dtype=np.float64)
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X):
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X):
+        return np.asarray(X, dtype=np.float64) * self.scale_ + self.mean_
+
+
+class OneHotEncoder:
+    """One-hot encode integer-coded categorical columns.
+
+    Unknown categories at transform time map to the all-zeros row
+    (``handle_unknown='ignore'`` semantics).
+    """
+
+    def fit(self, X):
+        X = np.asarray(X)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        self.categories_ = [np.unique(X[:, j]) for j in range(X.shape[1])]
+        return self
+
+    def transform(self, X):
+        X = np.asarray(X)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        if X.shape[1] != len(self.categories_):
+            raise ValueError(
+                f"expected {len(self.categories_)} columns, got {X.shape[1]}"
+            )
+        blocks = []
+        for j, cats in enumerate(self.categories_):
+            block = (X[:, j].reshape(-1, 1) == cats.reshape(1, -1))
+            blocks.append(block.astype(np.float64))
+        return np.hstack(blocks)
+
+    def fit_transform(self, X):
+        return self.fit(X).transform(X)
+
+    @property
+    def n_output_features_(self):
+        return int(sum(len(c) for c in self.categories_))
+
+
+class TabularEncoder:
+    """Scale numeric columns and one-hot encode categorical ones.
+
+    A tiny ColumnTransformer: given the index lists of numeric and
+    categorical columns of a raw feature matrix, produces the concatenated
+    model-ready matrix ``[scaled numerics | one-hot categoricals]``.
+    """
+
+    def __init__(self, numeric_columns, categorical_columns):
+        self.numeric_columns = list(numeric_columns)
+        self.categorical_columns = list(categorical_columns)
+        self._scaler = StandardScaler()
+        self._encoder = OneHotEncoder()
+
+    def fit(self, X):
+        X = np.asarray(X, dtype=np.float64)
+        if self.numeric_columns:
+            self._scaler.fit(X[:, self.numeric_columns])
+        if self.categorical_columns:
+            self._encoder.fit(X[:, self.categorical_columns])
+        return self
+
+    def transform(self, X):
+        X = np.asarray(X, dtype=np.float64)
+        parts = []
+        if self.numeric_columns:
+            parts.append(self._scaler.transform(X[:, self.numeric_columns]))
+        if self.categorical_columns:
+            parts.append(self._encoder.transform(X[:, self.categorical_columns]))
+        if not parts:
+            raise ValueError("no columns configured")
+        return np.hstack(parts)
+
+    def fit_transform(self, X):
+        return self.fit(X).transform(X)

@@ -1,0 +1,113 @@
+"""Simulating example weights by replication.
+
+§1 of the paper: "Even when some ML algorithm implementations do not have
+the optional [sample_weight] parameter, we can simulate weighting by
+replicating training examples — for example, a training dataset with two
+examples with weights 0.4 and 0.6 can be simulated by replicating the first
+example two times and the second example three times."
+
+:func:`replicate_by_weight` converts ``(X, y, w)`` into an unweighted
+replicated dataset; :class:`ReplicationWrapper` makes any weight-less
+classifier usable inside OmniFair by applying the conversion inside ``fit``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .base import BaseClassifier, check_Xy, check_sample_weight
+
+__all__ = ["replicate_by_weight", "ReplicationWrapper"]
+
+
+def replicate_by_weight(X, y, sample_weight, resolution=100, max_rows=2_000_000):
+    """Replicate rows so that copy counts are proportional to weights.
+
+    Weights are scaled so the *smallest nonzero* weight maps to at least
+    one copy, then rounded at ``1/resolution`` granularity.  Zero-weight
+    rows are dropped entirely.
+
+    Parameters
+    ----------
+    X, y : arrays
+        Training data.
+    sample_weight : array
+        Non-negative per-example weights.
+    resolution : int
+        Rounding granularity: replication counts approximate
+        ``w_i / min_positive_weight`` to within ``1/resolution``.
+    max_rows : int
+        Safety cap on the replicated dataset size.
+
+    Returns
+    -------
+    X_rep, y_rep : replicated arrays.
+    """
+    X, y = check_Xy(X, y)
+    w = check_sample_weight(sample_weight, len(y))
+    positive = w > 0
+    if not np.any(positive):
+        raise ValueError("all weights are zero")
+    w_min = w[positive].min()
+    ratios = w / w_min
+    counts = np.round(ratios * resolution).astype(np.int64)
+    g = math.gcd(*np.unique(counts[counts > 0]).tolist()) if np.any(counts > 0) else 1
+    counts //= max(g, 1)
+    total = int(counts.sum())
+    if total > max_rows:
+        # degrade the resolution until we fit under the cap
+        scale = max_rows / total
+        counts = np.maximum((counts * scale).astype(np.int64), positive.astype(np.int64))
+        total = int(counts.sum())
+    idx = np.repeat(np.arange(len(y)), counts)
+    return X[idx], y[idx]
+
+
+class ReplicationWrapper(BaseClassifier):
+    """Adapt a weight-less classifier to the ``sample_weight`` protocol.
+
+    ``fit(X, y, sample_weight)`` replicates the training rows per
+    :func:`replicate_by_weight` and calls the inner estimator's unweighted
+    ``fit``.  Prediction methods delegate directly.
+    """
+
+    def __init__(self, estimator=None, resolution=20, max_rows=500_000):
+        self.estimator = estimator
+        self.resolution = resolution
+        self.max_rows = max_rows
+        self._fitted = False
+
+    def clone(self):
+        return ReplicationWrapper(
+            estimator=self.estimator.clone(),
+            resolution=self.resolution,
+            max_rows=self.max_rows,
+        )
+
+    def fit(self, X, y, sample_weight=None):
+        if self.estimator is None:
+            raise ValueError("ReplicationWrapper requires an inner estimator")
+        if sample_weight is None:
+            self.estimator.fit(X, y)
+        else:
+            X_rep, y_rep = replicate_by_weight(
+                X, y, sample_weight,
+                resolution=self.resolution, max_rows=self.max_rows,
+            )
+            self.estimator.fit(X_rep, y_rep)
+        self._fitted = True
+        return self
+
+    def predict(self, X):
+        self._check_is_fitted()
+        return self.estimator.predict(X)
+
+    def predict_proba(self, X):
+        self._check_is_fitted()
+        return self.estimator.predict_proba(X)
+
+    @property
+    def supports_sample_weight(self):
+        return True

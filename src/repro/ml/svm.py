@@ -1,0 +1,88 @@
+"""Weighted linear SVM via hinge-loss subgradient descent.
+
+Included because Zafar et al. (one of the in-processing baselines) is
+restricted to decision-boundary classifiers (logistic regression and SVMs);
+having a second boundary-based model lets tests and benchmarks exercise that
+restriction.  Probabilities are produced by Platt-style logistic scaling of
+the margin, which is enough for threshold-based post-processing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseClassifier, check_Xy, check_sample_weight
+from .logistic import sigmoid
+
+__all__ = ["LinearSVM"]
+
+
+class LinearSVM(BaseClassifier):
+    """L2-regularized linear SVM (primal, subgradient descent).
+
+    Parameters
+    ----------
+    C : float
+        Inverse regularization strength (larger = less regularization).
+    learning_rate : float
+        Initial step size; decayed as ``lr / (1 + t * decay)``.
+    max_iter : int
+        Full-batch subgradient steps.
+    random_state : int
+        Seed for initialization.
+    """
+
+    def __init__(self, C=1.0, learning_rate=0.1, max_iter=500, random_state=0):
+        self.C = C
+        self.learning_rate = learning_rate
+        self.max_iter = max_iter
+        self.random_state = random_state
+        self.coef_ = None
+        self.intercept_ = 0.0
+        self._fitted = False
+
+    def fit(self, X, y, sample_weight=None):
+        """Minimize ``0.5||w||^2 + C * Σ_i s_i hinge(y_i, f(x_i))``."""
+        X, y = check_Xy(X, y)
+        w = check_sample_weight(sample_weight, len(y))
+        w = w / w.mean()  # keep the C scale comparable across weightings
+        y_pm = 2.0 * y - 1.0  # {-1, +1}
+        rng = np.random.default_rng(self.random_state)
+        coef = rng.normal(scale=1e-3, size=X.shape[1])
+        intercept = 0.0
+        n = len(y)
+
+        best_coef, best_int, best_obj = coef.copy(), intercept, np.inf
+        for t in range(self.max_iter):
+            margin = y_pm * (X @ coef + intercept)
+            violating = margin < 1.0
+            # subgradient of 0.5||w||^2 + (C/n) Σ s_i max(0, 1 - m_i)
+            grad_coef = coef.copy()
+            grad_int = 0.0
+            if np.any(violating):
+                wv = w[violating] * y_pm[violating]
+                grad_coef -= (self.C / n) * (X[violating].T @ wv)
+                grad_int -= (self.C / n) * wv.sum()
+            lr = self.learning_rate / (1.0 + 0.01 * t)
+            coef -= lr * grad_coef
+            intercept -= lr * grad_int
+            hinge = np.maximum(0.0, 1.0 - y_pm * (X @ coef + intercept))
+            obj = 0.5 * np.dot(coef, coef) + (self.C / n) * np.dot(w, hinge)
+            if obj < best_obj:
+                best_obj, best_coef, best_int = obj, coef.copy(), intercept
+        self.coef_ = best_coef
+        self.intercept_ = float(best_int)
+        self._fitted = True
+        return self
+
+    def decision_function(self, X):
+        self._check_is_fitted()
+        X, _ = check_Xy(X)
+        return X @ self.coef_ + self.intercept_
+
+    def predict(self, X):
+        return (self.decision_function(X) >= 0.0).astype(np.int64)
+
+    def predict_proba(self, X):
+        p1 = sigmoid(self.decision_function(X))
+        return np.column_stack([1.0 - p1, p1])

@@ -1,0 +1,220 @@
+"""Weighted CART decision tree for binary classification.
+
+The paper uses random forests and XGBoost as examples of ML algorithms with
+no explicit loss function; both are built on this tree.  Splits minimize
+weighted Gini impurity; ``sample_weight`` flows through naturally, which is
+what makes the tree usable inside OmniFair unchanged.
+
+The implementation is recursive but vectorized per node: candidate
+thresholds for each feature are evaluated with cumulative sums over the
+sorted column, so a node with ``m`` rows and ``d`` features costs
+``O(d * m log m)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseClassifier, check_Xy, check_sample_weight
+
+__all__ = ["DecisionTree"]
+
+_LEAF = -1
+
+
+class _TreeBuilder:
+    """Grows the flat-array tree representation used for fast prediction."""
+
+    def __init__(self, max_depth, min_samples_split, min_samples_leaf,
+                 max_features, rng):
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.rng = rng
+        self.feature = []
+        self.threshold = []
+        self.left = []
+        self.right = []
+        self.value = []  # weighted P(y=1) at the node
+
+    def _new_node(self):
+        self.feature.append(_LEAF)
+        self.threshold.append(0.0)
+        self.left.append(_LEAF)
+        self.right.append(_LEAF)
+        self.value.append(0.0)
+        return len(self.feature) - 1
+
+    def build(self, X, y, w, depth=0):
+        node = self._new_node()
+        w_sum = w.sum()
+        p1 = float(np.dot(w, y) / w_sum) if w_sum > 0 else 0.0
+        self.value[node] = p1
+        if (
+            depth >= self.max_depth
+            or len(y) < self.min_samples_split
+            or p1 <= 0.0
+            or p1 >= 1.0
+        ):
+            return node
+        split = self._best_split(X, y, w)
+        if split is None:
+            return node
+        feat, thresh = split
+        mask = X[:, feat] <= thresh
+        left = self.build(X[mask], y[mask], w[mask], depth + 1)
+        right = self.build(X[~mask], y[~mask], w[~mask], depth + 1)
+        self.feature[node] = feat
+        self.threshold[node] = thresh
+        self.left[node] = left
+        self.right[node] = right
+        return node
+
+    def _best_split(self, X, y, w):
+        n_features = X.shape[1]
+        if self.max_features is None or self.max_features >= n_features:
+            candidates = np.arange(n_features)
+        else:
+            candidates = self.rng.choice(
+                n_features, size=self.max_features, replace=False
+            )
+        w_total = w.sum()
+        wy_total = np.dot(w, y)
+        parent_gini = self._gini(wy_total, w_total)
+        best = None
+        best_gain = 1e-12
+        for feat in candidates:
+            col = X[:, feat]
+            order = np.argsort(col, kind="mergesort")
+            cs = col[order]
+            ws = w[order]
+            wys = ws * y[order]
+            cum_w = np.cumsum(ws)
+            cum_wy = np.cumsum(wys)
+            # valid split positions: between distinct values, honoring
+            # min_samples_leaf on both sides
+            distinct = cs[:-1] < cs[1:]
+            pos = np.nonzero(distinct)[0]
+            if len(pos) == 0:
+                continue
+            k = self.min_samples_leaf
+            pos = pos[(pos + 1 >= k) & (len(cs) - (pos + 1) >= k)]
+            if len(pos) == 0:
+                continue
+            wl = cum_w[pos]
+            wyl = cum_wy[pos]
+            wr = w_total - wl
+            wyr = wy_total - wyl
+            child = (
+                wl * self._gini_vec(wyl, wl) + wr * self._gini_vec(wyr, wr)
+            ) / w_total
+            gain = parent_gini - child
+            idx = int(np.argmax(gain))
+            if gain[idx] > best_gain:
+                best_gain = float(gain[idx])
+                thresh = 0.5 * (cs[pos[idx]] + cs[pos[idx] + 1])
+                best = (int(feat), float(thresh))
+        return best
+
+    @staticmethod
+    def _gini(wy, w_total):
+        if w_total <= 0:
+            return 0.0
+        p = wy / w_total
+        return 2.0 * p * (1.0 - p)
+
+    @staticmethod
+    def _gini_vec(wy, w_total):
+        with np.errstate(divide="ignore", invalid="ignore"):
+            p = np.where(w_total > 0, wy / np.maximum(w_total, 1e-300), 0.0)
+        return 2.0 * p * (1.0 - p)
+
+
+class DecisionTree(BaseClassifier):
+    """CART binary classifier with weighted Gini splits.
+
+    Parameters
+    ----------
+    max_depth : int
+        Maximum tree depth (root has depth 0).
+    min_samples_split : int
+        Minimum rows at a node to consider splitting it.
+    min_samples_leaf : int
+        Minimum rows on each side of any split.
+    max_features : int or None
+        Features sampled per split (``None`` = all) — the random-forest hook.
+    random_state : int
+        Seed for feature subsampling.
+    """
+
+    def __init__(
+        self,
+        max_depth=8,
+        min_samples_split=2,
+        min_samples_leaf=1,
+        max_features=None,
+        random_state=0,
+    ):
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+        self._fitted = False
+
+    def fit(self, X, y, sample_weight=None):
+        X, y = check_Xy(X, y)
+        w = check_sample_weight(sample_weight, len(y))
+        # drop zero-weight rows: they must not influence splits
+        keep = w > 0
+        if not np.all(keep):
+            X, y, w = X[keep], y[keep], w[keep]
+        if len(y) == 0:
+            raise ValueError("all sample weights are zero")
+        rng = np.random.default_rng(self.random_state)
+        builder = _TreeBuilder(
+            self.max_depth,
+            self.min_samples_split,
+            self.min_samples_leaf,
+            self.max_features,
+            rng,
+        )
+        builder.build(X, y, w)
+        self.feature_ = np.asarray(builder.feature, dtype=np.int64)
+        self.threshold_ = np.asarray(builder.threshold, dtype=np.float64)
+        self.left_ = np.asarray(builder.left, dtype=np.int64)
+        self.right_ = np.asarray(builder.right, dtype=np.int64)
+        self.value_ = np.asarray(builder.value, dtype=np.float64)
+        self.n_nodes_ = len(self.feature_)
+        self._fitted = True
+        return self
+
+    def _apply(self, X):
+        """Return the leaf index for every row (iterative descent)."""
+        nodes = np.zeros(len(X), dtype=np.int64)
+        active = self.feature_[nodes] != _LEAF
+        while np.any(active):
+            idx = np.nonzero(active)[0]
+            cur = nodes[idx]
+            go_left = X[idx, self.feature_[cur]] <= self.threshold_[cur]
+            nodes[idx] = np.where(go_left, self.left_[cur], self.right_[cur])
+            active = self.feature_[nodes] != _LEAF
+        return nodes
+
+    def predict_proba(self, X):
+        self._check_is_fitted()
+        X, _ = check_Xy(X)
+        p1 = self.value_[self._apply(X)]
+        return np.column_stack([1.0 - p1, p1])
+
+    @property
+    def depth_(self):
+        """Actual depth of the fitted tree."""
+        self._check_is_fitted()
+        depth = np.zeros(self.n_nodes_, dtype=np.int64)
+        for node in range(self.n_nodes_):
+            if self.feature_[node] != _LEAF:
+                depth[self.left_[node]] = depth[node] + 1
+                depth[self.right_[node]] = depth[node] + 1
+        return int(depth.max()) if self.n_nodes_ else 0

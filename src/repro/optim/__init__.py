@@ -1,0 +1,5 @@
+"""Standalone optimizers used by baseline methods."""
+
+from .cmaes import CMAESResult, cmaes_minimize
+
+__all__ = ["cmaes_minimize", "CMAESResult"]

@@ -1,0 +1,137 @@
+"""(μ/μ_w, λ)-CMA-ES — covariance matrix adaptation evolution strategy.
+
+From-scratch implementation of the optimizer Thomas et al. (2019) use for
+their Seldonian classifiers.  Standard Hansen formulation: rank-μ weighted
+recombination, cumulative step-size adaptation, rank-one + rank-μ
+covariance updates.
+
+Usage::
+
+    result = cmaes_minimize(f, x0, sigma0=0.5, max_evals=2000, seed=0)
+    result.x, result.fun
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["cmaes_minimize", "CMAESResult"]
+
+
+@dataclass
+class CMAESResult:
+    """Best point found, its objective value, and evaluation count."""
+
+    x: np.ndarray
+    fun: float
+    n_evals: int
+    converged: bool
+
+
+def cmaes_minimize(
+    objective,
+    x0,
+    sigma0=0.5,
+    max_evals=2000,
+    popsize=None,
+    tol=1e-10,
+    seed=0,
+):
+    """Minimize ``objective`` over R^d with CMA-ES.
+
+    Parameters
+    ----------
+    objective : callable
+        ``x -> float``.
+    x0 : array-like
+        Initial mean.
+    sigma0 : float
+        Initial step size.
+    max_evals : int
+        Budget of objective evaluations.
+    popsize : int, optional
+        Offspring per generation (default ``4 + ⌊3 ln d⌋``).
+    tol : float
+        Stop when the generation's objective spread falls below this.
+    seed : int
+        RNG seed.
+    """
+    rng = np.random.default_rng(seed)
+    mean = np.asarray(x0, dtype=np.float64).copy()
+    d = len(mean)
+    sigma = float(sigma0)
+
+    lam = popsize or (4 + int(3 * np.log(d)))
+    mu = lam // 2
+    raw = np.log(mu + 0.5) - np.log(np.arange(1, mu + 1))
+    weights = raw / raw.sum()
+    mu_eff = 1.0 / np.sum(weights**2)
+
+    # adaptation constants (Hansen's defaults)
+    cc = (4 + mu_eff / d) / (d + 4 + 2 * mu_eff / d)
+    cs = (mu_eff + 2) / (d + mu_eff + 5)
+    c1 = 2 / ((d + 1.3) ** 2 + mu_eff)
+    cmu = min(
+        1 - c1,
+        2 * (mu_eff - 2 + 1 / mu_eff) / ((d + 2) ** 2 + mu_eff),
+    )
+    damps = 1 + 2 * max(0.0, np.sqrt((mu_eff - 1) / (d + 1)) - 1) + cs
+    chi_d = np.sqrt(d) * (1 - 1 / (4 * d) + 1 / (21 * d**2))
+
+    pc = np.zeros(d)
+    ps = np.zeros(d)
+    C = np.eye(d)
+    n_evals = 0
+    best_x, best_f = mean.copy(), np.inf
+    converged = False
+
+    while n_evals < max_evals:
+        # eigendecomposition for sampling (d is small in our usage)
+        eigvals, B = np.linalg.eigh(C)
+        eigvals = np.maximum(eigvals, 1e-20)
+        D = np.sqrt(eigvals)
+        invsqrtC = B @ np.diag(1.0 / D) @ B.T
+
+        zs = rng.standard_normal((lam, d))
+        ys = zs @ np.diag(D) @ B.T
+        xs = mean + sigma * ys
+        fs = np.array([objective(x) for x in xs])
+        n_evals += lam
+
+        order = np.argsort(fs)
+        if fs[order[0]] < best_f:
+            best_f = float(fs[order[0]])
+            best_x = xs[order[0]].copy()
+        if fs[order[-1]] - fs[order[0]] < tol:
+            converged = True
+            break
+
+        y_w = weights @ ys[order[:mu]]
+        mean = mean + sigma * y_w
+
+        ps = (1 - cs) * ps + np.sqrt(cs * (2 - cs) * mu_eff) * (invsqrtC @ y_w)
+        h_sigma = float(
+            np.linalg.norm(ps)
+            / np.sqrt(1 - (1 - cs) ** (2 * n_evals / lam))
+            < (1.4 + 2 / (d + 1)) * chi_d
+        )
+        pc = (1 - cc) * pc + h_sigma * np.sqrt(cc * (2 - cc) * mu_eff) * y_w
+
+        rank_mu = sum(
+            w * np.outer(ys[i], ys[i])
+            for w, i in zip(weights, order[:mu])
+        )
+        C = (
+            (1 - c1 - cmu) * C
+            + c1 * (np.outer(pc, pc) + (1 - h_sigma) * cc * (2 - cc) * C)
+            + cmu * rank_mu
+        )
+        C = (C + C.T) / 2.0
+
+        sigma *= np.exp((cs / damps) * (np.linalg.norm(ps) / chi_d - 1))
+        sigma = float(np.clip(sigma, 1e-12, 1e6))
+
+    return CMAESResult(x=best_x, fun=best_f, n_evals=n_evals,
+                       converged=converged)

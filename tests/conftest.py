@@ -1,0 +1,71 @@
+"""Shared fixtures: small, fast synthetic datasets and split triples."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_biased_dataset
+from repro.ml.model_selection import train_val_test_split
+
+
+@pytest.fixture(scope="session")
+def two_group_data():
+    """Small biased 2-group dataset (n=600) used across core tests."""
+    return make_biased_dataset(
+        "toy2",
+        n=600,
+        group_names=("A", "B"),
+        group_proportions=(0.6, 0.4),
+        group_base_rates=(0.55, 0.30),
+        separation=0.8,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def three_group_data():
+    """Small 3-group dataset for multi-constraint tests."""
+    return make_biased_dataset(
+        "toy3",
+        n=900,
+        group_names=("A", "B", "C"),
+        group_proportions=(0.5, 0.3, 0.2),
+        group_base_rates=(0.55, 0.40, 0.35),
+        separation=0.7,
+        seed=11,
+    )
+
+
+def _split(dataset, seed=3):
+    strat = dataset.sensitive * 2 + dataset.y
+    tr, va, te = train_val_test_split(len(dataset), seed=seed, stratify=strat)
+    return dataset.subset(tr), dataset.subset(va), dataset.subset(te)
+
+
+@pytest.fixture(scope="session")
+def two_group_splits(two_group_data):
+    return _split(two_group_data)
+
+
+@pytest.fixture(scope="session")
+def three_group_splits(three_group_data):
+    return _split(three_group_data)
+
+
+@pytest.fixture(scope="session")
+def xy_separable():
+    """Linearly separable binary classification arrays."""
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(300, 4))
+    y = (X[:, 0] + 0.5 * X[:, 1] > 0).astype(np.int64)
+    return X, y
+
+
+@pytest.fixture(scope="session")
+def xy_noisy():
+    """Noisy (non-separable) classification arrays."""
+    rng = np.random.default_rng(1)
+    X = rng.normal(size=(400, 5))
+    y = (X[:, 0] + rng.normal(scale=1.0, size=400) > 0).astype(np.int64)
+    return X, y

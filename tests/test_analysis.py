@@ -1,0 +1,141 @@
+"""Tests for the experiment harness (runner, trade-off sweeps, reporting)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    baseline_frontier,
+    format_percent,
+    format_series,
+    format_table,
+    make_estimator,
+    omnifair_frontier,
+    run_baseline,
+    run_omnifair,
+    run_unconstrained,
+)
+from repro.baselines import Reweighing, SeldonianClassifier
+from repro.ml import LogisticRegression
+
+
+class TestMakeEstimator:
+    @pytest.mark.parametrize("name", ["LR", "RF", "XGB", "NN"])
+    def test_all_four_algorithms(self, name):
+        est = make_estimator(name)
+        assert hasattr(est, "fit")
+
+    def test_case_insensitive(self):
+        assert make_estimator("lr").__class__.__name__ == "LogisticRegression"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown algorithm"):
+            make_estimator("SVM2000")
+
+
+class TestRunner:
+    def test_unconstrained_aggregate(self, two_group_data):
+        agg = run_unconstrained(
+            two_group_data, LogisticRegression(max_iter=150), n_splits=2
+        )
+        assert agg.n_feasible == 2
+        assert 0.5 < agg.accuracy <= 1.0
+        assert agg.disparity > 0.05  # the data is biased
+
+    def test_omnifair_reduces_disparity(self, two_group_data):
+        base = run_unconstrained(
+            two_group_data, LogisticRegression(max_iter=150), n_splits=2
+        )
+        fair = run_omnifair(
+            two_group_data, LogisticRegression(max_iter=150),
+            epsilon=0.05, n_splits=2,
+        )
+        assert fair.disparity < base.disparity
+        assert fair.accuracy <= base.accuracy + 0.02
+
+    def test_baseline_runner(self, two_group_data):
+        agg = run_baseline(
+            Reweighing, two_group_data,
+            estimator=LogisticRegression(max_iter=150), n_splits=2,
+        )
+        assert agg.method == "Kamiran"
+        assert agg.n_feasible == 2
+
+    def test_unsupported_becomes_na(self, two_group_data):
+        # Seldonian rejects an external estimator -> all splits infeasible
+        agg = run_baseline(
+            SeldonianClassifier, two_group_data,
+            estimator=LogisticRegression(), n_splits=2,
+        )
+        assert agg.n_feasible == 0
+        assert not agg.supported
+        assert np.isnan(agg.accuracy)
+
+    def test_runtime_recorded(self, two_group_data):
+        agg = run_unconstrained(
+            two_group_data, LogisticRegression(max_iter=150), n_splits=2
+        )
+        assert agg.runtime > 0
+
+
+class TestFrontiers:
+    def test_omnifair_frontier_monotone_knob(self, two_group_splits):
+        train, val, test = two_group_splits
+        points = omnifair_frontier(
+            train, val, test, LogisticRegression(max_iter=150),
+            epsilons=[0.02, 0.1, 0.3],
+        )
+        assert len(points) >= 2
+        # tighter epsilon -> (weakly) lower test accuracy on average
+        assert points[0].accuracy <= points[-1].accuracy + 0.05
+
+    def test_baseline_frontier_kamiran(self, two_group_splits):
+        train, val, test = two_group_splits
+        points = baseline_frontier(
+            "kamiran", train, val, test,
+            estimator=LogisticRegression(max_iter=150),
+            knobs=[0.0, 1.0],
+        )
+        assert len(points) == 2
+        # full repair is fairer than no repair
+        assert points[1].disparity < points[0].disparity
+
+    def test_baseline_frontier_unknown_name(self, two_group_splits):
+        train, val, test = two_group_splits
+        with pytest.raises(KeyError, match="unknown baseline"):
+            baseline_frontier("mystery", train, val, test)
+
+    def test_zafar_frontier_runs(self, two_group_splits):
+        train, val, test = two_group_splits
+        points = baseline_frontier(
+            "zafar", train, val, test, knobs=[0.0, 1.0]
+        )
+        assert len(points) == 2
+
+
+class TestReporting:
+    def test_format_percent(self):
+        assert format_percent(0.0123) == "+1.2%"
+        assert format_percent(-0.05) == "-5.0%"
+        assert format_percent(float("nan")) == "NA"
+        assert format_percent(0.5, signed=False) == "50.0%"
+
+    def test_format_table_alignment(self):
+        out = format_table(
+            ["a", "method"], [["1", "OmniFair"], ["22", "x"]], title="T"
+        )
+        lines = out.split("\n")
+        assert lines[0] == "T"
+        assert "OmniFair" in out
+        # all rows same width
+        assert len(set(len(line) for line in lines[1:])) <= 2
+
+    def test_format_series(self):
+        from repro.analysis import FrontierPoint
+
+        p = FrontierPoint(knob=0.1, disparity=0.05, accuracy=0.8, roc_auc=0.7)
+        out = format_series("OmniFair", [p])
+        assert out.startswith("OmniFair:")
+        assert "(0.050, 0.800)" in out
+
+    def test_format_series_empty(self):
+        assert "not supported" in format_series("Zafar", [])

@@ -1,0 +1,268 @@
+"""Tests for the six baseline fairness methods (Table 1)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CelisMetaAlgorithm,
+    ExponentiatedGradient,
+    NoSolutionFoundError,
+    NotSupportedError,
+    OptimizedPreprocessing,
+    Reweighing,
+    SeldonianClassifier,
+    ZafarFairClassifier,
+    reweighing_weights,
+    solve_flip_lp,
+)
+from repro.baselines.agarwal import MixtureClassifier
+from repro.baselines.calmon import OptimizedPreprocessing as Calmon
+from repro.core.spec import FairnessSpec, bind_specs
+from repro.ml import LogisticRegression, RandomForest
+
+
+def _disparity(method, dataset, metric="SP"):
+    constraint = bind_specs([FairnessSpec(metric, 1.0)], dataset)[0]
+    return constraint.disparity(dataset.y, method.predict(dataset.X))
+
+
+class TestReweighing:
+    def test_weights_remove_group_label_dependence(self, two_group_data):
+        d = two_group_data
+        w = reweighing_weights(d.sensitive, d.y, repair_level=1.0)
+        # weighted P(y=1 | g) must be equal across groups
+        rates = []
+        for g in (0, 1):
+            mask = d.sensitive == g
+            rates.append(
+                np.sum(w[mask] * d.y[mask]) / np.sum(w[mask])
+            )
+        assert rates[0] == pytest.approx(rates[1], abs=1e-10)
+
+    def test_zero_repair_is_uniform(self, two_group_data):
+        d = two_group_data
+        w = reweighing_weights(d.sensitive, d.y, repair_level=0.0)
+        assert np.allclose(w, 1.0)
+
+    def test_invalid_repair_level(self, two_group_data):
+        with pytest.raises(ValueError, match="repair_level"):
+            reweighing_weights(
+                two_group_data.sensitive, two_group_data.y, repair_level=1.5
+            )
+
+    def test_reduces_disparity(self, two_group_splits):
+        train, val, test = two_group_splits
+        base = LogisticRegression(max_iter=200).fit(train.X, train.y)
+        constraint = bind_specs([FairnessSpec("SP", 1.0)], test)[0]
+        base_disp = abs(constraint.disparity(test.y, base.predict(test.X)))
+        m = Reweighing(
+            estimator=LogisticRegression(max_iter=200), repair_level=1.0
+        ).fit(train)
+        assert abs(_disparity(m, test)) < base_disp
+
+    def test_validation_driven_level_selection(self, two_group_splits):
+        train, val, _ = two_group_splits
+        m = Reweighing(
+            estimator=LogisticRegression(max_iter=200), epsilon=0.1
+        ).fit(train, val)
+        assert 0.0 <= m.repair_level_ <= 1.0
+
+    def test_rejects_unsupported_metric(self, two_group_splits):
+        train, val, _ = two_group_splits
+        with pytest.raises(NotSupportedError, match="FDR"):
+            Reweighing(metric="FDR").fit(train, val)
+
+
+class TestCalmonLP:
+    def test_lp_achieves_target_gap(self, two_group_data):
+        d = two_group_data
+        flips = solve_flip_lp(d.sensitive, d.y, target_gap=0.0)
+        # expected post-flip base rates must match across groups
+        rates = []
+        for g in (0, 1):
+            mask = d.sensitive == g
+            beta = d.y[mask].mean()
+            p, q = flips[g]
+            rates.append(beta * (1 - p) + (1 - beta) * q)
+        assert rates[0] == pytest.approx(rates[1], abs=1e-6)
+
+    def test_zero_flips_when_gap_loose(self, two_group_data):
+        d = two_group_data
+        flips = solve_flip_lp(d.sensitive, d.y, target_gap=0.9)
+        total = sum(p + q for p, q in flips.values())
+        assert total == pytest.approx(0.0, abs=1e-9)
+
+    def test_dataset_gate_reproduces_na1(self, two_group_splits):
+        train, val, _ = two_group_splits  # dataset name "toy2"
+        with pytest.raises(NotSupportedError, match="distortion parameters"):
+            Calmon().fit(train, val)
+
+    def test_override_gate_and_reduce_bias(self, two_group_splits):
+        train, val, test = two_group_splits
+        base = LogisticRegression(max_iter=200).fit(train.X, train.y)
+        constraint = bind_specs([FairnessSpec("SP", 1.0)], test)[0]
+        base_disp = abs(constraint.disparity(test.y, base.predict(test.X)))
+        m = OptimizedPreprocessing(
+            estimator=LogisticRegression(max_iter=200),
+            enforce_dataset_support=False,
+        ).fit(train, val)
+        assert abs(_disparity(m, test)) < base_disp
+
+
+class TestZafar:
+    def test_reduces_disparity(self, two_group_splits):
+        train, val, test = two_group_splits
+        base = LogisticRegression(max_iter=200).fit(train.X, train.y)
+        constraint = bind_specs([FairnessSpec("SP", 1.0)], test)[0]
+        base_disp = abs(constraint.disparity(test.y, base.predict(test.X)))
+        m = ZafarFairClassifier(epsilon=0.05).fit(train, val)
+        assert abs(_disparity(m, test)) < base_disp
+
+    def test_rejects_tree_models(self, two_group_splits):
+        train, val, _ = two_group_splits
+        with pytest.raises(NotSupportedError, match="decision-boundary"):
+            ZafarFairClassifier(estimator=RandomForest()).fit(train, val)
+
+    def test_accepts_boundary_models(self):
+        # LogisticRegression has decision_function: no NA(2)
+        ZafarFairClassifier(estimator=LogisticRegression()).check_estimator()
+
+    def test_fnr_variant_runs(self, two_group_splits):
+        train, val, test = two_group_splits
+        m = ZafarFairClassifier(metric="FNR", epsilon=0.1).fit(train, val)
+        assert m.predict(test.X).shape == (len(test),)
+
+    def test_tight_threshold_more_fair_than_loose(self, two_group_splits):
+        train, _, test = two_group_splits
+        tight = ZafarFairClassifier(covariance_grid=[0.0]).fit(train, None)
+        loose = ZafarFairClassifier(covariance_grid=[10.0]).fit(train, None)
+        assert abs(_disparity(tight, test)) <= abs(_disparity(loose, test)) + 0.02
+
+
+class TestCelis:
+    def test_supports_fdr(self, two_group_splits):
+        train, val, test = two_group_splits
+        m = CelisMetaAlgorithm(
+            metric="FDR", epsilon=0.1, grid_size=4
+        ).fit(train, val)
+        assert abs(_disparity(m, val, metric="FDR")) <= 0.1 + 1e-9
+
+    def test_rejects_non_lr_estimator(self, two_group_splits):
+        train, val, _ = two_group_splits
+        with pytest.raises(NotSupportedError, match="not model-agnostic"):
+            CelisMetaAlgorithm(estimator=RandomForest()).fit(train, val)
+
+    def test_infeasible_epsilon_raises_na1(self, two_group_splits):
+        # ε=0 under MR parity: even the trivial constant classifiers have
+        # group-dependent misclassification rates (the groups' base rates
+        # differ), so no dual grid point is feasible -> NA(1)
+        train, val, _ = two_group_splits
+        with pytest.raises(NotSupportedError, match="NA"):
+            CelisMetaAlgorithm(
+                metric="MR", epsilon=0.0, grid_size=3
+            ).fit(train, val)
+
+    def test_counts_retrains(self, two_group_splits):
+        train, val, _ = two_group_splits
+        m = CelisMetaAlgorithm(epsilon=0.1, grid_size=3).fit(train, val)
+        assert m.n_retrains_ == (2 * 3 + 1) ** 2
+
+    def test_requires_validation_set(self, two_group_splits):
+        train, _, _ = two_group_splits
+        with pytest.raises(ValueError, match="validation"):
+            CelisMetaAlgorithm().fit(train, None)
+
+
+class TestAgarwal:
+    def test_reduces_disparity_sp(self, two_group_splits):
+        train, val, test = two_group_splits
+        base = LogisticRegression(max_iter=200).fit(train.X, train.y)
+        constraint = bind_specs([FairnessSpec("SP", 1.0)], test)[0]
+        base_disp = abs(constraint.disparity(test.y, base.predict(test.X)))
+        m = ExponentiatedGradient(epsilon=0.05, n_iterations=15).fit(train, val)
+        assert abs(_disparity(m, test)) < base_disp
+
+    def test_model_agnostic_with_forest(self, two_group_splits):
+        train, val, test = two_group_splits
+        m = ExponentiatedGradient(
+            estimator=RandomForest(n_estimators=5, max_depth=4),
+            epsilon=0.1, n_iterations=5,
+        ).fit(train, val)
+        assert m.predict(test.X).shape == (len(test),)
+
+    def test_rejects_fdr_moment(self, two_group_splits):
+        train, val, _ = two_group_splits
+        with pytest.raises(NotSupportedError, match="FDR"):
+            ExponentiatedGradient(metric="FDR").fit(train, val)
+
+    def test_fnr_moment_runs(self, two_group_splits):
+        train, val, test = two_group_splits
+        m = ExponentiatedGradient(
+            metric="FNR", epsilon=0.1, n_iterations=8
+        ).fit(train, val)
+        assert set(np.unique(m.predict(test.X))) <= {0, 1}
+
+    def test_mixture_classifier_averages(self):
+        class Stub:
+            def __init__(self, value):
+                self.value = value
+
+            def predict(self, X):
+                return np.full(len(X), self.value)
+
+        mix = MixtureClassifier([Stub(0), Stub(1)])
+        proba = mix.predict_proba(np.zeros((3, 1)))
+        assert np.allclose(proba[:, 1], 0.5)
+
+    def test_empty_mixture_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            MixtureClassifier([])
+
+
+class TestSeldonian:
+    def test_safety_test_enforced(self, two_group_splits):
+        train, val, _ = two_group_splits
+        try:
+            m = SeldonianClassifier(
+                epsilon=0.05, max_evals=1500
+            ).fit(train, val)
+        except NoSolutionFoundError:
+            return  # NSF is a legitimate Seldonian outcome
+        assert abs(_disparity(m, val)) <= 0.05 + 1e-9
+
+    def test_rejects_external_estimator(self, two_group_splits):
+        train, val, _ = two_group_splits
+        with pytest.raises(NotSupportedError, match="NA\\(2\\)"):
+            SeldonianClassifier(estimator=LogisticRegression()).fit(train, val)
+
+    def test_impossible_constraint_is_nsf(self, two_group_splits):
+        train, val, _ = two_group_splits
+        with pytest.raises((NoSolutionFoundError, NotSupportedError)):
+            # ε=0 with a barrier too weak to reach exact parity
+            SeldonianClassifier(
+                epsilon=0.0, max_evals=300, barrier=0.01
+            ).fit(train, val)
+
+
+class TestMethodMetadata:
+    @pytest.mark.parametrize(
+        "cls, agnostic",
+        [
+            (Reweighing, True),
+            (OptimizedPreprocessing, True),
+            (ZafarFairClassifier, False),
+            (CelisMetaAlgorithm, False),
+            (ExponentiatedGradient, True),
+            (SeldonianClassifier, False),
+        ],
+    )
+    def test_model_agnostic_flags_match_table1(self, cls, agnostic):
+        assert cls.MODEL_AGNOSTIC is agnostic
+
+    def test_predict_before_fit_raises(self, two_group_data):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            Reweighing().predict(two_group_data.X)
+
+    def test_stage_labels(self):
+        assert Reweighing.STAGE == "preprocessing"
+        assert ExponentiatedGradient.STAGE == "in-processing"

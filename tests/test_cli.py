@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_train_requires_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train"])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train", "--dataset", "compas"])
+        assert args.metric == "SP"
+        assert args.epsilon == 0.03
+        assert args.model == "LR"
+
+    def test_invalid_metric_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["train", "--dataset", "compas", "--metric", "WRONG"]
+            )
+
+
+class TestCommands:
+    def test_list_output(self):
+        out = io.StringIO()
+        assert main(["list"], out=out) == 0
+        text = out.getvalue()
+        assert "compas" in text and "SP" in text and "XGB" in text
+
+    def test_train_end_to_end(self):
+        out = io.StringIO()
+        code = main(
+            [
+                "train", "--dataset", "compas", "--two-group",
+                "--rows", "1200", "--epsilon", "0.05",
+            ],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "test accuracy:" in text
+        assert "lambda" in text
+
+    def test_train_saves_model(self, tmp_path):
+        from repro.ml import load_model
+
+        out = io.StringIO()
+        path = tmp_path / "model.pkl"
+        code = main(
+            [
+                "train", "--dataset", "lsac", "--rows", "1200",
+                "--epsilon", "0.08", "--save", str(path),
+            ],
+            out=out,
+        )
+        assert code == 0
+        loaded = load_model(path)
+        assert hasattr(loaded, "predict")
+
+    def test_train_infeasible_exit_code(self):
+        out = io.StringIO()
+        code = main(
+            [
+                "train", "--dataset", "compas", "--two-group",
+                "--rows", "1000", "--metric", "MR", "--epsilon", "0.0",
+            ],
+            out=out,
+        )
+        # exact-zero MR parity is (practically) unreachable -> infeasible
+        # reporting path; if a degenerate split makes it reachable the run
+        # legitimately succeeds
+        assert code in (0, 1)
+        if code == 1:
+            assert "INFEASIBLE" in out.getvalue()

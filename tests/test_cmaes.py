@@ -1,0 +1,74 @@
+"""Tests for the from-scratch CMA-ES optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.optim import cmaes_minimize
+
+
+class TestCMAES:
+    def test_sphere_minimum(self):
+        result = cmaes_minimize(
+            lambda x: float(np.sum(x**2)), np.ones(4) * 3.0,
+            sigma0=1.0, max_evals=4000, seed=0,
+        )
+        assert result.fun < 1e-6
+        assert np.allclose(result.x, 0.0, atol=1e-2)
+
+    def test_shifted_quadratic(self):
+        target = np.array([1.0, -2.0, 0.5])
+        result = cmaes_minimize(
+            lambda x: float(np.sum((x - target) ** 2)), np.zeros(3),
+            sigma0=0.5, max_evals=4000, seed=1,
+        )
+        assert np.allclose(result.x, target, atol=0.05)
+
+    def test_rosenbrock_2d(self):
+        def rosen(x):
+            return float(100 * (x[1] - x[0] ** 2) ** 2 + (1 - x[0]) ** 2)
+
+        result = cmaes_minimize(
+            rosen, np.array([-1.0, 1.0]), sigma0=0.5,
+            max_evals=8000, seed=2,
+        )
+        assert result.fun < 1e-3
+
+    def test_respects_eval_budget(self):
+        calls = []
+
+        def f(x):
+            calls.append(1)
+            return float(np.sum(x**2))
+
+        cmaes_minimize(f, np.ones(3), max_evals=200, seed=0, tol=0.0)
+        assert len(calls) <= 200 + 12  # at most one extra generation
+
+    def test_deterministic_given_seed(self):
+        f = lambda x: float(np.sum(x**2) + np.sum(np.abs(x)))
+        a = cmaes_minimize(f, np.ones(3), max_evals=500, seed=7)
+        b = cmaes_minimize(f, np.ones(3), max_evals=500, seed=7)
+        assert np.allclose(a.x, b.x)
+        assert a.fun == b.fun
+
+    def test_converged_flag_on_flat_objective(self):
+        result = cmaes_minimize(lambda x: 0.0, np.zeros(2), max_evals=5000)
+        assert result.converged
+
+    def test_custom_popsize(self):
+        result = cmaes_minimize(
+            lambda x: float(np.sum(x**2)), np.ones(2),
+            popsize=20, max_evals=2000, seed=0,
+        )
+        assert result.fun < 1e-4
+
+    def test_nonconvex_multimodal_finds_good_basin(self):
+        # Rastrigin-lite in 2D: global minimum at 0 with local minima around
+        def rastrigin(x):
+            return float(
+                10 * len(x) + np.sum(x**2 - 10 * np.cos(2 * np.pi * x))
+            )
+
+        result = cmaes_minimize(
+            rastrigin, np.full(2, 0.5), sigma0=0.8, max_evals=6000, seed=3
+        )
+        assert result.fun < 2.0  # within the central basins

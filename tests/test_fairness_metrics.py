@@ -1,0 +1,234 @@
+"""Tests for declarative fairness metrics (Definition 3, Table 2).
+
+The load-bearing invariant: for every metric, the coefficient form
+``Σ c_i·1(pred=y) + c0`` must equal the conventional metric value — that
+identity is what makes the weighted-objective translation of §5 valid.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exceptions import SpecificationError
+from repro.core.fairness_metrics import (
+    METRIC_FACTORIES,
+    average_error_cost_parity,
+    custom_metric,
+    false_discovery_rate_parity,
+    false_negative_rate_parity,
+    false_omission_rate_parity,
+    false_positive_rate_parity,
+    misclassification_rate_parity,
+    statistical_parity,
+)
+from repro.ml import metrics as mlm
+
+ALL_FACTORIES = [
+    statistical_parity,
+    misclassification_rate_parity,
+    false_positive_rate_parity,
+    false_negative_rate_parity,
+    false_omission_rate_parity,
+    false_discovery_rate_parity,
+]
+
+
+def _labels_and_preds(seed, n=40):
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, 2, size=n)
+    pred = rng.integers(0, 2, size=n)
+    # guarantee both label values and both prediction values appear
+    y[:2] = [0, 1]
+    pred[:2] = [0, 1]
+    return y, pred
+
+
+@pytest.mark.parametrize("factory", ALL_FACTORIES)
+class TestCoefficientIdentity:
+    def test_value_matches_coefficient_form(self, factory):
+        metric = factory()
+        for seed in range(10):
+            y, pred = _labels_and_preds(seed)
+            assert metric.value_from_coefficients(y, pred) == pytest.approx(
+                metric.value(y, pred), abs=1e-12
+            )
+
+    def test_coefficient_shape(self, factory):
+        metric = factory()
+        y, pred = _labels_and_preds(0)
+        c, c0 = metric.coefficients(
+            y, pred if metric.parameterized_by_model else None
+        )
+        assert c.shape == y.shape
+        assert isinstance(c0, float)
+
+
+class TestAgainstConventionalMetrics:
+    """value() must equal the corresponding repro.ml.metrics function."""
+
+    def test_sp_is_selection_rate(self):
+        y, pred = _labels_and_preds(1)
+        assert statistical_parity().value(y, pred) == pytest.approx(
+            mlm.selection_rate(y, pred)
+        )
+
+    def test_mr_is_error_rate(self):
+        y, pred = _labels_and_preds(2)
+        assert misclassification_rate_parity().value(y, pred) == pytest.approx(
+            mlm.error_rate(y, pred)
+        )
+
+    def test_fpr(self):
+        y, pred = _labels_and_preds(3)
+        assert false_positive_rate_parity().value(y, pred) == pytest.approx(
+            mlm.false_positive_rate(y, pred)
+        )
+
+    def test_fnr(self):
+        y, pred = _labels_and_preds(4)
+        assert false_negative_rate_parity().value(y, pred) == pytest.approx(
+            mlm.false_negative_rate(y, pred)
+        )
+
+    def test_for(self):
+        y, pred = _labels_and_preds(5)
+        assert false_omission_rate_parity().value(y, pred) == pytest.approx(
+            mlm.false_omission_rate(y, pred)
+        )
+
+    def test_fdr(self):
+        y, pred = _labels_and_preds(6)
+        assert false_discovery_rate_parity().value(y, pred) == pytest.approx(
+            mlm.false_discovery_rate(y, pred)
+        )
+
+
+class TestTable2Coefficients:
+    """Spot-check coefficient magnitudes against the paper's Table 2."""
+
+    def test_sp_coefficients(self):
+        y = np.array([0, 0, 0, 1])  # |g|=4, #y0=3
+        c, c0 = statistical_parity().coefficients(y)
+        assert c[3] == pytest.approx(1 / 4)       # y=1 -> +1/|g|
+        assert c[0] == pytest.approx(-1 / 4)      # y=0 -> -1/|g|
+        assert c0 == pytest.approx(3 / 4)         # #{y=0}/|g|
+
+    def test_mr_coefficients(self):
+        y = np.array([0, 1])
+        c, c0 = misclassification_rate_parity().coefficients(y)
+        assert np.allclose(np.abs(c), 1 / 2)
+
+    def test_fpr_only_touches_negatives(self):
+        y = np.array([0, 0, 1, 1, 1])
+        c, _ = false_positive_rate_parity().coefficients(y)
+        assert np.all(c[y == 1] == 0)
+        assert np.allclose(np.abs(c[y == 0]), 1 / 2)
+
+    def test_fnr_only_touches_positives(self):
+        y = np.array([0, 0, 1, 1, 1])
+        c, _ = false_negative_rate_parity().coefficients(y)
+        assert np.all(c[y == 0] == 0)
+        assert np.allclose(np.abs(c[y == 1]), 1 / 3)
+
+    def test_for_denominator_is_predicted_negatives(self):
+        y = np.array([0, 0, 1, 1])
+        pred = np.array([0, 0, 0, 1])  # 3 predicted negatives
+        c, _ = false_omission_rate_parity().coefficients(y, pred)
+        assert np.allclose(np.abs(c[y == 0]), 1 / 3)
+
+    def test_fdr_denominator_is_predicted_positives(self):
+        y = np.array([0, 0, 1, 1])
+        pred = np.array([1, 0, 1, 1])  # 3 predicted positives
+        c, _ = false_discovery_rate_parity().coefficients(y, pred)
+        assert np.allclose(np.abs(c[y == 1]), 1 / 3)
+
+
+class TestParameterizedFlag:
+    def test_for_fdr_parameterized(self):
+        assert false_omission_rate_parity().parameterized_by_model
+        assert false_discovery_rate_parity().parameterized_by_model
+
+    def test_constant_metrics_not_parameterized(self):
+        assert not statistical_parity().parameterized_by_model
+        assert not misclassification_rate_parity().parameterized_by_model
+
+    def test_parameterized_requires_predictions(self):
+        with pytest.raises(SpecificationError, match="predictions"):
+            false_discovery_rate_parity().coefficients(np.array([0, 1]))
+
+
+class TestDegenerateGroups:
+    def test_fdr_no_predicted_positives(self):
+        y = np.array([0, 1])
+        pred = np.array([0, 0])
+        metric = false_discovery_rate_parity()
+        assert metric.value_from_coefficients(y, pred) == pytest.approx(
+            metric.value(y, pred)
+        )
+
+    def test_fpr_no_negatives_in_group(self):
+        y = np.array([1, 1])
+        pred = np.array([0, 1])
+        metric = false_positive_rate_parity()
+        assert metric.value_from_coefficients(y, pred) == pytest.approx(
+            metric.value(y, pred)
+        )
+
+
+class TestAverageErrorCost:
+    def test_identity_holds(self):
+        metric = average_error_cost_parity(cost_fp=2.0, cost_fn=5.0)
+        for seed in range(5):
+            y, pred = _labels_and_preds(seed)
+            assert metric.value_from_coefficients(y, pred) == pytest.approx(
+                metric.value(y, pred), abs=1e-12
+            )
+
+    def test_matches_ml_metric(self):
+        y, pred = _labels_and_preds(7)
+        metric = average_error_cost_parity(cost_fp=3.0, cost_fn=1.0)
+        assert metric.value(y, pred) == pytest.approx(
+            mlm.average_error_cost(y, pred, cost_fp=3.0, cost_fn=1.0)
+        )
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(SpecificationError, match="non-negative"):
+            average_error_cost_parity(cost_fp=-1.0)
+
+
+class TestCustomMetric:
+    def test_custom_callables_wired(self):
+        metric = custom_metric(
+            "always-half",
+            coefficients=lambda y, p: (np.zeros(len(y)), 0.5),
+            rate=lambda y, p: 0.5,
+        )
+        y, pred = _labels_and_preds(8)
+        assert metric.value(y, pred) == 0.5
+        assert metric.value_from_coefficients(y, pred) == 0.5
+
+    def test_bad_coefficient_shape_rejected(self):
+        metric = custom_metric(
+            "bad",
+            coefficients=lambda y, p: (np.zeros(3), 0.0),
+            rate=lambda y, p: 0.0,
+        )
+        with pytest.raises(SpecificationError, match="shape"):
+            metric.coefficients(np.array([0, 1]))
+
+
+@given(st.integers(min_value=0, max_value=10_000), st.integers(2, 60))
+@settings(max_examples=60, deadline=None)
+def test_identity_property_all_metrics(seed, n):
+    """Property: coefficient form == conventional value for random data."""
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, 2, size=n)
+    pred = rng.integers(0, 2, size=n)
+    for factory in ALL_FACTORIES + [
+        lambda: average_error_cost_parity(2.0, 0.5)
+    ]:
+        metric = factory()
+        assert metric.value_from_coefficients(y, pred) == pytest.approx(
+            metric.value(y, pred), abs=1e-10
+        )

@@ -1,0 +1,126 @@
+"""Tests for repro.ml.metrics against hand-computed confusion tables."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (
+    accuracy_score,
+    average_error_cost,
+    confusion_counts,
+    error_rate,
+    false_discovery_rate,
+    false_negative_rate,
+    false_omission_rate,
+    false_positive_rate,
+    misclassification_rate,
+    roc_auc_score,
+    selection_rate,
+    true_positive_rate,
+)
+
+# y_true:  1 1 1 0 0 0 1 0
+# y_pred:  1 0 1 1 0 0 0 1   -> tp=2 fn=2 fp=2 tn=2
+Y_TRUE = np.array([1, 1, 1, 0, 0, 0, 1, 0])
+Y_PRED = np.array([1, 0, 1, 1, 0, 0, 0, 1])
+
+
+class TestConfusionDerived:
+    def test_confusion_counts(self):
+        assert confusion_counts(Y_TRUE, Y_PRED) == (2, 2, 2, 2)
+
+    def test_accuracy(self):
+        assert accuracy_score(Y_TRUE, Y_PRED) == pytest.approx(0.5)
+
+    def test_error_rate_complements_accuracy(self):
+        assert error_rate(Y_TRUE, Y_PRED) == pytest.approx(0.5)
+
+    def test_selection_rate(self):
+        assert selection_rate(Y_TRUE, Y_PRED) == pytest.approx(4 / 8)
+
+    def test_tpr(self):
+        assert true_positive_rate(Y_TRUE, Y_PRED) == pytest.approx(2 / 4)
+
+    def test_fpr(self):
+        assert false_positive_rate(Y_TRUE, Y_PRED) == pytest.approx(2 / 4)
+
+    def test_fnr(self):
+        assert false_negative_rate(Y_TRUE, Y_PRED) == pytest.approx(2 / 4)
+
+    def test_for(self):
+        # P(y=1 | h=0): among 4 predicted negatives, 2 are true positives
+        assert false_omission_rate(Y_TRUE, Y_PRED) == pytest.approx(2 / 4)
+
+    def test_fdr(self):
+        assert false_discovery_rate(Y_TRUE, Y_PRED) == pytest.approx(2 / 4)
+
+    def test_mr_equals_error_rate(self):
+        assert misclassification_rate(Y_TRUE, Y_PRED) == pytest.approx(
+            error_rate(Y_TRUE, Y_PRED)
+        )
+
+    def test_weighted_accuracy(self):
+        w = np.array([1, 1, 1, 1, 0, 0, 0, 0], dtype=float)
+        # first four: correct, wrong, correct, wrong -> 0.5
+        assert accuracy_score(Y_TRUE, Y_PRED, sample_weight=w) == pytest.approx(0.5)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            accuracy_score([0, 1], [0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            accuracy_score([], [])
+
+
+class TestDegenerateRates:
+    def test_fdr_zero_when_no_positives_predicted(self):
+        assert false_discovery_rate([0, 1], [0, 0]) == 0.0
+
+    def test_for_zero_when_no_negatives_predicted(self):
+        assert false_omission_rate([0, 1], [1, 1]) == 0.0
+
+    def test_fpr_zero_when_no_negatives_present(self):
+        assert false_positive_rate([1, 1], [1, 0]) == 0.0
+
+
+class TestAverageErrorCost:
+    def test_symmetric_costs_match_error_rate(self):
+        aec = average_error_cost(Y_TRUE, Y_PRED, cost_fp=1.0, cost_fn=1.0)
+        assert aec == pytest.approx(error_rate(Y_TRUE, Y_PRED))
+
+    def test_asymmetric_costs(self):
+        aec = average_error_cost(Y_TRUE, Y_PRED, cost_fp=2.0, cost_fn=1.0)
+        assert aec == pytest.approx((2.0 * 2 + 1.0 * 2) / 8)
+
+    def test_zero_cost_ignores_errors(self):
+        aec = average_error_cost(Y_TRUE, Y_PRED, cost_fp=0.0, cost_fn=0.0)
+        assert aec == 0.0
+
+
+class TestRocAuc:
+    def test_perfect_ranking(self):
+        assert roc_auc_score([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_reversed_ranking(self):
+        assert roc_auc_score([0, 0, 1, 1], [0.9, 0.8, 0.2, 0.1]) == 0.0
+
+    def test_random_ranking_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, size=2000)
+        s = rng.random(2000)
+        assert roc_auc_score(y, s) == pytest.approx(0.5, abs=0.05)
+
+    def test_ties_averaged(self):
+        # all scores equal: AUC must be exactly 0.5
+        assert roc_auc_score([0, 1, 0, 1], [0.5, 0.5, 0.5, 0.5]) == 0.5
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError, match="single class"):
+            roc_auc_score([1, 1], [0.1, 0.2])
+
+    def test_invariant_to_monotone_transform(self):
+        y = np.array([0, 1, 0, 1, 1, 0])
+        s = np.array([0.1, 0.7, 0.4, 0.9, 0.6, 0.2])
+        assert roc_auc_score(y, s) == pytest.approx(
+            roc_auc_score(y, np.exp(3 * s))
+        )

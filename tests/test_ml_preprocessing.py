@@ -1,0 +1,81 @@
+"""Tests for scaler / one-hot encoder / tabular encoder."""
+
+import numpy as np
+import pytest
+
+from repro.ml.preprocessing import OneHotEncoder, StandardScaler, TabularEncoder
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(loc=5.0, scale=3.0, size=(500, 3))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_column_not_divided_by_zero(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(Z))
+        assert np.allclose(Z[:, 0], 0.0)
+
+    def test_inverse_transform_roundtrip(self):
+        X = np.random.default_rng(1).normal(size=(50, 2)) * 4 + 2
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_transform_uses_fit_statistics(self):
+        train = np.array([[0.0], [2.0]])
+        scaler = StandardScaler().fit(train)
+        assert scaler.transform(np.array([[1.0]]))[0, 0] == pytest.approx(0.0)
+
+
+class TestOneHotEncoder:
+    def test_basic_encoding(self):
+        X = np.array([[0], [1], [2], [1]])
+        Z = OneHotEncoder().fit_transform(X)
+        assert Z.shape == (4, 3)
+        assert np.array_equal(Z.sum(axis=1), np.ones(4))
+        assert Z[2, 2] == 1.0
+
+    def test_unknown_category_maps_to_zeros(self):
+        enc = OneHotEncoder().fit(np.array([[0], [1]]))
+        Z = enc.transform(np.array([[7]]))
+        assert np.array_equal(Z, np.zeros((1, 2)))
+
+    def test_multiple_columns(self):
+        X = np.array([[0, 10], [1, 20]])
+        enc = OneHotEncoder().fit(X)
+        assert enc.n_output_features_ == 4
+        assert enc.transform(X).shape == (2, 4)
+
+    def test_column_count_mismatch_raises(self):
+        enc = OneHotEncoder().fit(np.array([[0], [1]]))
+        with pytest.raises(ValueError, match="expected 1 columns"):
+            enc.transform(np.array([[0, 1]]))
+
+    def test_1d_input_reshaped(self):
+        Z = OneHotEncoder().fit_transform(np.array([0, 1, 0]))
+        assert Z.shape == (3, 2)
+
+
+class TestTabularEncoder:
+    def test_combined_output_width(self):
+        rng = np.random.default_rng(0)
+        X = np.column_stack(
+            [rng.normal(size=20), rng.integers(0, 3, size=20)]
+        )
+        enc = TabularEncoder(numeric_columns=[0], categorical_columns=[1])
+        Z = enc.fit_transform(X)
+        assert Z.shape == (20, 1 + 3)
+
+    def test_numeric_only(self):
+        X = np.random.default_rng(0).normal(size=(10, 2))
+        enc = TabularEncoder(numeric_columns=[0, 1], categorical_columns=[])
+        assert enc.fit_transform(X).shape == (10, 2)
+
+    def test_no_columns_raises(self):
+        enc = TabularEncoder(numeric_columns=[], categorical_columns=[])
+        with pytest.raises(ValueError, match="no columns"):
+            enc.fit_transform(np.zeros((3, 2)))

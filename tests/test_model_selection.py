@@ -1,0 +1,88 @@
+"""Tests for splitting utilities (the paper's 60/20/20 × 10 protocol)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.model_selection import (
+    multi_split,
+    train_test_split,
+    train_val_test_split,
+)
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        a = np.arange(100)
+        tr, te = train_test_split(a, test_size=0.2, seed=0)
+        assert len(te) == 20 and len(tr) == 80
+
+    def test_partition_is_disjoint_and_complete(self):
+        a = np.arange(50)
+        tr, te = train_test_split(a, seed=1)
+        assert sorted(np.concatenate([tr, te]).tolist()) == list(range(50))
+
+    def test_multiple_arrays_aligned(self):
+        a = np.arange(30)
+        b = a * 10
+        tr_a, te_a, tr_b, te_b = train_test_split(a, b, seed=2)
+        assert np.array_equal(tr_b, tr_a * 10)
+
+    def test_deterministic(self):
+        a = np.arange(40)
+        tr1, _ = train_test_split(a, seed=3)
+        tr2, _ = train_test_split(a, seed=3)
+        assert np.array_equal(tr1, tr2)
+
+    def test_different_seeds_differ(self):
+        a = np.arange(40)
+        tr1, _ = train_test_split(a, seed=3)
+        tr2, _ = train_test_split(a, seed=4)
+        assert not np.array_equal(tr1, tr2)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="same length"):
+            train_test_split(np.arange(3), np.arange(4))
+
+    def test_no_arrays_raises(self):
+        with pytest.raises(ValueError, match="at least one"):
+            train_test_split()
+
+    def test_stratified_preserves_ratio(self):
+        y = np.array([0] * 80 + [1] * 20)
+        tr, te = train_test_split(y, test_size=0.5, seed=0, stratify=y)
+        assert te.mean() == pytest.approx(0.2, abs=0.06)
+
+
+class TestTrainValTestSplit:
+    def test_default_60_20_20(self):
+        tr, va, te = train_val_test_split(1000, seed=0)
+        assert (len(tr), len(va), len(te)) == (600, 200, 200)
+
+    def test_partition(self):
+        tr, va, te = train_val_test_split(100, seed=5)
+        combined = sorted(np.concatenate([tr, va, te]).tolist())
+        assert combined == list(range(100))
+
+    def test_invalid_fractions_raise(self):
+        with pytest.raises(ValueError, match="invalid fractions"):
+            train_val_test_split(10, train=0.8, val=0.3)
+        with pytest.raises(ValueError, match="invalid fractions"):
+            train_val_test_split(10, train=0.0)
+
+
+class TestMultiSplit:
+    def test_yields_n_splits(self):
+        splits = list(multi_split(200, n_splits=10, seed=0))
+        assert len(splits) == 10
+
+    def test_splits_are_distinct(self):
+        splits = list(multi_split(200, n_splits=3, seed=0))
+        assert not np.array_equal(splits[0][0], splits[1][0])
+
+    def test_reproducible(self):
+        a = list(multi_split(100, n_splits=2, seed=9))
+        b = list(multi_split(100, n_splits=2, seed=9))
+        for (t1, v1, s1), (t2, v2, s2) in zip(a, b):
+            assert np.array_equal(t1, t2)
+            assert np.array_equal(v1, v2)
+            assert np.array_equal(s1, s2)

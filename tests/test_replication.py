@@ -1,0 +1,87 @@
+"""Tests for weight-simulation-by-replication (§1's fallback)."""
+
+import numpy as np
+import pytest
+
+from repro.ml import DecisionTree, LogisticRegression
+from repro.ml.replication import ReplicationWrapper, replicate_by_weight
+
+
+class TestReplicateByWeight:
+    def test_example_from_paper(self):
+        # weights 0.4 / 0.6 -> 2 and 3 copies (the §1 example)
+        X = np.array([[1.0], [2.0]])
+        y = np.array([0, 1])
+        Xr, yr = replicate_by_weight(X, y, [0.4, 0.6], resolution=10)
+        counts = {v: int(np.sum(Xr[:, 0] == v)) for v in (1.0, 2.0)}
+        assert counts[2.0] / counts[1.0] == pytest.approx(1.5, abs=0.1)
+
+    def test_proportions_approximate_weights(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(20, 2))
+        y = rng.integers(0, 2, size=20)
+        w = rng.uniform(0.1, 3.0, size=20)
+        Xr, yr = replicate_by_weight(X, y, w, resolution=100)
+        counts = np.array(
+            [np.sum((Xr == X[i]).all(axis=1)) for i in range(20)], dtype=float
+        )
+        ratios = counts / counts.sum()
+        expected = w / w.sum()
+        assert np.allclose(ratios, expected, atol=0.01)
+
+    def test_zero_weight_rows_dropped(self):
+        X = np.array([[1.0], [2.0], [3.0]])
+        y = np.array([0, 1, 0])
+        Xr, _ = replicate_by_weight(X, y, [1.0, 0.0, 1.0])
+        assert not np.any(Xr[:, 0] == 2.0)
+
+    def test_all_zero_raises(self):
+        with pytest.raises(ValueError):
+            replicate_by_weight(
+                np.zeros((2, 1)), np.array([0, 1]), [0.0, 0.0]
+            )
+
+    def test_max_rows_cap(self):
+        X = np.ones((5, 1))
+        y = np.array([0, 1, 0, 1, 0])
+        w = np.array([1e-4, 1.0, 1.0, 1.0, 1.0])
+        Xr, _ = replicate_by_weight(X, y, w, resolution=100, max_rows=1000)
+        assert len(Xr) <= 1000
+
+    def test_uniform_weights_identity_counts(self):
+        X = np.arange(6.0).reshape(-1, 1)
+        y = np.array([0, 1, 0, 1, 0, 1])
+        Xr, yr = replicate_by_weight(X, y, np.ones(6))
+        assert len(Xr) == 6
+
+
+class TestReplicationWrapper:
+    def test_wrapper_approximates_native_weighting(self, xy_noisy):
+        X, y = xy_noisy
+        rng = np.random.default_rng(3)
+        w = rng.uniform(0.2, 2.0, size=len(y))
+        native = LogisticRegression().fit(X, y, sample_weight=w).predict(X)
+        wrapped = ReplicationWrapper(
+            LogisticRegression(), resolution=50
+        ).fit(X, y, sample_weight=w).predict(X)
+        assert np.mean(native == wrapped) > 0.95
+
+    def test_no_weights_passthrough(self, xy_separable):
+        X, y = xy_separable
+        m = ReplicationWrapper(DecisionTree()).fit(X, y)
+        assert m.score(X, y) > 0.9
+
+    def test_clone_clones_inner(self):
+        w = ReplicationWrapper(LogisticRegression(l2=0.7))
+        c = w.clone()
+        assert c.estimator is not w.estimator
+        assert c.estimator.l2 == 0.7
+
+    def test_missing_estimator_raises(self):
+        with pytest.raises(ValueError, match="inner estimator"):
+            ReplicationWrapper().fit(np.zeros((2, 1)), np.array([0, 1]))
+
+    def test_score_delegates(self, xy_separable):
+        X, y = xy_separable
+        m = ReplicationWrapper(LogisticRegression()).fit(X, y)
+        assert 0.0 <= m.score(X, y) <= 1.0

@@ -1,0 +1,155 @@
+"""Tests for Algorithm 1 (single-λ tuning) and the monotonicity it relies on."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import InfeasibleConstraintError
+from repro.core.fitter import WeightedFitter
+from repro.core.single import lambda_grid_search, tune_single_lambda
+from repro.core.spec import FairnessSpec, bind_specs
+from repro.ml import LogisticRegression
+
+
+@pytest.fixture()
+def sp_setup(two_group_splits):
+    train, val, _ = two_group_splits
+    spec = FairnessSpec("SP", 0.03)
+    tc = bind_specs([spec], train)
+    vc = bind_specs([spec], val)[0]
+    fitter = WeightedFitter(LogisticRegression(max_iter=200), train.X,
+                            train.y, tc)
+    return fitter, vc, val
+
+
+class TestTuneSingleLambdaSP:
+    def test_returns_feasible_model(self, sp_setup):
+        fitter, vc, val = sp_setup
+        result = tune_single_lambda(fitter, vc, val.X, val.y)
+        assert result.feasible
+        pred = result.model.predict(val.X)
+        # evaluate with the *original* orientation constraint
+        assert abs(vc.disparity(val.y, pred)) <= 0.03 + 1e-9
+
+    def test_history_records_fits(self, sp_setup):
+        fitter, vc, val = sp_setup
+        result = tune_single_lambda(fitter, vc, val.X, val.y)
+        assert len(result.history) == result.n_fits
+        assert result.history[0][0] == 0.0  # first fit is λ=0
+
+    def test_loose_epsilon_short_circuits(self, two_group_splits):
+        train, val, _ = two_group_splits
+        spec = FairnessSpec("SP", 0.9)  # trivially satisfied
+        tc = bind_specs([spec], train)
+        vc = bind_specs([spec], val)[0]
+        fitter = WeightedFitter(LogisticRegression(max_iter=200), train.X,
+                                train.y, tc)
+        result = tune_single_lambda(fitter, vc, val.X, val.y)
+        assert result.lam == 0.0
+        assert result.n_fits == 1  # only the unconstrained fit
+
+    def test_tighter_epsilon_costs_accuracy(self, two_group_splits):
+        train, val, _ = two_group_splits
+        accs = {}
+        for eps in (0.2, 0.02):
+            spec = FairnessSpec("SP", eps)
+            tc = bind_specs([spec], train)
+            vc = bind_specs([spec], val)[0]
+            fitter = WeightedFitter(LogisticRegression(max_iter=200),
+                                    train.X, train.y, tc)
+            result = tune_single_lambda(fitter, vc, val.X, val.y)
+            pred = result.model.predict(val.X)
+            accs[eps] = float(np.mean(pred == val.y))
+        assert accs[0.2] >= accs[0.02] - 0.01
+
+    def test_infeasible_raises_with_best_model(self, sp_setup):
+        # λ capped far below the feasible region: the probe cannot move the
+        # disparity at all, so Algorithm 1 must report infeasibility
+        fitter, vc, val = sp_setup
+        with pytest.raises(InfeasibleConstraintError) as excinfo:
+            tune_single_lambda(fitter, vc, val.X, val.y, lambda_max=1e-6)
+        assert excinfo.value.best_model is not None
+
+
+class TestFDRLinearSearchPath:
+    def test_parameterized_metric_feasible(self, two_group_splits):
+        train, val, _ = two_group_splits
+        spec = FairnessSpec("FDR", 0.05)
+        tc = bind_specs([spec], train)
+        vc = bind_specs([spec], val)[0]
+        fitter = WeightedFitter(LogisticRegression(max_iter=200), train.X,
+                                train.y, tc)
+        assert fitter.parameterized
+        result = tune_single_lambda(fitter, vc, val.X, val.y, delta=0.02)
+        pred = result.model.predict(val.X)
+        assert abs(vc.disparity(val.y, pred)) <= 0.05 + 1e-9
+
+
+class TestEmpiricalMonotonicity:
+    """Lemma 2's observable consequence: FP(θ*(λ)) is ~monotone in λ."""
+
+    def test_sp_disparity_increases_with_lambda(self, two_group_splits):
+        train, _, _ = two_group_splits
+        spec = FairnessSpec("SP", 0.03)
+        tc = bind_specs([spec], train)
+        constraint = tc[0]
+        fitter = WeightedFitter(LogisticRegression(max_iter=300), train.X,
+                                train.y, tc)
+        disparities = []
+        for lam in (-0.3, -0.1, 0.0, 0.1, 0.3):
+            model = fitter.fit(np.array([lam]))
+            pred = model.predict(train.X)
+            disparities.append(constraint.disparity(train.y, pred))
+        # allow small violations from optimization noise
+        diffs = np.diff(disparities)
+        assert np.all(diffs > -0.02)
+        assert disparities[-1] > disparities[0]
+
+    def test_accuracy_peaks_at_lambda_zero(self, two_group_splits):
+        train, _, _ = two_group_splits
+        spec = FairnessSpec("SP", 0.03)
+        tc = bind_specs([spec], train)
+        fitter = WeightedFitter(LogisticRegression(max_iter=300), train.X,
+                                train.y, tc)
+        accs = {}
+        for lam in (-0.5, 0.0, 0.5):
+            model = fitter.fit(np.array([lam]))
+            accs[lam] = float(np.mean(model.predict(train.X) == train.y))
+        assert accs[0.0] >= accs[-0.5] - 0.01
+        assert accs[0.0] >= accs[0.5] - 0.01
+
+
+class TestLambdaGridSearch:
+    def test_grid_finds_feasible(self, sp_setup):
+        # a fine grid is needed: the feasible λ band for a tight ε can be
+        # narrower than a coarse grid step (the Table 8 phenomenon)
+        fitter, vc, val = sp_setup
+        grid = np.linspace(-1.0, 1.0, 201)
+        result = lambda_grid_search(fitter, vc, val.X, val.y, grid)
+        pred = result.model.predict(val.X)
+        assert abs(vc.disparity(val.y, pred)) <= 0.03 + 1e-9
+
+    def test_grid_costs_full_sweep(self, sp_setup):
+        fitter, vc, val = sp_setup
+        grid = np.linspace(-0.5, 0.5, 101)
+        result = lambda_grid_search(fitter, vc, val.X, val.y, grid)
+        assert result.n_fits >= len(grid)
+
+    def test_infeasible_grid_raises(self, sp_setup):
+        fitter, vc, val = sp_setup
+        with pytest.raises(InfeasibleConstraintError):
+            lambda_grid_search(fitter, vc, val.X, val.y, [0.0])
+
+
+class TestWarmStartFitter:
+    def test_warm_start_produces_distinct_snapshots(self, two_group_splits):
+        train, _, _ = two_group_splits
+        spec = FairnessSpec("SP", 0.03)
+        tc = bind_specs([spec], train)
+        fitter = WeightedFitter(
+            LogisticRegression(max_iter=200), train.X, train.y, tc,
+            warm_start=True,
+        )
+        m1 = fitter.fit(np.array([0.0]))
+        m2 = fitter.fit(np.array([0.5]))
+        assert m1 is not m2
+        assert not np.allclose(m1.coef_, m2.coef_)
