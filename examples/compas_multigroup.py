@@ -3,15 +3,15 @@
 The COMPAS dataset has African-American, Caucasian and Hispanic
 defendants; a single statistical-parity specification over the sensitive
 attribute induces all three pairwise constraints (Definition 1), and
-OmniFair's hill-climbing Algorithm 2 tunes one λ per constraint — the
-scenario of the paper's Figure 9 that existing baselines fail at.
+hill-climbing Algorithm 2 tunes one λ per constraint — the scenario of
+the paper's Figure 9 that existing baselines fail at.
 
 Run:  python examples/compas_multigroup.py
 """
 
 import numpy as np
 
-from repro import FairnessSpec, OmniFair
+from repro import fit_fair
 from repro.datasets import load_compas
 from repro.ml import LogisticRegression
 from repro.ml.model_selection import train_val_test_split
@@ -37,15 +37,14 @@ def main():
     })
     print(f"  max pairwise SP gap: {max(rates.values()) - min(rates.values()):.3f}")
 
-    of = OmniFair(
-        LogisticRegression(), FairnessSpec("SP", 0.05)
-    ).fit(train, val)
-    rates = selection_rates(of.predict(test.X), test)
-    print(f"\nOmniFair (3 constraints, Lambda={np.round(of.lambdas_, 3)}, "
-          f"{of.n_rounds_} hill-climbing rounds, {of.n_fits_} fits):")
+    fair = fit_fair(LogisticRegression(), "SP(race) <= 0.05", train, val)
+    report = fair.report
+    rates = selection_rates(fair.predict(test.X), test)
+    print(f"\nOmniFair (3 constraints, Lambda={np.round(report.lambdas, 3)}, "
+          f"{report.n_rounds} hill-climbing rounds, {report.n_fits} fits):")
     print("  selection rates:", {k: f"{v:.3f}" for k, v in rates.items()})
     print(f"  max pairwise SP gap: {max(rates.values()) - min(rates.values()):.3f}")
-    print(f"  test accuracy: {of.model_.score(test.X, test.y):.3f} "
+    print(f"  test accuracy: {fair.audit(test)['accuracy']:.3f} "
           f"(unconstrained: {base.score(test.X, test.y):.3f})")
 
 

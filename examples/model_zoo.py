@@ -7,7 +7,7 @@ learner without even that can be wrapped with example replication (§1).
 Run:  python examples/model_zoo.py
 """
 
-from repro import FairnessSpec, OmniFair
+from repro import fit_fair
 from repro.datasets import load_lsac
 from repro.ml import (
     GaussianNaiveBayes,
@@ -47,17 +47,16 @@ def main():
             WeightlessLearner(), resolution=20
         ),
     }
-    spec = FairnessSpec("SP", 0.04)
     print(f"{'model':28s} {'test acc':>9s} {'val |SP|':>9s} {'fits':>5s}")
     for name, estimator in models.items():
-        of = OmniFair(estimator, spec).fit(train, val)
-        report = of.evaluate(test)
+        fair = fit_fair(estimator, "SP <= 0.04", train, val)
+        audit = fair.audit(test)
         val_disp = max(
-            abs(v) for v in of.validation_report_["disparities"].values()
+            abs(v) for v in fair.report.disparities.values()
         )
         print(
-            f"{name:28s} {report['accuracy']:9.3f} {val_disp:9.3f} "
-            f"{of.n_fits_:5d}"
+            f"{name:28s} {audit['accuracy']:9.3f} {val_disp:9.3f} "
+            f"{fair.report.n_fits:5d}"
         )
 
 

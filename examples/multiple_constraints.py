@@ -1,14 +1,15 @@
 """Enforcing several fairness metrics at once (§6, Table 7).
 
 Statistical parity and false-negative-rate parity are enforced
-simultaneously on COMPAS.  At tight ε the combination can be infeasible —
-a consequence of the Kleinberg et al. impossibility result the paper cites
-— and OmniFair reports that honestly instead of returning an unfair model.
+simultaneously on COMPAS, written as one conjunctive DSL spec.  At tight
+ε the combination can be infeasible — a consequence of the Kleinberg et
+al. impossibility result the paper cites — and the engine reports that
+honestly instead of returning an unfair model.
 
 Run:  python examples/multiple_constraints.py
 """
 
-from repro import FairnessSpec, InfeasibleConstraintError, OmniFair
+from repro import Engine, InfeasibleConstraintError, Problem
 from repro.datasets import load_compas, two_group_view
 from repro.ml import LogisticRegression
 from repro.ml.model_selection import train_val_test_split
@@ -23,22 +24,22 @@ def main():
     base = LogisticRegression().fit(train.X, train.y)
     print(f"Unconstrained test accuracy: {base.score(test.X, test.y):.3f}\n")
 
+    engine = Engine("auto")
     for eps in (0.01, 0.05, 0.10, 0.15):
-        specs = [FairnessSpec("SP", eps), FairnessSpec("FNR", eps)]
-        of = OmniFair(LogisticRegression(), specs)
+        problem = Problem(f"SP <= {eps} and FNR <= {eps}")
         try:
-            of.fit(train, val)
+            fair = engine.solve(problem, LogisticRegression(), train, val)
         except InfeasibleConstraintError as exc:
             print(f"eps={eps:<5} N/A — {exc}")
             continue
-        report = of.evaluate(test)
+        audit = fair.audit(test)
         disparities = ", ".join(
             f"{k.split('|')[0]}={abs(v):.3f}"
-            for k, v in report["disparities"].items()
+            for k, v in audit["disparities"].items()
         )
         print(
-            f"eps={eps:<5} accuracy={report['accuracy']:.3f}  {disparities}"
-            f"  (rounds={of.n_rounds_}, fits={of.n_fits_})"
+            f"eps={eps:<5} accuracy={audit['accuracy']:.3f}  {disparities}"
+            f"  (rounds={fair.report.n_rounds}, fits={fair.report.n_fits})"
         )
 
 

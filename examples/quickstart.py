@@ -1,15 +1,13 @@
 """Quickstart: train a statistical-parity-fair recidivism classifier.
 
-Mirrors Figure 1 of the paper: declare a fairness specification (grouping
-function, fairness metric, disparity allowance), hand OmniFair a black-box
-ML algorithm, and get back a model that maximizes accuracy subject to the
-constraint.
+Mirrors Figure 1 of the paper with the layered facade: declare the
+fairness specification in the DSL, let the engine tune λ, and get back a
+deployable FairModel that maximizes accuracy subject to the constraint.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import FairnessSpec, OmniFair
-from repro.core.grouping import by_sensitive_attribute
+from repro import fit_fair
 from repro.datasets import load_compas, two_group_view
 from repro.ml import LogisticRegression
 from repro.ml.model_selection import train_val_test_split
@@ -24,23 +22,22 @@ def main():
 
     # 2. The unconstrained model is biased.
     base = LogisticRegression().fit(train.X, train.y)
-    spec = FairnessSpec(
-        metric="SP", epsilon=0.03, grouping=by_sensitive_attribute()
-    )
-    constraint = spec.bind(test)[0]
-    base_pred = base.predict(test.X)
     print("Unconstrained LR:")
     print(f"  test accuracy      {base.score(test.X, test.y):.3f}")
-    print(f"  test SP disparity  {constraint.disparity(test.y, base_pred):+.3f}")
 
-    # 3. Declare the constraint and let OmniFair tune lambda.
-    fair = OmniFair(LogisticRegression(), spec).fit(train, val)
-    fair_pred = fair.predict(test.X)
-    print(f"\nOmniFair (eps=0.03, lambda={fair.lambdas_[0]:.4f}, "
-          f"{fair.n_fits_} model fits):")
-    print(f"  test accuracy      {fair.model_.score(test.X, test.y):.3f}")
-    print(f"  test SP disparity  {constraint.disparity(test.y, fair_pred):+.3f}")
-    print(f"  validation report  {fair.validation_report_['disparities']}")
+    # 3. Declare the constraint in the DSL and solve.
+    fair = fit_fair(LogisticRegression(), "SP(race) <= 0.03", train, val)
+    report = fair.report
+    print(f"\nOmniFair ({report.strategy}, lambda={report.lambdas[0]:.4f}, "
+          f"{report.n_fits} model fits):")
+    audit = fair.audit(test)
+    print(f"  test accuracy      {audit['accuracy']:.3f}")
+    for label, value in audit["disparities"].items():
+        print(f"  test {label}  {value:+.3f}")
+
+    # 4. Ship the artifact.
+    fair.save("/tmp/fair_compas.pkl")
+    print("\nsaved deployable model to /tmp/fair_compas.pkl")
 
 
 if __name__ == "__main__":

@@ -5,13 +5,20 @@ constraints on black-box binary classifiers, plus the full substrate it
 needs (from-scratch ML models, benchmark-dataset twins, and the baseline
 fairness methods the paper compares against).
 
-Quickstart::
+Quickstart (declarative DSL + layered facade)::
 
-    from repro import OmniFair, FairnessSpec
+    from repro import fit_fair
     from repro.datasets import load_compas, two_group_view
     from repro.ml import LogisticRegression
 
     data = two_group_view(load_compas())
+    model = fit_fair(LogisticRegression(), "SP <= 0.03", data)
+    print(model.report.summary())
+    model.save("fair.pkl")
+
+The legacy imperative entry point still works unchanged::
+
+    from repro import OmniFair, FairnessSpec
     of = OmniFair(LogisticRegression(), FairnessSpec("SP", 0.03))
     of.fit(data)
     print(of.validation_report_)
@@ -19,21 +26,42 @@ Quickstart::
 
 from .core import (
     Constraint,
+    DSLParseError,
     FairnessMetric,
     FairnessSpec,
+    FitReport,
+    HistoryPoint,
     InfeasibleConstraintError,
     OmniFair,
     OmniFairError,
+    SearchStrategy,
     SpecificationError,
+    SpecSet,
+    available_strategies,
+    parse_spec,
+    register_strategy,
 )
 from .datasets import Dataset
+from .api import Engine, FairModel, Problem, fit_fair
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "OmniFair",
+    "Problem",
+    "Engine",
+    "FairModel",
+    "fit_fair",
+    "parse_spec",
+    "SpecSet",
+    "DSLParseError",
     "FairnessSpec",
     "FairnessMetric",
+    "FitReport",
+    "HistoryPoint",
+    "SearchStrategy",
+    "register_strategy",
+    "available_strategies",
     "Constraint",
     "Dataset",
     "OmniFairError",

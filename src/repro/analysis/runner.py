@@ -13,10 +13,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..api import Engine, Problem
 from ..baselines.base import NotSupportedError
 from ..core.exceptions import InfeasibleConstraintError
 from ..core.spec import FairnessSpec, bind_specs
-from ..core.trainer import OmniFair
 from ..ml import (
     GradientBoostedTrees,
     LogisticRegression,
@@ -159,20 +159,32 @@ def run_omnifair(
     dataset, estimator, metric="SP", epsilon=0.03, n_splits=3, seed=0,
     specs=None, **omnifair_kwargs,
 ):
-    """OmniFair under the multi-split protocol.
+    """OmniFair under the multi-split protocol, via the layered facade.
 
     ``specs`` overrides the default single ``FairnessSpec(metric, ε)``
-    (e.g. for multi-constraint experiments); test metrics are always
-    reported for the first spec's constraint.
+    (e.g. for multi-constraint experiments) and may be a DSL string;
+    test metrics are always reported for the first spec's constraint.
+    ``omnifair_kwargs`` accepts the legacy trainer knobs (``search``,
+    ``delta``, ``grid_steps``, ...), which are routed to the strategy
+    registry exactly as the :class:`~repro.core.trainer.OmniFair` shim
+    routes them.
     """
     report_spec = FairnessSpec(metric, epsilon)
+    opts = dict(omnifair_kwargs)
+    engine = Engine(
+        opts.pop("search", "auto"),
+        negative_weights=opts.pop("negative_weights", "flip"),
+        warm_start=opts.pop("warm_start", False),
+        subsample=opts.pop("subsample", None),
+        strict=False,  # legacy kwargs are a union across strategies
+        **opts,
+    )
+    problem = Problem(specs if specs is not None else [report_spec])
     results = []
     for train, val, test in _splits(dataset, n_splits, seed):
-        use = specs if specs is not None else [report_spec]
-        of = OmniFair(estimator.clone(), use, **omnifair_kwargs)
         t0 = time.perf_counter()
         try:
-            of.fit(train, val)
+            fair_model = engine.solve(problem, estimator.clone(), train, val)
         except InfeasibleConstraintError:
             results.append(
                 SplitResult(np.nan, np.nan, np.nan,
@@ -180,7 +192,7 @@ def run_omnifair(
             )
             continue
         runtime = time.perf_counter() - t0
-        acc, disp, auc = _test_metrics(of, test, report_spec)
+        acc, disp, auc = _test_metrics(fair_model, test, report_spec)
         results.append(SplitResult(acc, disp, auc, runtime, True))
     return _aggregate("OmniFair", results)
 

@@ -1,0 +1,316 @@
+"""Layered public facade: :class:`Problem` → :class:`Engine` → :class:`FairModel`.
+
+The three layers separate what the legacy ``OmniFair`` class mixed into
+one constructor:
+
+* **Problem** — the declarative statement: which fairness constraints,
+  on which groups, at which allowance.  Built from a DSL string
+  (``"SP(race) <= 0.03"``), a :class:`FairnessSpec`, or a list of them.
+  Canonicalizable (for caching / dedup) and estimator-agnostic.
+* **Engine** — the solver: a registered search strategy plus its config,
+  and the weighted-training knobs (negative weights, warm start,
+  subsample).  Stateless across ``solve`` calls.
+* **FairModel** — the deployable artifact: the fitted classifier bundled
+  with its specs and :class:`FitReport`, exposing ``predict`` /
+  ``predict_proba`` / ``audit`` / ``save`` / ``load``.
+
+Quickstart::
+
+    from repro.api import Engine, Problem, fit_fair
+    from repro.ml import LogisticRegression
+
+    model = fit_fair(LogisticRegression(), "SP <= 0.03", train, val)
+    model.audit(test)["accuracy"]
+    model.save("fair.pkl")
+
+The legacy ``OmniFair`` class remains as a thin shim over this facade.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .core.dsl import SpecSet, parse_spec
+from .core.evaluation import evaluate_model
+from .core.exceptions import SpecificationError
+from .core.report import FitReport
+from .core.single import SingleTuneResult
+from .core.spec import bind_specs
+from .core.strategies import (
+    available_strategies,
+    get_strategy,
+    known_option_names,
+    resolve_strategy_name,
+)
+from .core.fitter import WeightedFitter
+from .datasets.schema import Dataset
+from .ml.model_selection import train_test_split
+from .ml.persistence import load_model, save_model
+
+__all__ = ["Problem", "Engine", "FairModel", "fit_fair"]
+
+
+class Problem:
+    """A declarative fairness problem: the constraints, nothing else.
+
+    Parameters
+    ----------
+    spec : str or FairnessSpec or list of FairnessSpec
+        A DSL string (``"FPR <= 0.05 and FNR <= 0.05"``), a single spec,
+        or a list; strings are parsed with
+        :func:`~repro.core.dsl.parse_spec`.
+    """
+
+    def __init__(self, spec):
+        specs = parse_spec(spec)
+        if not specs:
+            raise SpecificationError("at least one FairnessSpec is required")
+        self.specs = specs
+
+    @classmethod
+    def coerce(cls, value):
+        """Pass through a Problem, build one from anything spec-like."""
+        return value if isinstance(value, cls) else cls(value)
+
+    def to_string(self):
+        """DSL rendering (raises for non-DSL metrics/groupings)."""
+        return self.specs.to_string()
+
+    def canonical(self):
+        """Order- and format-normalized DSL string — a stable cache key."""
+        return self.specs.canonical()
+
+    def bind(self, dataset):
+        """Induce this problem's pairwise constraints on ``dataset``."""
+        return bind_specs(self.specs, dataset)
+
+    def __repr__(self):
+        try:
+            return f"Problem({self.to_string()!r})"
+        except SpecificationError:
+            return f"Problem({list(self.specs)!r})"
+
+
+class FairModel:
+    """A deployable fair classifier: model + specs + fit report.
+
+    Decoupled from the trainer — it can be pickled, shipped, and audited
+    on fresh data without any reference to the engine that produced it.
+    """
+
+    def __init__(self, model, specs, report=None, metadata=None):
+        self.model = model
+        self.specs = SpecSet(parse_spec(specs))
+        self.report = report
+        self.metadata = dict(metadata or {})
+
+    def predict(self, X):
+        """Hard labels from the tuned fair model."""
+        return self.model.predict(X)
+
+    def predict_proba(self, X):
+        """Class probabilities from the tuned fair model."""
+        return self.model.predict_proba(X)
+
+    def audit(self, dataset):
+        """Re-evaluate the model's fairness on any :class:`Dataset`.
+
+        Binds this model's specs to ``dataset`` and returns the
+        :func:`~repro.core.evaluation.evaluate_model` dict (accuracy,
+        per-constraint disparities/violations, feasibility).
+        """
+        constraints = bind_specs(self.specs, dataset)
+        return evaluate_model(self.model, dataset.X, dataset.y, constraints)
+
+    @property
+    def lambdas(self):
+        """Tuned hyperparameters (None when no report is attached)."""
+        return None if self.report is None else self.report.lambdas
+
+    def save(self, path):
+        """Serialize this artifact with the versioned model envelope."""
+        save_model(self, path)
+
+    @classmethod
+    def load(cls, path):
+        """Load a saved artifact; rejects files holding other objects."""
+        obj = load_model(path)
+        if not isinstance(obj, cls):
+            raise SpecificationError(
+                f"{path!r} holds a {type(obj).__name__}, not a FairModel"
+            )
+        return obj
+
+    def __repr__(self):
+        try:
+            spec = self.specs.to_string()
+        except SpecificationError:
+            spec = f"{len(self.specs)} spec(s)"
+        return (
+            f"FairModel({type(self.model).__name__}, {spec!r}, "
+            f"feasible={None if self.report is None else self.report.feasible})"
+        )
+
+
+class Engine:
+    """The solver layer: strategy dispatch over the registry.
+
+    Parameters
+    ----------
+    strategy : str
+        A registered strategy name, or ``"auto"`` (Algorithm 1 for one
+        constraint, Algorithm 2 otherwise — resolved at solve time, once
+        the bound constraint count is known).
+    negative_weights, warm_start, subsample
+        Weighted-training knobs, passed to
+        :class:`~repro.core.fitter.WeightedFitter`.
+    strict : bool
+        Whether unknown ``**options`` keys raise (the legacy shim sets
+        ``False`` because it forwards the union of all old kwargs).
+    **options
+        Strategy knobs, validated against the chosen strategy's config
+        dataclass (e.g. ``tau=1e-4`` or ``grid_steps=9``).
+    """
+
+    def __init__(
+        self,
+        strategy="auto",
+        *,
+        negative_weights="flip",
+        warm_start=False,
+        subsample=None,
+        strict=True,
+        **options,
+    ):
+        if strategy != "auto" and strategy not in available_strategies():
+            raise SpecificationError(
+                f"unknown search strategy {strategy!r}; registered: "
+                f"{available_strategies()} (plus 'auto')"
+            )
+        self.strategy = strategy
+        self.negative_weights = negative_weights
+        self.warm_start = warm_start
+        self.subsample = subsample
+        self.strict = strict
+        self.options = dict(options)
+        # even in non-strict mode, an option no registered strategy
+        # understands is a typo, not a cross-strategy legacy knob
+        unknown = sorted(set(self.options) - known_option_names())
+        if unknown:
+            raise SpecificationError(
+                f"unknown option(s) {unknown}; no registered strategy "
+                f"accepts them"
+            )
+        if strict and strategy != "auto":
+            # fail fast on options the chosen strategy does not accept
+            get_strategy(strategy).make_config(self.options, strict=True)
+
+    @staticmethod
+    def _split_validation(train, val_fraction, seed):
+        idx = np.arange(len(train))
+        strat = train.sensitive * 2 + train.y  # keep group×label mix stable
+        train_idx, val_idx = train_test_split(
+            idx, test_size=val_fraction, seed=seed, stratify=strat
+        )
+        return train.subset(train_idx), train.subset(val_idx)
+
+    def solve(
+        self, problem, estimator, train, val=None, *,
+        val_fraction=0.25, seed=0,
+    ):
+        """Solve ``problem`` for ``estimator`` on ``train``/``val``.
+
+        Returns a :class:`FairModel` whose ``report`` is the
+        :class:`~repro.core.report.FitReport`.  Raises
+        :class:`InfeasibleConstraintError` when no feasible
+        hyperparameter setting is found, exactly like the strategies do.
+        """
+        problem = Problem.coerce(problem)
+        if not isinstance(train, Dataset):
+            raise SpecificationError(
+                "train must be a repro.datasets.Dataset; wrap raw arrays "
+                "with Dataset(name=..., X=..., y=..., sensitive=...)"
+            )
+        if val is None:
+            train, val = self._split_validation(train, val_fraction, seed)
+
+        train_constraints = problem.bind(train)
+        val_constraints = problem.bind(val)
+        if [c.label for c in train_constraints] != [
+            c.label for c in val_constraints
+        ]:
+            raise SpecificationError(
+                "grouping produced different groups on train and validation "
+                "splits; use a deterministic grouping or larger splits"
+            )
+
+        fitter = WeightedFitter(
+            estimator,
+            train.X,
+            train.y,
+            train_constraints,
+            negative_weights=self.negative_weights,
+            warm_start=self.warm_start,
+            subsample=self.subsample,
+        )
+
+        name = resolve_strategy_name(self.strategy, len(train_constraints))
+        strategy = get_strategy(name)
+        config = strategy.make_config(self.options, strict=self.strict)
+        raw = strategy.solve(fitter, val_constraints, val.X, val.y, config)
+
+        if isinstance(raw, SingleTuneResult):
+            lambdas = np.array([raw.lam], dtype=np.float64)
+            n_rounds = 0
+            swapped = raw.swapped
+        else:
+            lambdas = np.asarray(raw.lambdas, dtype=np.float64)
+            n_rounds = raw.n_rounds
+            swapped = False
+
+        report = FitReport(
+            strategy=name,
+            lambdas=lambdas,
+            feasible=raw.feasible,
+            n_fits=raw.n_fits,
+            n_rounds=n_rounds,
+            history=list(raw.history),
+            constraint_labels=tuple(c.label for c in val_constraints),
+            validation=evaluate_model(
+                raw.model, val.X, val.y, val_constraints
+            ),
+            swapped=swapped,
+            train_constraints=list(fitter.constraints),
+            val_constraints=list(val_constraints),
+        )
+        return FairModel(
+            raw.model,
+            problem.specs,
+            report=report,
+            metadata={
+                "estimator": type(estimator).__name__,
+                "strategy": name,
+            },
+        )
+
+    def __repr__(self):
+        return (
+            f"Engine(strategy={self.strategy!r}, options={self.options!r})"
+        )
+
+
+def fit_fair(
+    estimator, spec, train, val=None, *,
+    strategy="auto", val_fraction=0.25, seed=0, **engine_options,
+):
+    """One-call convenience: build an Engine, solve, return the FairModel.
+
+    ``engine_options`` are split by :class:`Engine` itself — fitting
+    knobs (``negative_weights``, ``warm_start``, ``subsample``) go to
+    the weighted fitter, the rest to the strategy config.
+    """
+    engine = Engine(strategy, **engine_options)
+    return engine.solve(
+        spec if isinstance(spec, Problem) else Problem(spec),
+        estimator, train, val, val_fraction=val_fraction, seed=seed,
+    )

@@ -5,7 +5,7 @@ benchmark twins and print the evaluation, without writing any code.
 
 Examples
 --------
-List the available datasets, metrics and models::
+List the available datasets, metrics, models and search strategies::
 
     python -m repro list
 
@@ -13,27 +13,49 @@ Train fair logistic regression on COMPAS under SP ≤ 0.03::
 
     python -m repro train --dataset compas --metric SP --epsilon 0.03
 
-Train XGBoost-style boosting on Adult under FNR parity and save the model::
+The same constraint written in the declarative spec DSL::
 
-    python -m repro train --dataset adult --model XGB --metric FNR \
-        --epsilon 0.05 --save fair_model.pkl
+    python -m repro train --dataset compas --spec "SP <= 0.03"
+
+Equalized odds (two clauses), a specific search strategy with a solver
+knob, and a saved deployable artifact::
+
+    python -m repro train --dataset adult \
+        --spec "FPR <= 0.05 and FNR <= 0.05" \
+        --search hill_climb --strategy-opt tau=1e-4 \
+        --save fair_model.pkl
 """
 
 from __future__ import annotations
 
 import argparse
+import ast
 import sys
 
 from .analysis.runner import ESTIMATOR_FACTORIES, make_estimator
-from .core.exceptions import InfeasibleConstraintError
+from .api import Engine, Problem
+from .core.exceptions import InfeasibleConstraintError, SpecificationError
 from .core.fairness_metrics import METRIC_FACTORIES
 from .core.spec import FairnessSpec
-from .core.trainer import OmniFair
+from .core.strategies import available_strategies
 from .datasets import LOADERS, load, two_group_view
 from .ml.model_selection import train_val_test_split
-from .ml.persistence import save_model
 
 __all__ = ["main", "build_parser"]
+
+
+def _strategy_opt(text):
+    """Parse one ``key=value`` pair; values go through literal_eval."""
+    key, sep, value = text.partition("=")
+    if not sep or not key.strip():
+        raise argparse.ArgumentTypeError(
+            f"expected key=value, got {text!r}"
+        )
+    try:
+        parsed = ast.literal_eval(value)
+    except (ValueError, SyntaxError):
+        parsed = value  # plain string option
+    return key.strip(), parsed
 
 
 def build_parser():
@@ -43,13 +65,29 @@ def build_parser():
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list datasets, metrics and models")
+    sub.add_parser(
+        "list", help="list datasets, metrics, models and search strategies"
+    )
 
     train = sub.add_parser("train", help="train a fair model on a twin")
     train.add_argument("--dataset", choices=sorted(LOADERS), required=True)
+    train.add_argument("--spec", action="append", default=None,
+                       metavar="DSL",
+                       help="declarative spec, e.g. 'SP(race) <= 0.03' or "
+                            "'FPR <= 0.05 and FNR <= 0.05'; repeatable "
+                            "(clauses are conjoined); overrides "
+                            "--metric/--epsilon")
     train.add_argument("--metric", default="SP",
                        choices=sorted(METRIC_FACTORIES))
     train.add_argument("--epsilon", type=float, default=0.03)
+    train.add_argument("--search", default="auto",
+                       choices=["auto"] + available_strategies(),
+                       help="search strategy from the registry "
+                            "(default: auto)")
+    train.add_argument("--strategy-opt", action="append", default=None,
+                       type=_strategy_opt, metavar="KEY=VALUE",
+                       help="solver knob passed to the strategy config, "
+                            "e.g. tau=1e-4 or grid_steps=9; repeatable")
     train.add_argument("--model", default="LR",
                        choices=sorted(ESTIMATOR_FACTORIES))
     train.add_argument("--rows", type=int, default=4000,
@@ -61,14 +99,15 @@ def build_parser():
     train.add_argument("--subsample", type=float, default=None,
                        help="bounding-stage subsample fraction (§8 pruning)")
     train.add_argument("--save", metavar="PATH", default=None,
-                       help="save the fitted model with repro.ml.save_model")
+                       help="save the deployable FairModel artifact")
     return parser
 
 
 def _cmd_list(out):
-    out.write("datasets: " + ", ".join(sorted(LOADERS)) + "\n")
-    out.write("metrics:  " + ", ".join(sorted(METRIC_FACTORIES)) + "\n")
-    out.write("models:   " + ", ".join(sorted(ESTIMATOR_FACTORIES)) + "\n")
+    out.write("datasets:   " + ", ".join(sorted(LOADERS)) + "\n")
+    out.write("metrics:    " + ", ".join(sorted(METRIC_FACTORIES)) + "\n")
+    out.write("models:     " + ", ".join(sorted(ESTIMATOR_FACTORIES)) + "\n")
+    out.write("strategies: auto, " + ", ".join(available_strategies()) + "\n")
     return 0
 
 
@@ -81,29 +120,53 @@ def _cmd_train(args, out):
                                       stratify=strat)
     train, val, test = data.subset(tr), data.subset(va), data.subset(te)
 
-    of = OmniFair(
-        make_estimator(args.model),
-        FairnessSpec(args.metric, args.epsilon),
-        subsample=args.subsample,
-    )
     try:
-        of.fit(train, val)
+        if args.spec:
+            problem = Problem(" and ".join(args.spec))
+        else:
+            problem = Problem(FairnessSpec(args.metric, args.epsilon))
+        options = dict(args.strategy_opt or ())
+        reserved = {
+            "negative_weights", "warm_start", "subsample", "strict",
+        } & set(options)
+        if reserved:
+            raise SpecificationError(
+                f"--strategy-opt cannot set engine parameter(s) "
+                f"{sorted(reserved)}; use the dedicated CLI flags"
+            )
+        engine = Engine(
+            args.search, subsample=args.subsample, **options
+        )
+    except SpecificationError as exc:
+        out.write(f"SPEC ERROR: {exc}\n")
+        return 2
+
+    try:
+        fair_model = engine.solve(
+            problem, make_estimator(args.model), train, val,
+        )
     except InfeasibleConstraintError as exc:
         out.write(f"INFEASIBLE: {exc}\n")
         return 1
+    except SpecificationError as exc:
+        out.write(f"SPEC ERROR: {exc}\n")
+        return 2
 
-    report = of.evaluate(test)
+    report = fair_model.report
     out.write(
-        f"dataset={args.dataset} model={args.model} metric={args.metric} "
-        f"epsilon={args.epsilon}\n"
+        f"dataset={args.dataset} model={args.model} "
+        f"spec=\"{problem.canonical()}\" strategy={report.strategy}\n"
     )
-    out.write(f"lambda(s): {of.lambdas_.tolist()}  model fits: {of.n_fits_}\n")
-    out.write(f"validation: {of.validation_report_['disparities']}\n")
-    out.write(f"test accuracy: {report['accuracy']:.4f}\n")
-    for label, value in report["disparities"].items():
+    out.write(
+        f"lambda(s): {report.lambdas.tolist()}  model fits: {report.n_fits}\n"
+    )
+    out.write(f"validation: {report.disparities}\n")
+    audit = fair_model.audit(test)
+    out.write(f"test accuracy: {audit['accuracy']:.4f}\n")
+    for label, value in audit["disparities"].items():
         out.write(f"test {label}: {value:+.4f}\n")
     if args.save:
-        save_model(of, args.save)
+        fair_model.save(args.save)
         out.write(f"saved model to {args.save}\n")
     return 0
 

@@ -1,6 +1,11 @@
 """OmniFair core: declarative specs, weight translation, λ/Λ tuning."""
 
-from .evaluation import evaluate_model
+from .dsl import COMPOSITE_METRICS, DSLParseError, SpecSet, parse_spec
+from .evaluation import (
+    disparity_vector,
+    evaluate_model,
+    max_violation,
+)
 from .exceptions import (
     InfeasibleConstraintError,
     OmniFairError,
@@ -18,11 +23,14 @@ from .fairness_metrics import (
     statistical_parity,
 )
 from .grouping import (
+    by_attributes,
     by_groups,
     by_predicate,
     by_sensitive_attribute,
     intersectional,
 )
+from .history import HistoryPoint
+from .report import FitReport
 from .spec import (
     Constraint,
     FairnessSpec,
@@ -30,11 +38,31 @@ from .spec import (
     equalized_odds_specs,
     predictive_parity_specs,
 )
+from .strategies import (
+    SearchStrategy,
+    StrategyConfig,
+    available_strategies,
+    get_strategy,
+    register_strategy,
+    unregister_strategy,
+)
 from .trainer import OmniFair
 from .weights import compute_weights, resolve_negative_weights
 
 __all__ = [
     "OmniFair",
+    "parse_spec",
+    "SpecSet",
+    "DSLParseError",
+    "COMPOSITE_METRICS",
+    "HistoryPoint",
+    "FitReport",
+    "SearchStrategy",
+    "StrategyConfig",
+    "register_strategy",
+    "unregister_strategy",
+    "get_strategy",
+    "available_strategies",
     "FairnessSpec",
     "Constraint",
     "bind_specs",
@@ -50,12 +78,15 @@ __all__ = [
     "average_error_cost_parity",
     "custom_metric",
     "by_sensitive_attribute",
+    "by_attributes",
     "by_groups",
     "by_predicate",
     "intersectional",
     "compute_weights",
     "resolve_negative_weights",
     "evaluate_model",
+    "max_violation",
+    "disparity_vector",
     "OmniFairError",
     "SpecificationError",
     "InfeasibleConstraintError",

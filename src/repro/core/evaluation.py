@@ -5,8 +5,14 @@ from __future__ import annotations
 import numpy as np
 
 from ..ml.metrics import accuracy_score
+from .exceptions import SpecificationError
 
-__all__ = ["evaluate_model", "max_violation", "all_satisfied"]
+__all__ = [
+    "evaluate_model",
+    "max_violation",
+    "all_satisfied",
+    "disparity_vector",
+]
 
 
 def evaluate_model(model, X, y, constraints):
@@ -31,7 +37,18 @@ def evaluate_model(model, X, y, constraints):
 
 
 def max_violation(y, pred, constraints):
-    """Largest ``|FP_i| − ε_i`` over constraints (may be negative)."""
+    """Largest ``|FP_i| − ε_i`` over constraints (may be negative).
+
+    Raises
+    ------
+    SpecificationError
+        If ``constraints`` is empty — there is no violation to report,
+        and silently returning a sentinel would mask a mis-bound spec.
+    """
+    if not constraints:
+        raise SpecificationError(
+            "max_violation requires at least one constraint"
+        )
     return max(abs(c.disparity(y, pred)) - c.epsilon for c in constraints)
 
 

@@ -31,6 +31,7 @@ from .exceptions import SpecificationError
 
 __all__ = [
     "by_sensitive_attribute",
+    "by_attributes",
     "by_groups",
     "intersectional",
     "by_predicate",
@@ -59,8 +60,27 @@ def validate_grouping(groups, n_rows):
     return out
 
 
+def _enumerate_value_groups(n_rows, values, label_fn):
+    """Cross product of observed value combinations → ``{label: indices}``.
+
+    Shared by the intersectional groupings: one group per combination of
+    values (one array per attribute), empty combinations skipped.
+    """
+    uniques = [np.unique(v) for v in values]
+    groups = {}
+    for combo in itertools.product(*uniques):
+        mask = np.ones(n_rows, dtype=bool)
+        for val, arr in zip(combo, values):
+            mask &= arr == val
+        if mask.any():
+            groups[label_fn(combo)] = np.nonzero(mask)[0]
+    return groups
+
+
 class _BySensitiveAttribute:
     __name__ = "by_sensitive_attribute"
+    # empty tuple = the DSL's default grouping, printed without parentheses
+    dsl_attrs = ()
 
     def __call__(self, dataset):
         groups = {}
@@ -73,6 +93,56 @@ class _BySensitiveAttribute:
             idx = np.nonzero(dataset.sensitive == code)[0]
             if len(idx):
                 groups[name] = idx
+        return validate_grouping(groups, len(dataset))
+
+
+class _ByAttributes:
+    """Grouping over named dataset attributes (the spec DSL's form).
+
+    A name resolves, in order, to the dataset's sensitive attribute, an
+    ``extras`` array, or a ``feature_names`` column.  Several names yield
+    the cross product of their observed values (intersectional groups).
+    """
+
+    def __init__(self, names):
+        self.names = tuple(str(n) for n in names)
+        self.dsl_attrs = self.names
+        self.__name__ = f"by_attributes({', '.join(self.names)})"
+
+    @staticmethod
+    def _resolve(dataset, name):
+        """Return ``(values, value_names)`` for one attribute name."""
+        if name == dataset.sensitive_attribute:
+            return dataset.sensitive, dataset.group_names or None
+        extra = dataset.extras.get(name)
+        if extra is not None and np.ndim(extra) == 1 \
+                and len(extra) == len(dataset):
+            return np.asarray(extra), None
+        if name in dataset.feature_names:
+            col = dataset.feature_names.index(name)
+            return dataset.X[:, col], None
+        raise SpecificationError(
+            f"attribute {name!r} not found on dataset {dataset.name!r}; "
+            f"known: sensitive attribute {dataset.sensitive_attribute!r}, "
+            f"extras {sorted(dataset.extras)}, and feature columns"
+        )
+
+    def __call__(self, dataset):
+        values, value_names = [], []
+        for name in self.names:
+            vals, names = self._resolve(dataset, name)
+            values.append(vals)
+            value_names.append(names)
+        single = len(self.names) == 1
+
+        def label(combo):
+            parts = []
+            for attr, val, names in zip(self.names, combo, value_names):
+                shown = names[int(val)] if names is not None else val
+                parts.append(f"{shown}" if single else f"{attr}={shown}")
+            return "&".join(parts)
+
+        groups = _enumerate_value_groups(len(dataset), values, label)
         return validate_grouping(groups, len(dataset))
 
 
@@ -104,15 +174,12 @@ class _Intersectional:
     def __call__(self, dataset):
         names = sorted(self.attributes)
         values = [np.asarray(self.attributes[a](dataset)) for a in names]
-        uniques = [np.unique(v) for v in values]
-        groups = {}
-        for combo in itertools.product(*uniques):
-            mask = np.ones(len(dataset), dtype=bool)
-            for val, arr in zip(combo, values):
-                mask &= arr == val
-            if mask.any():
-                label = "&".join(f"{a}={v}" for a, v in zip(names, combo))
-                groups[label] = np.nonzero(mask)[0]
+        groups = _enumerate_value_groups(
+            len(dataset), values,
+            lambda combo: "&".join(
+                f"{a}={v}" for a, v in zip(names, combo)
+            ),
+        )
         return validate_grouping(groups, len(dataset))
 
 
@@ -143,6 +210,20 @@ def by_sensitive_attribute():
     pairwise constraints, per Definition 1).
     """
     return _BySensitiveAttribute()
+
+
+def by_attributes(*names):
+    """Group rows by named dataset attributes (intersectional if several).
+
+    This is the grouping form the spec DSL produces: ``"SP(race)"`` maps
+    to ``by_attributes("race")`` and ``"MR(race * sex)"`` to
+    ``by_attributes("race", "sex")``.  Each name resolves against the
+    dataset's sensitive attribute, its ``extras`` arrays, or a feature
+    column, in that order, at bind time.
+    """
+    if not names:
+        raise SpecificationError("by_attributes needs at least one name")
+    return _ByAttributes(names)
 
 
 def by_groups(*names):

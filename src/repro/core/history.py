@@ -1,0 +1,36 @@
+"""Uniform tuning-history records shared by every search strategy.
+
+Each model fit performed while tuning λ (Algorithm 1) or Λ (Algorithm 2)
+is logged as one :class:`HistoryPoint`.  Single-constraint strategies
+store scalars; multi-constraint strategies store the Λ vector and the
+disparity vector, keeping the record shape identical across paths so
+reporting code never branches.
+
+``HistoryPoint`` is a named tuple, so legacy code that indexed the bare
+``(lam, disparity, accuracy)`` tuples keeps working unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+__all__ = ["HistoryPoint"]
+
+
+class HistoryPoint(NamedTuple):
+    """One tuning step: hyperparameter(s), observed disparity, accuracy.
+
+    Attributes
+    ----------
+    lam : float or ndarray
+        The λ (scalar) or Λ (vector) the model was fitted with.
+    disparity : float or ndarray
+        Validation disparity ``FP`` for that fit — a scalar for
+        single-constraint tuning, the per-constraint vector otherwise.
+    accuracy : float
+        Validation accuracy of the fitted model.
+    """
+
+    lam: object
+    disparity: object
+    accuracy: float

@@ -20,6 +20,7 @@ import numpy as np
 
 from ..ml.metrics import accuracy_score
 from .exceptions import InfeasibleConstraintError
+from .history import HistoryPoint
 
 __all__ = ["hill_climb", "grid_search_lambdas", "MultiTuneResult"]
 
@@ -33,7 +34,7 @@ class MultiTuneResult:
     feasible: bool
     n_fits: int
     n_rounds: int = 0
-    history: list = field(default_factory=list)  # (Λ, disparities, acc)
+    history: list = field(default_factory=list)  # list of HistoryPoint
 
 
 class _MultiEvaluator:
@@ -206,7 +207,7 @@ def hill_climb(
     lambdas = np.zeros(k)
     model = fitter.fit_unweighted()
     disparities, acc = evaluate(model)
-    history = [(lambdas.copy(), disparities.copy(), acc)]
+    history = [HistoryPoint(lambdas.copy(), disparities.copy(), acc)]
 
     best_model, best_lams, best_viol = model, lambdas.copy(), np.inf
     for round_idx in range(max_rounds):
@@ -228,7 +229,7 @@ def hill_climb(
             fitter, evaluate, lambdas, j, model, disparities,
             initial_step=initial_step, tau=tau,
         )
-        history.append((lambdas.copy(), disparities.copy(), acc))
+        history.append(HistoryPoint(lambdas.copy(), disparities.copy(), acc))
 
     violations = evaluate.violations(disparities)
     if float(violations.max()) <= 1e-12:
@@ -264,7 +265,7 @@ def grid_search_lambdas(
         model = fitter.fit(lams, prev_model=prev_model)
         prev_model = model
         disparities, acc = evaluate(model)
-        history.append((lams, disparities, acc))
+        history.append(HistoryPoint(lams, disparities, acc))
         if np.all(evaluate.violations(disparities) <= 1e-12) and acc > best[2]:
             best = (model, lams, acc)
     if best[0] is None:

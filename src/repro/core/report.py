@@ -1,0 +1,88 @@
+"""Structured fit result shared by the engine, the shim, and the CLI.
+
+The old trainer leaked its outcome as loose trailing-underscore
+attributes (``lambdas_``, ``history_``, ``validation_report_``);
+:class:`FitReport` gathers the same information into one picklable
+dataclass with a uniform shape regardless of which search strategy ran.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["FitReport"]
+
+
+@dataclass
+class FitReport:
+    """Everything a fit produced besides the model itself.
+
+    Attributes
+    ----------
+    strategy : str
+        Name of the registered search strategy that actually ran
+        (``"auto"`` is resolved before this is recorded).
+    lambdas : ndarray, shape (k,)
+        Tuned hyperparameters, one per induced constraint — always a
+        vector, even for single-constraint fits.
+    feasible : bool
+        Whether every constraint held on the validation split.
+    n_fits : int
+        Total model fits spent by the search.
+    n_rounds : int
+        Hill-climbing rounds (0 for single-constraint strategies).
+    history : list of HistoryPoint
+        Every fit as ``(lam, disparity, accuracy)`` named tuples.
+    constraint_labels : tuple of str
+        Labels of the induced constraints, ordered like ``lambdas``.
+    validation : dict
+        :func:`~repro.core.evaluation.evaluate_model` output on the
+        validation split (accuracy, disparities, violations, feasible).
+    swapped : bool
+        Whether Algorithm 1 reoriented the group pair (single only).
+    train_constraints, val_constraints : list of Constraint
+        The bound constraints (train side reflects any reorientation);
+        kept for audit/debug, excluded from ``repr``.
+    """
+
+    strategy: str
+    lambdas: np.ndarray
+    feasible: bool
+    n_fits: int
+    n_rounds: int
+    history: list
+    constraint_labels: tuple
+    validation: dict
+    swapped: bool = False
+    train_constraints: list = field(default_factory=list, repr=False)
+    val_constraints: list = field(default_factory=list, repr=False)
+
+    @property
+    def accuracy(self):
+        """Validation accuracy of the selected model."""
+        return self.validation["accuracy"]
+
+    @property
+    def disparities(self):
+        """Validation disparity per constraint label."""
+        return self.validation["disparities"]
+
+    @property
+    def violations(self):
+        """Validation ``max(0, |FP| − ε)`` per constraint label."""
+        return self.validation["violations"]
+
+    def summary(self):
+        """Human-readable multi-line summary (used by the CLI)."""
+        lines = [
+            f"strategy:   {self.strategy}"
+            f" ({self.n_fits} fits, {self.n_rounds} rounds)",
+            f"lambdas:    {np.round(self.lambdas, 6).tolist()}",
+            f"feasible:   {self.feasible}",
+            f"accuracy:   {self.accuracy:.4f} (validation)",
+        ]
+        for label, value in self.disparities.items():
+            lines.append(f"disparity:  {label} = {value:+.4f}")
+        return "\n".join(lines)

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..ml.metrics import accuracy_score
 from .exceptions import InfeasibleConstraintError
+from .history import HistoryPoint
 
 __all__ = ["tune_single_lambda", "SingleTuneResult", "lambda_grid_search"]
 
@@ -36,7 +37,7 @@ class SingleTuneResult:
     feasible: bool
     swapped: bool
     n_fits: int
-    history: list = field(default_factory=list)  # (λ, FP_val, acc_val)
+    history: list = field(default_factory=list)  # list of HistoryPoint
 
 
 class _Evaluator:
@@ -102,7 +103,7 @@ def tune_single_lambda(
     # -- stage 1: λ = 0 ------------------------------------------------------
     model0 = fitter.fit_unweighted()
     fp0, acc0 = evaluate(model0)
-    history.append((0.0, fp0, acc0))
+    history.append(HistoryPoint(0.0, fp0, acc0))
     if abs(fp0) <= epsilon:
         return SingleTuneResult(
             model=model0, lam=0.0, feasible=True, swapped=False,
@@ -132,7 +133,7 @@ def tune_single_lambda(
             use_subsample=cheap and prune,
         )
         fp, acc = evaluate(model)
-        history.append((lam, fp, acc))
+        history.append(HistoryPoint(lam, fp, acc))
         return model, fp, acc
 
     # Direction probe.  Lemma 2 guarantees FP(θ*(λ)) non-decreasing in λ for
@@ -261,7 +262,7 @@ def lambda_grid_search(fitter, val_constraint, X_val, y_val, grid):
         model = fitter.fit(np.array([lam]), prev_model=prev)
         prev = model
         fp, acc = evaluate(model)
-        history.append((float(lam), fp, acc))
+        history.append(HistoryPoint(float(lam), fp, acc))
         if abs(fp) <= epsilon and acc > best[2]:
             best = (model, float(lam), acc)
     if best[0] is None:

@@ -122,6 +122,30 @@ class FairnessSpec:
         g = getattr(self.grouping, "__name__", repr(self.grouping))
         return f"FairnessSpec(metric={self.metric.name}, eps={self.epsilon}, g={g})"
 
+    def to_string(self):
+        """Render this spec in the DSL (``"SP(race) <= 0.03"`` style).
+
+        Round-trips: ``parse_spec(spec.to_string())`` yields an
+        equivalent spec.  Only built-in metrics and attribute-name
+        groupings (the forms the DSL can express) are printable; custom
+        metrics or predicate groupings raise :class:`SpecificationError`.
+        """
+        if self.metric.name not in METRIC_FACTORIES:
+            raise SpecificationError(
+                f"metric {self.metric.name!r} is not a built-in DSL metric "
+                f"and cannot be rendered as a spec string"
+            )
+        attrs = getattr(self.grouping, "dsl_attrs", None)
+        if attrs is None:
+            raise SpecificationError(
+                f"grouping {getattr(self.grouping, '__name__', self.grouping)!r} "
+                f"is not expressible in the spec DSL"
+            )
+        head = self.metric.name
+        if attrs:
+            head += f"({' * '.join(attrs)})"
+        return f"{head} <= {format(self.epsilon, 'g')}"
+
     def bind(self, dataset):
         """Induce the pairwise constraints of this spec on ``dataset``.
 

@@ -1,0 +1,438 @@
+"""Pluggable λ/Λ search strategies behind a registry (the solver layer).
+
+The trainer used to hard-code ``if search == "grid"`` branches; this
+module replaces them with a :class:`SearchStrategy` protocol plus a
+registry so third parties can ship solvers without touching the engine::
+
+    from repro.core.strategies import SearchStrategy, register_strategy
+
+    @register_strategy
+    class MySolver(SearchStrategy):
+        name = "my_solver"
+        config_cls = MyConfig
+        def solve(self, fitter, val_constraints, X_val, y_val, config):
+            ...
+
+Built-ins:
+
+``binary_search``
+    Algorithm 1 (§5.3): exponential/linear bounding + binary search.
+    Single-constraint only — the paper's monotonicity argument (Lemma 2)
+    is one-dimensional.
+``hill_climb``
+    Algorithm 2 (§6) marginal hill climbing for k constraints; for k = 1
+    it reduces to Algorithm 1 and delegates to it.
+``grid``
+    The Table 8 exhaustive-grid baseline, single- or multi-constraint.
+``linear``
+    Symmetric δ-sweep outward from λ = 0 until the first feasible λ —
+    the naive ablation that needs no monotonicity assumption at all.
+``cmaes``
+    Penalty-method CMA-ES over Λ (:mod:`repro.optim.cmaes`), useful when
+    marginal monotonicity is too badly violated for hill climbing.
+
+Each strategy declares a config dataclass; solver knobs live there
+instead of on the trainer.  ``Config.build(options)`` constructs one
+from a flat dict, rejecting unknown keys unless ``strict=False`` (the
+legacy ``OmniFair`` shim passes the union of its old kwargs that way).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from ..ml.metrics import accuracy_score
+from ..optim.cmaes import cmaes_minimize
+from .exceptions import InfeasibleConstraintError, SpecificationError
+from .history import HistoryPoint
+from .multi import MultiTuneResult, grid_search_lambdas, hill_climb
+from .single import SingleTuneResult, lambda_grid_search, tune_single_lambda
+
+__all__ = [
+    "SearchStrategy",
+    "StrategyConfig",
+    "BinarySearchConfig",
+    "HillClimbConfig",
+    "GridConfig",
+    "LinearConfig",
+    "CMAESConfig",
+    "register_strategy",
+    "unregister_strategy",
+    "get_strategy",
+    "available_strategies",
+    "resolve_strategy_name",
+]
+
+
+@dataclass
+class StrategyConfig:
+    """Base class for per-strategy solver knobs."""
+
+    @classmethod
+    def build(cls, options, strict=True):
+        """Construct a config from a flat ``{name: value}`` dict.
+
+        With ``strict=True`` unknown keys raise; with ``strict=False``
+        they are ignored (used by the legacy shim, which passes every
+        old trainer kwarg regardless of which strategy runs).
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(options) - known)
+        if strict and unknown:
+            raise SpecificationError(
+                f"unknown option(s) {unknown} for {cls.__name__}; "
+                f"known: {sorted(known)}"
+            )
+        return cls(**{k: v for k, v in options.items() if k in known})
+
+
+@dataclass
+class BinarySearchConfig(StrategyConfig):
+    """Algorithm 1 knobs (paper defaults: δ=0.001, τ=1e-4)."""
+
+    delta: float = 0.01
+    tau: float = 1e-3
+    lambda_max: float = 1e5
+    max_linear_steps: int = 2000
+
+
+@dataclass
+class HillClimbConfig(StrategyConfig):
+    """Algorithm 2 knobs, plus Algorithm 1 knobs for the k=1 reduction."""
+
+    max_rounds: int = None
+    initial_step: float = 0.1
+    tau: float = 1e-3
+    delta: float = 0.01
+    lambda_max: float = 1e5
+
+
+@dataclass
+class GridConfig(StrategyConfig):
+    """Grid extent/resolution for the Table 8 baseline."""
+
+    grid_max: float = 1.0
+    grid_steps: int = 5
+
+
+@dataclass
+class LinearConfig(StrategyConfig):
+    """Sweep step and budget for the naive linear strategy."""
+
+    step: float = 0.05
+    max_steps: int = 400
+
+
+@dataclass
+class CMAESConfig(StrategyConfig):
+    """CMA-ES budget and the feasibility penalty weight."""
+
+    sigma0: float = 0.3
+    max_evals: int = 64
+    popsize: int = None
+    seed: int = 0
+    penalty: float = 10.0
+
+
+class SearchStrategy:
+    """Protocol every registered solver implements.
+
+    Attributes
+    ----------
+    name : str
+        Registry key (also the CLI ``--search`` value).
+    config_cls : type[StrategyConfig]
+        The dataclass holding this solver's knobs.
+
+    ``solve`` receives the :class:`~repro.core.fitter.WeightedFitter`
+    (training data + train-bound constraints), the validation-bound
+    constraints and validation arrays, and a ``config_cls`` instance; it
+    returns a :class:`~repro.core.single.SingleTuneResult` or
+    :class:`~repro.core.multi.MultiTuneResult`, or raises
+    :class:`InfeasibleConstraintError`.
+    """
+
+    name = None
+    config_cls = StrategyConfig
+
+    def solve(self, fitter, val_constraints, X_val, y_val, config):
+        raise NotImplementedError
+
+    def make_config(self, options, strict=True):
+        return self.config_cls.build(options, strict=strict)
+
+
+_REGISTRY = {}
+
+
+def register_strategy(cls):
+    """Class decorator: add a :class:`SearchStrategy` to the registry.
+
+    Re-registering a name overwrites the previous entry (latest wins),
+    so tests and plugins can shadow built-ins deliberately.
+    """
+    if not (isinstance(cls, type) and issubclass(cls, SearchStrategy)):
+        raise SpecificationError(
+            "register_strategy expects a SearchStrategy subclass"
+        )
+    if not cls.name or not isinstance(cls.name, str):
+        raise SpecificationError(
+            f"{cls.__name__} must define a non-empty string 'name'"
+        )
+    if cls.name == "auto":
+        raise SpecificationError("'auto' is reserved for engine dispatch")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_strategy(name):
+    """Instantiate the registered strategy called ``name``."""
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise SpecificationError(
+            f"unknown search strategy {name!r}; registered: "
+            f"{available_strategies()} (plus 'auto')"
+        ) from None
+
+
+def unregister_strategy(name):
+    """Remove a strategy from the registry (mainly for tests/plugins)."""
+    _REGISTRY.pop(name, None)
+
+
+def available_strategies():
+    """Sorted names of every registered strategy."""
+    return sorted(_REGISTRY)
+
+
+def known_option_names():
+    """Union of config field names across all registered strategies.
+
+    Used by the engine to catch typo'd options even in non-strict mode:
+    a key unknown to *every* strategy is always an error, while keys
+    meant for a different strategy than the one that ends up running
+    are tolerated (the legacy kwargs are such a union).
+    """
+    names = set()
+    for cls in _REGISTRY.values():
+        names.update(f.name for f in fields(cls.config_cls))
+    return names
+
+
+def resolve_strategy_name(name, n_constraints):
+    """Map ``"auto"`` to the paper's default solver for the problem size."""
+    if name == "auto":
+        return "binary_search" if n_constraints == 1 else "hill_climb"
+    return name
+
+
+# -- built-in strategies ------------------------------------------------------
+
+
+@register_strategy
+class BinarySearchStrategy(SearchStrategy):
+    """Algorithm 1: bound λ, then binary-search the feasibility boundary."""
+
+    name = "binary_search"
+    config_cls = BinarySearchConfig
+
+    def solve(self, fitter, val_constraints, X_val, y_val, config):
+        if len(fitter.constraints) != 1:
+            raise SpecificationError(
+                "binary_search handles exactly one constraint; use "
+                "'hill_climb', 'grid', or 'cmaes' for multi-constraint "
+                "problems (or 'auto' to dispatch)"
+            )
+        return tune_single_lambda(
+            fitter, val_constraints[0], X_val, y_val,
+            delta=config.delta, tau=config.tau,
+            lambda_max=config.lambda_max,
+            max_linear_steps=config.max_linear_steps,
+        )
+
+
+@register_strategy
+class HillClimbStrategy(SearchStrategy):
+    """Algorithm 2: marginal hill climbing over the Λ vector."""
+
+    name = "hill_climb"
+    config_cls = HillClimbConfig
+
+    def solve(self, fitter, val_constraints, X_val, y_val, config):
+        if len(fitter.constraints) == 1:
+            # one dimension: marginal bracketing + binary search *is*
+            # Algorithm 1, so run the specialized single-λ tuner
+            return tune_single_lambda(
+                fitter, val_constraints[0], X_val, y_val,
+                delta=config.delta, tau=config.tau,
+                lambda_max=config.lambda_max,
+            )
+        return hill_climb(
+            fitter, val_constraints, X_val, y_val,
+            max_rounds=config.max_rounds,
+            initial_step=config.initial_step,
+            tau=config.tau,
+        )
+
+
+@register_strategy
+class GridStrategy(SearchStrategy):
+    """Exhaustive grid over λ (or Λ) — the Table 8 ablation baseline."""
+
+    name = "grid"
+    config_cls = GridConfig
+
+    def solve(self, fitter, val_constraints, X_val, y_val, config):
+        if len(fitter.constraints) == 1:
+            grid = np.linspace(
+                -config.grid_max, config.grid_max, config.grid_steps * 2 + 1
+            )
+            return lambda_grid_search(
+                fitter, val_constraints[0], X_val, y_val, grid
+            )
+        return grid_search_lambdas(
+            fitter, val_constraints, X_val, y_val,
+            grid_max=config.grid_max, grid_steps=config.grid_steps,
+        )
+
+
+@register_strategy
+class LinearStrategy(SearchStrategy):
+    """Symmetric outward δ-sweep from λ = 0; first feasible |λ| wins.
+
+    Needs no monotonicity or direction probe: both signs are tried at
+    every magnitude, and by the accuracy argument of Eq. (16) the
+    smallest feasible |λ| has the best accuracy among feasible points,
+    so the sweep stops at the first hit (ties broken by accuracy).
+    Costs two fits per step — this is the honesty baseline, not the fast
+    path.
+    """
+
+    name = "linear"
+    config_cls = LinearConfig
+
+    def solve(self, fitter, val_constraints, X_val, y_val, config):
+        if len(fitter.constraints) != 1:
+            raise SpecificationError(
+                "linear handles exactly one constraint; use 'hill_climb', "
+                "'grid', or 'cmaes' for multi-constraint problems"
+            )
+        constraint = val_constraints[0]
+        epsilon = constraint.epsilon
+        y_val = np.asarray(y_val, dtype=np.int64)
+
+        def evaluate(model):
+            pred = model.predict(X_val)
+            return (
+                constraint.disparity(y_val, pred),
+                accuracy_score(y_val, pred),
+            )
+
+        model0 = fitter.fit_unweighted()
+        fp0, acc0 = evaluate(model0)
+        history = [HistoryPoint(0.0, fp0, acc0)]
+        if abs(fp0) <= epsilon:
+            return SingleTuneResult(
+                model=model0, lam=0.0, feasible=True, swapped=False,
+                n_fits=fitter.n_fits, history=history,
+            )
+
+        prev_pos = prev_neg = model0
+        for i in range(1, config.max_steps + 1):
+            t = i * config.step
+            feasible = []
+            for sign, prev in ((1.0, prev_pos), (-1.0, prev_neg)):
+                lam = sign * t
+                model = fitter.fit(np.array([lam]), prev_model=prev)
+                fp, acc = evaluate(model)
+                history.append(HistoryPoint(lam, fp, acc))
+                if sign > 0:
+                    prev_pos = model
+                else:
+                    prev_neg = model
+                if abs(fp) <= epsilon:
+                    feasible.append((acc, lam, model))
+            if feasible:
+                acc, lam, model = max(feasible, key=lambda t: t[0])
+                return SingleTuneResult(
+                    model=model, lam=lam, feasible=True, swapped=False,
+                    n_fits=fitter.n_fits, history=history,
+                )
+        raise InfeasibleConstraintError(
+            f"linear sweep found no feasible lambda within "
+            f"±{config.max_steps * config.step:g} for {constraint.label}",
+            best_model=model0,
+        )
+
+
+@register_strategy
+class CMAESStrategy(SearchStrategy):
+    """Penalty-method CMA-ES over the Λ vector (any number of constraints).
+
+    Minimizes ``penalty · max(0, max_violation) + (1 − accuracy)`` on the
+    validation split.  Derivative-free and assumption-free: it does not
+    rely on Lemma 2/4 monotonicity, at the cost of ``max_evals`` model
+    fits.  For θ-parameterized metrics (FOR/FDR) each fit's weights use
+    the previous candidate's predictions, the same continuation
+    approximation Algorithm 1's linear search uses (§5.2).
+    """
+
+    name = "cmaes"
+    config_cls = CMAESConfig
+
+    def solve(self, fitter, val_constraints, X_val, y_val, config):
+        k = len(fitter.constraints)
+        y_val = np.asarray(y_val, dtype=np.int64)
+        eps = np.array([c.epsilon for c in val_constraints])
+
+        def evaluate(model):
+            pred = model.predict(X_val)
+            d = np.array(
+                [c.disparity(y_val, pred) for c in val_constraints]
+            )
+            return d, accuracy_score(y_val, pred)
+
+        model0 = fitter.fit_unweighted()
+        d0, acc0 = evaluate(model0)
+        history = [HistoryPoint(np.zeros(k), d0, acc0)]
+        if float((np.abs(d0) - eps).max()) <= 1e-12:
+            return MultiTuneResult(
+                model=model0, lambdas=np.zeros(k), feasible=True,
+                n_fits=fitter.n_fits, n_rounds=0, history=history,
+            )
+
+        state = {"prev": model0, "best": None}
+
+        def objective(lams):
+            lams = np.asarray(lams, dtype=np.float64)
+            model = fitter.fit(lams, prev_model=state["prev"])
+            state["prev"] = model
+            d, acc = evaluate(model)
+            history.append(HistoryPoint(lams.copy(), d, acc))
+            viol = float((np.abs(d) - eps).max())
+            if viol <= 1e-12:
+                best = state["best"]
+                if best is None or acc > best[0]:
+                    state["best"] = (acc, lams.copy(), model)
+            return config.penalty * max(viol, 0.0) + (1.0 - acc)
+
+        cmaes_minimize(
+            objective, np.zeros(k), sigma0=config.sigma0,
+            max_evals=config.max_evals, popsize=config.popsize,
+            seed=config.seed,
+        )
+        if state["best"] is None:
+            raise InfeasibleConstraintError(
+                f"CMA-ES found no feasible Lambda in {config.max_evals} "
+                f"evaluations",
+                best_model=state["prev"],
+            )
+        acc, lams, model = state["best"]
+        return MultiTuneResult(
+            model=model, lambdas=lams, feasible=True,
+            n_fits=fitter.n_fits, n_rounds=len(history) - 1,
+            history=history,
+        )

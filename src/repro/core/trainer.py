@@ -1,34 +1,26 @@
-"""The OmniFair trainer — the system's public entry point.
+"""The legacy ``OmniFair`` trainer — now a thin shim over ``repro.api``.
 
-Usage mirrors Figure 1 of the paper::
+New code should use the layered facade directly::
 
-    from repro import OmniFair, FairnessSpec
-    from repro.core.grouping import by_sensitive_attribute
+    from repro.api import Engine, Problem, fit_fair
     from repro.ml import LogisticRegression
 
-    spec = FairnessSpec(metric="SP", epsilon=0.03,
-                        grouping=by_sensitive_attribute())
-    of = OmniFair(LogisticRegression(), [spec]).fit(train, val)
-    predictions = of.predict(test.X)
+    model = fit_fair(LogisticRegression(), "SP <= 0.03", train, val)
+    model.audit(test)          # accuracy + per-constraint disparities
+    model.save("fair.pkl")     # deployable artifact
 
-``fit`` binds the specs to the train and validation datasets, translates
-the constrained problem into weighted training (§5), and tunes λ
-(Algorithm 1) or Λ (Algorithm 2) on the validation split.  The result is a
-plain fitted classifier plus tuning diagnostics.
+The class below keeps the original imperative surface working: the old
+constructor kwargs map onto strategy configs (see README.md for the full
+mapping), solver dispatch goes through the strategy registry, and the
+trailing-underscore result attributes are populated from the structured
+:class:`~repro.core.report.FitReport` after ``fit``.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from ..datasets.schema import Dataset
-from ..ml.model_selection import train_test_split
-from .evaluation import evaluate_model
 from .exceptions import SpecificationError
-from .fitter import WeightedFitter
-from .multi import grid_search_lambdas, hill_climb
-from .single import lambda_grid_search, tune_single_lambda
-from .spec import FairnessSpec, bind_specs
+from .spec import FairnessSpec
+from .strategies import available_strategies
 
 __all__ = ["OmniFair"]
 
@@ -36,34 +28,38 @@ __all__ = ["OmniFair"]
 class OmniFair:
     """Model-agnostic group-fair training with declarative constraints.
 
+    .. deprecated::
+        Prefer :class:`repro.api.Engine` + :class:`repro.api.Problem`
+        (or :func:`repro.api.fit_fair`); this class remains as a
+        backwards-compatible shim.  Kwarg → strategy-config mapping:
+
+        ============  =====================================
+        old kwarg     new home
+        ============  =====================================
+        search        ``Engine(strategy=...)`` (registry name)
+        delta, tau    ``BinarySearchConfig`` / ``HillClimbConfig``
+        lambda_max    ``BinarySearchConfig`` / ``HillClimbConfig``
+        max_rounds    ``HillClimbConfig``
+        grid_max/...  ``GridConfig``
+        negative_...  ``Engine(negative_weights=...)``
+        warm_start    ``Engine(warm_start=...)``
+        subsample     ``Engine(subsample=...)``
+        ============  =====================================
+
     Parameters
     ----------
     estimator : BaseClassifier
         Any classifier following the ``fit(X, y, sample_weight)`` protocol.
-    specs : FairnessSpec or list of FairnessSpec
+    specs : FairnessSpec, list of FairnessSpec, or DSL string
         One or more declarative specifications; a single spec whose
         grouping yields >2 groups already induces multiple constraints.
-    delta : float
-        Linear-search step for model-parameterized metrics (paper §5.3:
-        0.001; default 0.01 for laptop-scale runs).
-    tau : float
-        Binary-search termination width (paper: 1e-4; default 1e-3).
-    negative_weights : {"flip", "clip"}
-        How to make Eq. (12) weights non-negative (DESIGN.md §5.1).
-    warm_start : bool
-        Reuse estimator parameters across λ fits when the estimator
-        supports it (Table 6 optimization).
-    search : {"auto", "hill_climb", "grid"}
-        Multi-constraint strategy; ``"grid"`` selects the Table 8 baseline.
-    max_rounds : int, optional
-        Hill-climbing budget (default ``5k``).
-    grid_max, grid_steps : float, int
-        Grid-search extent/resolution when ``search="grid"``.
-    subsample : float or None
-        When set (in ``(0, 1)``), Algorithm 1's bounding stage trains on a
-        stratified subsample of this fraction to prune λ ranges cheaply —
-        the paper's §8 future-work scalability optimization.  The binary
-        search refinement always uses the full training set.
+        A string is parsed with :func:`repro.core.dsl.parse_spec`.
+    search : str
+        ``"auto"`` or any registered strategy name
+        (:func:`repro.core.strategies.available_strategies`).
+
+    Remaining parameters are the legacy solver knobs documented in the
+    mapping table above.
     """
 
     def __init__(
@@ -81,6 +77,10 @@ class OmniFair:
         lambda_max=1e5,
         subsample=None,
     ):
+        if isinstance(specs, str):
+            from .dsl import parse_spec
+
+            specs = parse_spec(specs)
         if isinstance(specs, FairnessSpec):
             specs = [specs]
         if not specs:
@@ -90,8 +90,11 @@ class OmniFair:
                 raise SpecificationError(
                     f"expected FairnessSpec, got {type(spec).__name__}"
                 )
-        if search not in ("auto", "hill_climb", "grid"):
-            raise SpecificationError(f"unknown search strategy {search!r}")
+        if search != "auto" and search not in available_strategies():
+            raise SpecificationError(
+                f"unknown search strategy {search!r}; registered: "
+                f"{available_strategies()} (plus 'auto')"
+            )
         self.estimator = estimator
         self.specs = list(specs)
         self.delta = delta
@@ -110,12 +113,10 @@ class OmniFair:
 
     @staticmethod
     def _split_validation(train, val_fraction, seed):
-        idx = np.arange(len(train))
-        strat = train.sensitive * 2 + train.y  # keep group×label mix stable
-        train_idx, val_idx = train_test_split(
-            idx, test_size=val_fraction, seed=seed, stratify=strat
-        )
-        return train.subset(train_idx), train.subset(val_idx)
+        """Legacy alias for the engine's stratified holdout split."""
+        from ..api import Engine
+
+        return Engine._split_validation(train, val_fraction, seed)
 
     def fit(self, train, val=None, val_fraction=0.25, seed=0):
         """Train a fair classifier on ``train``; tune λ on ``val``.
@@ -128,86 +129,44 @@ class OmniFair:
             Validation data for FP/AP evaluation; if omitted, a stratified
             ``val_fraction`` slice of ``train`` is held out.
         """
-        if not isinstance(train, Dataset):
-            raise SpecificationError(
-                "train must be a repro.datasets.Dataset; wrap raw arrays "
-                "with Dataset(name=..., X=..., y=..., sensitive=...)"
-            )
-        if val is None:
-            train, val = self._split_validation(train, val_fraction, seed)
+        # the facade lives one layer above core; import lazily so the
+        # core package never depends on it at import time
+        from ..api import Engine, Problem
 
-        train_constraints = bind_specs(self.specs, train)
-        val_constraints = bind_specs(self.specs, val)
-        if [c.label for c in train_constraints] != [
-            c.label for c in val_constraints
-        ]:
-            raise SpecificationError(
-                "grouping produced different groups on train and validation "
-                "splits; use a deterministic grouping or larger splits"
-            )
-
-        fitter = WeightedFitter(
-            self.estimator,
-            train.X,
-            train.y,
-            train_constraints,
+        legacy_options = {
+            "delta": self.delta,
+            "tau": self.tau,
+            "lambda_max": self.lambda_max,
+            "grid_max": self.grid_max,
+            "grid_steps": self.grid_steps,
+        }
+        if self.max_rounds is not None:
+            legacy_options["max_rounds"] = self.max_rounds
+        engine = Engine(
+            self.search,
             negative_weights=self.negative_weights,
             warm_start=self.warm_start,
             subsample=self.subsample,
+            strict=False,  # each strategy picks its knobs from the union
+            **legacy_options,
+        )
+        fair_model = engine.solve(
+            Problem(self.specs), self.estimator, train, val,
+            val_fraction=val_fraction, seed=seed,
         )
 
-        if len(train_constraints) == 1:
-            if self.search == "grid":
-                grid = np.linspace(
-                    -self.grid_max, self.grid_max, self.grid_steps * 2 + 1
-                )
-                result = lambda_grid_search(
-                    fitter, val_constraints[0], val.X, val.y, grid
-                )
-            else:
-                result = tune_single_lambda(
-                    fitter,
-                    val_constraints[0],
-                    val.X,
-                    val.y,
-                    delta=self.delta,
-                    tau=self.tau,
-                    lambda_max=self.lambda_max,
-                )
-            self.model_ = result.model
-            self.lambdas_ = np.array([result.lam])
-            self.n_rounds_ = 0
-        else:
-            if self.search == "grid":
-                result = grid_search_lambdas(
-                    fitter,
-                    val_constraints,
-                    val.X,
-                    val.y,
-                    grid_max=self.grid_max,
-                    grid_steps=self.grid_steps,
-                )
-            else:
-                result = hill_climb(
-                    fitter,
-                    val_constraints,
-                    val.X,
-                    val.y,
-                    max_rounds=self.max_rounds,
-                    tau=self.tau,
-                )
-            self.model_ = result.model
-            self.lambdas_ = np.asarray(result.lambdas, dtype=np.float64)
-            self.n_rounds_ = result.n_rounds
-
-        self.feasible_ = result.feasible
-        self.n_fits_ = result.n_fits
-        self.history_ = result.history
-        self.train_constraints_ = fitter.constraints
-        self.val_constraints_ = val_constraints
-        self.validation_report_ = evaluate_model(
-            self.model_, val.X, val.y, val_constraints
-        )
+        report = fair_model.report
+        self.fair_model_ = fair_model
+        self.report_ = report
+        self.model_ = fair_model.model
+        self.lambdas_ = report.lambdas
+        self.n_rounds_ = report.n_rounds
+        self.feasible_ = report.feasible
+        self.n_fits_ = report.n_fits
+        self.history_ = report.history
+        self.train_constraints_ = report.train_constraints
+        self.val_constraints_ = report.val_constraints
+        self.validation_report_ = report.validation
         self._fitted = True
         return self
 
@@ -230,5 +189,9 @@ class OmniFair:
     def evaluate(self, dataset):
         """Accuracy and disparities of the fair model on any Dataset."""
         self._check_is_fitted()
-        constraints = bind_specs(self.specs, dataset)
-        return evaluate_model(self.model_, dataset.X, dataset.y, constraints)
+        return self.fair_model_.audit(dataset)
+
+    def to_fair_model(self):
+        """The deployable :class:`repro.api.FairModel` from the last fit."""
+        self._check_is_fitted()
+        return self.fair_model_

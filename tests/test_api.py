@@ -1,0 +1,173 @@
+"""Tests for the layered facade: Problem → Engine → FairModel."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Engine,
+    FairModel,
+    FairnessSpec,
+    FitReport,
+    HistoryPoint,
+    OmniFair,
+    Problem,
+    SpecificationError,
+    fit_fair,
+)
+from repro.core.evaluation import (
+    disparity_vector,
+    evaluate_model,
+    max_violation,
+)
+from repro.core.spec import bind_specs
+from repro.ml import LogisticRegression
+
+
+class TestProblem:
+    def test_from_dsl_string(self):
+        p = Problem("SP <= 0.03")
+        assert len(p.specs) == 1
+        assert p.to_string() == "SP <= 0.03"
+
+    def test_from_spec_objects(self):
+        p = Problem([FairnessSpec("SP", 0.03), FairnessSpec("FNR", 0.05)])
+        assert p.canonical() == "FNR <= 0.05 and SP <= 0.03"
+
+    def test_empty_rejected(self):
+        with pytest.raises(SpecificationError, match="at least one"):
+            Problem([])
+
+    def test_coerce_passthrough(self):
+        p = Problem("SP <= 0.03")
+        assert Problem.coerce(p) is p
+        assert isinstance(Problem.coerce("MR <= 0.1"), Problem)
+
+    def test_bind(self, two_group_data):
+        constraints = Problem("SP <= 0.05").bind(two_group_data)
+        assert len(constraints) == 1
+
+
+class TestEngineSolve:
+    @pytest.fixture(scope="class")
+    def solved(self, two_group_splits):
+        train, val, _ = two_group_splits
+        fm = Engine("auto").solve(
+            "SP <= 0.05", LogisticRegression(max_iter=200), train, val,
+        )
+        return fm, val
+
+    def test_returns_fair_model_with_report(self, solved):
+        fm, _ = solved
+        assert isinstance(fm, FairModel)
+        assert isinstance(fm.report, FitReport)
+        assert fm.report.strategy == "binary_search"
+
+    def test_report_shape_is_uniform(self, solved):
+        fm, _ = solved
+        report = fm.report
+        assert report.lambdas.shape == (1,)
+        assert report.n_rounds == 0
+        assert report.n_fits == len(report.history)
+        assert report.constraint_labels == tuple(report.disparities)
+        assert isinstance(report.history[0], HistoryPoint)
+        assert report.history[0].lam == 0.0
+
+    def test_report_summary_renders(self, solved):
+        fm, _ = solved
+        text = fm.report.summary()
+        assert "binary_search" in text and "lambdas" in text
+
+    def test_raw_arrays_rejected(self, two_group_data):
+        with pytest.raises(SpecificationError, match="Dataset"):
+            Engine().solve(
+                "SP <= 0.05", LogisticRegression(), two_group_data.X,
+            )
+
+    def test_auto_validation_split(self, two_group_data):
+        fm = Engine().solve(
+            "SP <= 0.05", LogisticRegression(max_iter=200), two_group_data,
+        )
+        assert fm.report.feasible
+
+    def test_multi_constraint_auto(self, three_group_splits):
+        train, val, _ = three_group_splits
+        fm = Engine().solve(
+            "SP <= 0.06", LogisticRegression(max_iter=200), train, val,
+        )
+        assert fm.report.strategy == "hill_climb"
+        assert fm.report.lambdas.shape == (3,)
+
+
+class TestFairModel:
+    def test_audit_matches_evaluate_model(self, two_group_splits):
+        train, val, test = two_group_splits
+        fm = fit_fair(
+            LogisticRegression(max_iter=200), "SP <= 0.05", train, val,
+        )
+        audit = fm.audit(test)
+        constraints = bind_specs(fm.specs, test)
+        expected = evaluate_model(fm.model, test.X, test.y, constraints)
+        assert audit == expected
+
+    def test_predict_shapes(self, two_group_splits):
+        train, val, test = two_group_splits
+        fm = fit_fair(
+            LogisticRegression(max_iter=200), "SP <= 0.05", train, val,
+        )
+        assert fm.predict(test.X).shape == (len(test),)
+        assert fm.predict_proba(test.X).shape == (len(test), 2)
+        assert fm.lambdas.shape == (1,)
+
+    def test_fit_fair_passes_engine_options(self, two_group_splits):
+        train, val, _ = two_group_splits
+        fm = fit_fair(
+            LogisticRegression(max_iter=200), "SP <= 0.05", train, val,
+            strategy="grid", grid_steps=8,
+        )
+        assert fm.report.strategy == "grid"
+
+
+class TestShimCompat:
+    def test_shim_exposes_report_and_fair_model(self, two_group_splits):
+        train, val, test = two_group_splits
+        of = OmniFair(
+            LogisticRegression(max_iter=200), FairnessSpec("SP", 0.05)
+        ).fit(train, val)
+        assert of.report_ is of.fair_model_.report
+        assert of.lambdas_ is of.report_.lambdas
+        fm = of.to_fair_model()
+        assert np.array_equal(fm.predict(test.X), of.predict(test.X))
+        assert of.evaluate(test) == fm.audit(test)
+
+    def test_shim_accepts_dsl_string(self, two_group_splits):
+        train, val, _ = two_group_splits
+        of = OmniFair(
+            LogisticRegression(max_iter=200), "SP <= 0.05"
+        ).fit(train, val)
+        assert of.feasible_
+
+    def test_history_points_are_named(self, two_group_splits):
+        train, val, _ = two_group_splits
+        of = OmniFair(
+            LogisticRegression(max_iter=200), FairnessSpec("SP", 0.05)
+        ).fit(train, val)
+        point = of.history_[0]
+        assert isinstance(point, HistoryPoint)
+        assert point.lam == point[0] == 0.0
+        assert point.accuracy == point[2]
+
+
+class TestEvaluationHelpers:
+    def test_max_violation_empty_raises(self):
+        y = np.array([0, 1])
+        with pytest.raises(SpecificationError, match="at least one"):
+            max_violation(y, y, [])
+
+    def test_disparity_vector_exported(self, two_group_data):
+        from repro.core import evaluation
+
+        assert "disparity_vector" in evaluation.__all__
+        constraints = Problem("SP <= 0.05").bind(two_group_data)
+        pred = np.zeros(len(two_group_data), dtype=np.int64)
+        vec = disparity_vector(two_group_data.y, pred, constraints)
+        assert vec.shape == (1,)

@@ -28,6 +28,40 @@ class TestParser:
                 ["train", "--dataset", "compas", "--metric", "WRONG"]
             )
 
+    def test_spec_flag_repeatable(self):
+        args = build_parser().parse_args(
+            ["train", "--dataset", "compas",
+             "--spec", "SP <= 0.03", "--spec", "FNR <= 0.05"]
+        )
+        assert args.spec == ["SP <= 0.03", "FNR <= 0.05"]
+
+    def test_search_flag_validated(self):
+        args = build_parser().parse_args(
+            ["train", "--dataset", "compas", "--search", "grid"]
+        )
+        assert args.search == "grid"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["train", "--dataset", "compas", "--search", "nope"]
+            )
+
+    def test_strategy_opt_parsing(self):
+        args = build_parser().parse_args(
+            ["train", "--dataset", "compas",
+             "--strategy-opt", "tau=1e-4",
+             "--strategy-opt", "grid_steps=9",
+             "--strategy-opt", "name=abc"]
+        )
+        assert dict(args.strategy_opt) == {
+            "tau": 1e-4, "grid_steps": 9, "name": "abc",
+        }
+
+    def test_strategy_opt_requires_key_value(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["train", "--dataset", "compas", "--strategy-opt", "tau"]
+            )
+
 
 class TestCommands:
     def test_list_output(self):
@@ -35,6 +69,15 @@ class TestCommands:
         assert main(["list"], out=out) == 0
         text = out.getvalue()
         assert "compas" in text and "SP" in text and "XGB" in text
+
+    def test_list_shows_registered_strategies(self):
+        out = io.StringIO()
+        assert main(["list"], out=out) == 0
+        text = out.getvalue()
+        assert "strategies:" in text
+        for name in ("binary_search", "hill_climb", "grid", "linear",
+                     "cmaes"):
+            assert name in text
 
     def test_train_end_to_end(self):
         out = io.StringIO()
@@ -65,6 +108,71 @@ class TestCommands:
         assert code == 0
         loaded = load_model(path)
         assert hasattr(loaded, "predict")
+
+    def test_train_with_dsl_spec(self):
+        out = io.StringIO()
+        code = main(
+            [
+                "train", "--dataset", "compas", "--two-group",
+                "--rows", "1200", "--spec", "SP(race) <= 0.05",
+            ],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert 'spec="SP(race) <= 0.05"' in text
+        assert "strategy=binary_search" in text
+
+    def test_train_with_search_and_strategy_opt(self):
+        out = io.StringIO()
+        code = main(
+            [
+                "train", "--dataset", "compas", "--two-group",
+                "--rows", "1200", "--epsilon", "0.08",
+                "--search", "grid", "--strategy-opt", "grid_steps=10",
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert "strategy=grid" in out.getvalue()
+
+    def test_train_unknown_strategy_opt_fails_cleanly(self):
+        out = io.StringIO()
+        code = main(
+            [
+                "train", "--dataset", "compas", "--two-group",
+                "--rows", "1200", "--search", "grid",
+                "--strategy-opt", "typo=1",
+            ],
+            out=out,
+        )
+        assert code == 2
+        assert "SPEC ERROR" in out.getvalue()
+
+    def test_train_reserved_strategy_opt_fails_cleanly(self):
+        out = io.StringIO()
+        code = main(
+            [
+                "train", "--dataset", "compas", "--two-group",
+                "--rows", "1200", "--strategy-opt", "subsample=0.5",
+            ],
+            out=out,
+        )
+        assert code == 2
+        assert "SPEC ERROR" in out.getvalue()
+        assert "--subsample" not in out.getvalue().split("SPEC ERROR")[0]
+
+    def test_train_bad_spec_fails_cleanly(self):
+        out = io.StringIO()
+        code = main(
+            [
+                "train", "--dataset", "compas", "--two-group",
+                "--rows", "1200", "--spec", "NOPE <= 0.05",
+            ],
+            out=out,
+        )
+        assert code == 2
+        assert "SPEC ERROR" in out.getvalue()
 
     def test_train_infeasible_exit_code(self):
         out = io.StringIO()

@@ -1,0 +1,197 @@
+"""Tests for the declarative spec DSL parser and round-tripping."""
+
+import itertools
+
+import pytest
+
+from repro.core.dsl import (
+    COMPOSITE_METRICS,
+    DSLParseError,
+    SpecSet,
+    parse_spec,
+)
+from repro.core.exceptions import SpecificationError
+from repro.core.fairness_metrics import METRIC_FACTORIES
+from repro.core.grouping import by_predicate
+from repro.core.spec import FairnessSpec
+from repro.datasets import make_biased_dataset
+
+
+def _equivalent(a, b):
+    """Two SpecSets describe the same problem."""
+    assert len(a) == len(b)
+    for sa, sb in zip(a, b):
+        assert sa.metric.name == sb.metric.name
+        assert sa.epsilon == sb.epsilon
+        assert getattr(sa.grouping, "dsl_attrs", None) == \
+            getattr(sb.grouping, "dsl_attrs", None)
+
+
+class TestParse:
+    def test_single_clause_default_grouping(self):
+        specs = parse_spec("SP <= 0.03")
+        assert isinstance(specs, SpecSet)
+        assert len(specs) == 1
+        assert specs[0].metric.name == "SP"
+        assert specs[0].epsilon == 0.03
+        assert specs[0].grouping.dsl_attrs == ()
+
+    def test_attribute_grouping(self):
+        specs = parse_spec("SP(race) <= 0.03")
+        assert specs[0].grouping.dsl_attrs == ("race",)
+
+    def test_intersectional_grouping(self):
+        specs = parse_spec("MR(race * sex) <= 0.1")
+        assert specs[0].metric.name == "MR"
+        assert specs[0].grouping.dsl_attrs == ("race", "sex")
+
+    def test_conjunction(self):
+        specs = parse_spec("FPR <= 0.05 and FNR <= 0.05")
+        assert [s.metric.name for s in specs] == ["FPR", "FNR"]
+
+    def test_equalized_odds_composite(self):
+        specs = parse_spec("EO <= 0.05")
+        assert [s.metric.name for s in specs] == ["FPR", "FNR"]
+        assert all(s.epsilon == 0.05 for s in specs)
+
+    def test_predictive_parity_composite_with_attr(self):
+        specs = parse_spec("PP(race) <= 0.04")
+        assert [s.metric.name for s in specs] == ["FOR", "FDR"]
+        assert all(s.grouping.dsl_attrs == ("race",) for s in specs)
+
+    def test_case_and_whitespace_insensitive(self):
+        _equivalent(parse_spec("sp<=0.03"), parse_spec("SP <= 0.03"))
+        _equivalent(
+            parse_spec("fpr <= 0.05 AND fnr <= 0.05"),
+            parse_spec("FPR <= 0.05 and FNR <= 0.05"),
+        )
+
+    def test_scientific_notation_epsilon(self):
+        assert parse_spec("SP <= 5e-2")[0].epsilon == 0.05
+
+    def test_unicode_le(self):
+        assert parse_spec("SP ≤ 0.03")[0].epsilon == 0.03
+
+    def test_passthrough_coercion(self):
+        spec = FairnessSpec("SP", 0.03)
+        assert list(parse_spec(spec)) == [spec]
+        assert list(parse_spec([spec])) == [spec]
+        ss = parse_spec("SP <= 0.03")
+        assert parse_spec(ss) is ss
+
+    def test_mixed_list_coercion(self):
+        specs = parse_spec([FairnessSpec("SP", 0.03), "FNR <= 0.05"])
+        assert [s.metric.name for s in specs] == ["SP", "FNR"]
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize("bad", [
+        "",
+        "   ",
+        "SP",
+        "SP <=",
+        "SP 0.03",
+        "WRONG <= 0.03",
+        "SP <= 0.03 FNR <= 0.05",
+        "SP( <= 0.03",
+        "SP(race <= 0.03",
+        "SP(race,sex) <= 0.03",
+        "SP() <= 0.03",
+        "SP <= 1.5",
+        "SP <= -0.1",
+        "SP >= 0.03",
+    ])
+    def test_rejected(self, bad):
+        with pytest.raises(SpecificationError):
+            parse_spec(bad)
+
+    def test_error_is_dsl_parse_error(self):
+        with pytest.raises(DSLParseError, match="unknown metric"):
+            parse_spec("NOPE <= 0.1")
+
+    def test_non_spec_rejected(self):
+        with pytest.raises(SpecificationError):
+            parse_spec(42)
+
+
+class TestRoundTrip:
+    """Acceptance: parse(s).to_string() reparses to an equivalent spec."""
+
+    GROUP_FORMS = ["", "(race)", "(race * sex)"]
+
+    @pytest.mark.parametrize(
+        "metric,group",
+        list(itertools.product(sorted(METRIC_FACTORIES), GROUP_FORMS)),
+    )
+    def test_builtin_metrics(self, metric, group):
+        s = f"{metric}{group} <= 0.05"
+        specs = parse_spec(s)
+        _equivalent(parse_spec(specs.to_string()), specs)
+
+    @pytest.mark.parametrize(
+        "metric,group",
+        list(itertools.product(sorted(COMPOSITE_METRICS), GROUP_FORMS)),
+    )
+    def test_composites(self, metric, group):
+        s = f"{metric}{group} <= 0.07"
+        specs = parse_spec(s)
+        _equivalent(parse_spec(specs.to_string()), specs)
+
+    def test_conjunctions(self):
+        s = "SP <= 0.03 and MR(race * sex) <= 0.1 and EO(race) <= 0.05"
+        specs = parse_spec(s)
+        _equivalent(parse_spec(specs.to_string()), specs)
+
+    def test_canonical_is_order_insensitive(self):
+        a = parse_spec("FNR <= 0.05 and FPR <= 0.05")
+        b = parse_spec("FPR<=0.05 and FNR <= 5e-2")
+        assert a.canonical() == b.canonical()
+
+    def test_canonical_reparses_equivalently_modulo_order(self):
+        specs = parse_spec("FNR <= 0.05 and FPR <= 0.05")
+        re = parse_spec(specs.canonical())
+        assert sorted(s.metric.name for s in re) == \
+            sorted(s.metric.name for s in specs)
+
+    def test_non_dsl_grouping_not_printable(self):
+        spec = FairnessSpec(
+            "SP", 0.03,
+            grouping=by_predicate(a=lambda d: d.y == 0, b=lambda d: d.y == 1),
+        )
+        with pytest.raises(SpecificationError, match="not expressible"):
+            spec.to_string()
+
+
+class TestBinding:
+    @pytest.fixture(scope="class")
+    def race_sex_data(self):
+        data = make_biased_dataset(
+            "toy-rs", n=400, group_names=("A", "B"),
+            group_proportions=(0.6, 0.4), group_base_rates=(0.5, 0.3),
+            sensitive_attribute="race", seed=5,
+        )
+        rng_sex = (data.y + data.sensitive) % 2  # deterministic second attr
+        data.extras["sex"] = rng_sex
+        return data
+
+    def test_sensitive_attribute_binding(self, race_sex_data):
+        constraints = parse_spec("SP(race) <= 0.05")[0].bind(race_sex_data)
+        assert len(constraints) == 1
+        assert constraints[0].group_names == ("A", "B")
+
+    def test_extras_binding(self, race_sex_data):
+        constraints = parse_spec("SP(sex) <= 0.05")[0].bind(race_sex_data)
+        assert len(constraints) == 1
+
+    def test_intersectional_binding(self, race_sex_data):
+        constraints = parse_spec(
+            "MR(race * sex) <= 0.1"
+        )[0].bind(race_sex_data)
+        # 4 intersectional groups -> C(4,2) = 6 pairwise constraints
+        assert len(constraints) == 6
+        assert "race=" in constraints[0].group_names[0]
+
+    def test_unknown_attribute_raises_at_bind(self, race_sex_data):
+        spec = parse_spec("SP(nationality) <= 0.05")[0]
+        with pytest.raises(SpecificationError, match="nationality"):
+            spec.bind(race_sex_data)

@@ -1,0 +1,125 @@
+"""Persistence round-trips for full fitted artifacts, and failure paths."""
+
+import io
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import FairModel, FairnessSpec, OmniFair, fit_fair
+from repro.cli import main
+from repro.ml import LogisticRegression
+from repro.ml.persistence import (
+    _FORMAT_VERSION,
+    _MAGIC,
+    ModelFormatError,
+    load_model,
+    save_model,
+)
+
+
+@pytest.fixture(scope="module")
+def fitted(two_group_splits):
+    train, val, test = two_group_splits
+    fm = fit_fair(
+        LogisticRegression(max_iter=200), "SP <= 0.05", train, val,
+    )
+    return fm, test
+
+
+class TestFairModelRoundTrip:
+    def test_predictions_survive(self, fitted, tmp_path):
+        fm, test = fitted
+        path = tmp_path / "fm.pkl"
+        fm.save(path)
+        loaded = FairModel.load(path)
+        assert np.array_equal(loaded.predict(test.X), fm.predict(test.X))
+        assert np.allclose(
+            loaded.predict_proba(test.X), fm.predict_proba(test.X)
+        )
+
+    def test_report_and_audit_survive(self, fitted, tmp_path):
+        fm, test = fitted
+        path = tmp_path / "fm.pkl"
+        fm.save(path)
+        loaded = FairModel.load(path)
+        assert loaded.report.lambdas.tolist() == fm.report.lambdas.tolist()
+        assert loaded.report.strategy == fm.report.strategy
+        assert loaded.audit(test) == fm.audit(test)
+        assert loaded.specs.to_string() == fm.specs.to_string()
+
+    def test_load_rejects_non_fair_model(self, tmp_path):
+        path = tmp_path / "est.pkl"
+        save_model(LogisticRegression(), path)
+        with pytest.raises(Exception, match="FairModel"):
+            FairModel.load(path)
+
+
+class TestOmniFairRoundTrip:
+    def test_entire_fitted_trainer(self, two_group_splits, tmp_path):
+        train, val, test = two_group_splits
+        of = OmniFair(
+            LogisticRegression(max_iter=200), FairnessSpec("SP", 0.05)
+        ).fit(train, val)
+        path = tmp_path / "of.pkl"
+        save_model(of, path)
+        loaded = load_model(path)
+        assert np.array_equal(loaded.predict(test.X), of.predict(test.X))
+        assert loaded.lambdas_.tolist() == of.lambdas_.tolist()
+        assert loaded.evaluate(test) == of.evaluate(test)
+
+
+class TestFailurePaths:
+    def test_wrong_magic(self, tmp_path):
+        path = tmp_path / "bad.pkl"
+        with open(path, "wb") as fh:
+            pickle.dump({"magic": "not-a-repro-model", "model": 1}, fh)
+        with pytest.raises(ModelFormatError, match="bad envelope"):
+            load_model(path)
+
+    def test_newer_format_version(self, tmp_path):
+        path = tmp_path / "future.pkl"
+        with open(path, "wb") as fh:
+            pickle.dump(
+                {
+                    "magic": _MAGIC,
+                    "format_version": _FORMAT_VERSION + 1,
+                    "model": 1,
+                },
+                fh,
+            )
+        with pytest.raises(ModelFormatError, match="newer"):
+            load_model(path)
+
+    def test_not_a_pickle(self, tmp_path):
+        path = tmp_path / "garbage.pkl"
+        path.write_bytes(b"definitely not a pickle")
+        with pytest.raises(ModelFormatError, match="not a repro model"):
+            load_model(path)
+
+
+class TestCLISaveFlow:
+    def test_train_spec_save_end_to_end(self, tmp_path):
+        """Acceptance: train --spec "FPR <= .05 and FNR <= .05" --save."""
+        out = io.StringIO()
+        path = tmp_path / "m.pkl"
+        code = main(
+            [
+                "train", "--dataset", "adult", "--rows", "1200",
+                "--spec", "FPR <= 0.05 and FNR <= 0.05",
+                "--save", str(path),
+            ],
+            out=out,
+        )
+        assert code == 0, out.getvalue()
+        loaded = FairModel.load(path)
+        assert loaded.report.lambdas.shape == (2,)
+        assert [s.metric.name for s in loaded.specs] == ["FPR", "FNR"]
+        # the artifact re-audits on fresh data without the trainer
+        from repro.datasets import load
+
+        data = load("adult", n=800, seed=3)
+        audit = loaded.audit(data)
+        assert set(audit) == {
+            "accuracy", "disparities", "violations", "feasible",
+        }

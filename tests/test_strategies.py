@@ -1,0 +1,185 @@
+"""Tests for the search-strategy registry and the new solvers."""
+
+import numpy as np
+import pytest
+
+from repro import FairnessSpec, OmniFair, SpecificationError
+from repro.api import Engine
+from repro.core.single import SingleTuneResult
+from repro.core.strategies import (
+    BinarySearchConfig,
+    GridConfig,
+    SearchStrategy,
+    available_strategies,
+    get_strategy,
+    register_strategy,
+    resolve_strategy_name,
+    unregister_strategy,
+)
+from repro.ml import LogisticRegression
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = available_strategies()
+        for expected in ("binary_search", "linear", "grid", "hill_climb",
+                         "cmaes"):
+            assert expected in names
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(SpecificationError, match="unknown search"):
+            get_strategy("nope")
+
+    def test_auto_resolution(self):
+        assert resolve_strategy_name("auto", 1) == "binary_search"
+        assert resolve_strategy_name("auto", 3) == "hill_climb"
+        assert resolve_strategy_name("grid", 3) == "grid"
+
+    def test_register_rejects_bad_classes(self):
+        with pytest.raises(SpecificationError):
+            register_strategy(object)
+
+        class NoName(SearchStrategy):
+            name = None
+
+        with pytest.raises(SpecificationError, match="name"):
+            register_strategy(NoName)
+
+        class Reserved(SearchStrategy):
+            name = "auto"
+
+        with pytest.raises(SpecificationError, match="reserved"):
+            register_strategy(Reserved)
+
+    def test_third_party_registration_end_to_end(self, two_group_splits):
+        """A custom strategy plugs in and is dispatched by the shim."""
+        train, val, _ = two_group_splits
+
+        @register_strategy
+        class FixedLambda(SearchStrategy):
+            name = "fixed_lambda"
+            config_cls = BinarySearchConfig
+
+            def solve(self, fitter, val_constraints, X_val, y_val, config):
+                model = fitter.fit(np.array([0.3]),
+                                   prev_model=fitter.fit_unweighted())
+                return SingleTuneResult(
+                    model=model, lam=0.3, feasible=True, swapped=False,
+                    n_fits=fitter.n_fits, history=[],
+                )
+
+        try:
+            of = OmniFair(
+                LogisticRegression(max_iter=150),
+                FairnessSpec("SP", 0.5),
+                search="fixed_lambda",
+            ).fit(train, val)
+            assert of.lambdas_.tolist() == [0.3]
+            assert of.report_.strategy == "fixed_lambda"
+        finally:
+            unregister_strategy("fixed_lambda")
+        with pytest.raises(SpecificationError):
+            OmniFair(
+                LogisticRegression(), FairnessSpec("SP", 0.5),
+                search="fixed_lambda",
+            )
+
+
+class TestConfigs:
+    def test_strict_rejects_unknown_options(self):
+        with pytest.raises(SpecificationError, match="unknown option"):
+            GridConfig.build({"grid_steps": 3, "typo": 1})
+
+    def test_non_strict_ignores_unknown_options(self):
+        cfg = GridConfig.build({"grid_steps": 3, "delta": 0.5}, strict=False)
+        assert cfg.grid_steps == 3
+        assert cfg.grid_max == 1.0
+
+    def test_engine_validates_options_eagerly(self):
+        with pytest.raises(SpecificationError, match="unknown option"):
+            Engine("grid", typo=1)
+
+    def test_engine_rejects_unknown_strategy(self):
+        with pytest.raises(SpecificationError, match="unknown search"):
+            Engine("nope")
+
+    def test_non_strict_still_rejects_universal_typos(self):
+        # cross-strategy legacy knobs pass, options nobody accepts don't
+        Engine("auto", strict=False, delta=0.01, grid_steps=5)
+        with pytest.raises(SpecificationError, match="no registered"):
+            Engine("auto", strict=False, grid_stepz=20)
+
+    def test_run_omnifair_rejects_typoed_kwargs(self, two_group_data):
+        from repro.analysis.runner import run_omnifair
+        from repro.ml import LogisticRegression
+
+        with pytest.raises(SpecificationError, match="no registered"):
+            run_omnifair(
+                two_group_data, LogisticRegression(max_iter=100),
+                epsilon=0.1, n_splits=1, grid_stepz=20,
+            )
+
+
+class TestSolvers:
+    def test_linear_solves_single_constraint(self, two_group_splits):
+        train, val, _ = two_group_splits
+        fm = Engine("linear", step=0.1).solve(
+            "SP <= 0.05", LogisticRegression(max_iter=150), train, val,
+        )
+        assert fm.report.feasible
+        assert fm.report.strategy == "linear"
+        assert abs(
+            list(fm.report.disparities.values())[0]
+        ) <= 0.05 + 1e-9
+
+    def test_linear_rejects_multi_constraint(self, three_group_splits):
+        train, val, _ = three_group_splits
+        with pytest.raises(SpecificationError, match="exactly one"):
+            Engine("linear").solve(
+                "SP <= 0.06", LogisticRegression(max_iter=150), train, val,
+            )
+
+    def test_binary_search_rejects_multi_constraint(self, three_group_splits):
+        train, val, _ = three_group_splits
+        with pytest.raises(SpecificationError, match="exactly one"):
+            Engine("binary_search").solve(
+                "SP <= 0.06", LogisticRegression(max_iter=150), train, val,
+            )
+
+    def test_cmaes_solves_single_constraint(self, two_group_splits):
+        train, val, _ = two_group_splits
+        fm = Engine("cmaes", max_evals=40, seed=0).solve(
+            "SP <= 0.05", LogisticRegression(max_iter=150), train, val,
+        )
+        assert fm.report.feasible
+        assert fm.report.n_fits == len(fm.report.history)
+
+    def test_cmaes_solves_multi_constraint(self, three_group_splits):
+        train, val, _ = three_group_splits
+        fm = Engine("cmaes", max_evals=80, seed=1).solve(
+            "SP <= 0.08", LogisticRegression(max_iter=150), train, val,
+        )
+        assert fm.report.lambdas.shape == (3,)
+        assert fm.report.feasible
+
+    def test_hill_climb_single_reduces_to_algorithm1(self, two_group_splits):
+        train, val, _ = two_group_splits
+        fm = Engine("hill_climb").solve(
+            "SP <= 0.05", LogisticRegression(max_iter=150), train, val,
+        )
+        assert fm.report.feasible
+        assert fm.report.n_rounds == 0  # single-λ path
+
+    def test_grid_matches_legacy_shim(self, two_group_splits):
+        train, val, _ = two_group_splits
+        fm = Engine("grid", grid_max=1.0, grid_steps=10).solve(
+            "SP <= 0.05", LogisticRegression(max_iter=150), train, val,
+        )
+        of = OmniFair(
+            LogisticRegression(max_iter=150), FairnessSpec("SP", 0.05),
+            search="grid", grid_max=1.0, grid_steps=10,
+        ).fit(train, val)
+        assert fm.report.lambdas.tolist() == of.lambdas_.tolist()
+        assert np.array_equal(
+            fm.predict(val.X), of.predict(val.X)
+        )
