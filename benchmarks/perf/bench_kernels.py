@@ -1,0 +1,221 @@
+"""Micro-harness: compiled constraint kernels vs the naive reference path.
+
+Times identical λ-searches under ``engine="compiled"`` and
+``engine="naive"`` on synthetic, Adult, and COMPAS workloads and emits a
+machine-readable ``BENCH_kernels.json`` consumed by CI (the ``perf-smoke``
+job fails the build when the compiled path is slower than naive; see
+``.github/workflows/ci.yml``).
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/perf/bench_kernels.py
+    PYTHONPATH=src python benchmarks/perf/bench_kernels.py \
+        --workloads synthetic_grid --quick --fail-below 1.0
+
+The headline workload (``synthetic_grid``) is the multi-constraint
+grid search the ISSUE acceptance targets: three constraints, a full
+5-per-axis Λ grid (125 candidate fits), Gaussian NB.  The compiled
+engine computes every candidate's weights in one vectorized pass,
+fits the batch through the estimator's closed-form batch hook, scores
+all predictions in one stacked mask product — and must come out ≥ 3×
+faster than the per-candidate Python loop.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.api import Engine, Problem  # noqa: E402
+from repro.core.exceptions import InfeasibleConstraintError  # noqa: E402
+from repro.datasets import load_adult, load_compas, two_group_view  # noqa: E402
+from repro.datasets.synthetic import make_biased_dataset  # noqa: E402
+from repro.ml.model_selection import train_test_split  # noqa: E402
+from repro.ml.naive_bayes import GaussianNaiveBayes  # noqa: E402
+
+DEFAULT_OUT = pathlib.Path(__file__).parent / "BENCH_kernels.json"
+SCHEMA = "bench_kernels/v1"
+
+
+def _synthetic(n):
+    return make_biased_dataset(
+        "synthetic-perf", n, ("a", "b"), (0.55, 0.45), (0.4, 0.5), seed=1,
+        n_informative=2, n_group_correlated=1, n_noise=1, n_categorical=0,
+    )
+
+
+def workloads(quick=False):
+    """Workload registry: name -> (dataset factory, spec, strategy, options).
+
+    ``quick`` shrinks row counts for the CI smoke run; the committed
+    ``BENCH_kernels.json`` is produced at full size.
+    """
+    scale = 0.25 if quick else 1.0
+
+    def rows(n):
+        return max(1200, int(n * scale))
+
+    return {
+        "synthetic_grid": dict(
+            dataset=lambda: _synthetic(rows(12000)),
+            spec="SP <= 0.12 and MR <= 0.2 and FPR <= 0.2",
+            strategy="grid",
+            options={"grid_steps": 5},
+            headline=True,
+        ),
+        "synthetic_cmaes": dict(
+            dataset=lambda: _synthetic(rows(12000)),
+            spec="SP <= 0.12 and MR <= 0.2",
+            strategy="cmaes",
+            options={"max_evals": 48},
+            headline=False,
+        ),
+        "adult_grid": dict(
+            dataset=lambda: load_adult(n=rows(8000), seed=0),
+            spec="SP <= 0.12 and FPR <= 0.2",
+            strategy="grid",
+            options={"grid_steps": 8},
+            headline=False,
+        ),
+        "compas_grid": dict(
+            dataset=lambda: two_group_view(load_compas(n=rows(8000), seed=0)),
+            spec="SP <= 0.12 and FPR <= 0.2",
+            strategy="grid",
+            options={"grid_steps": 5},
+            headline=False,
+        ),
+    }
+
+
+def _splits(dataset):
+    idx = np.arange(len(dataset))
+    strat = dataset.sensitive * 2 + dataset.y
+    tr, va = train_test_split(idx, test_size=0.5, seed=0, stratify=strat)
+    return dataset.subset(tr), dataset.subset(va)
+
+
+def _solve(engine_kind, workload, train, val):
+    engine = Engine(
+        workload["strategy"], engine=engine_kind, **workload["options"]
+    )
+    problem = Problem(workload["spec"])
+    t0 = time.perf_counter()
+    try:
+        fair = engine.solve(problem, GaussianNaiveBayes(), train, val)
+        report = fair.report
+        lambdas, feasible, n_fits = (
+            report.lambdas.tolist(), True, report.n_fits
+        )
+    except InfeasibleConstraintError:
+        # the full grid/budget was still scanned — timing stays valid
+        lambdas, feasible, n_fits = None, False, None
+    elapsed = time.perf_counter() - t0
+    return elapsed, lambdas, feasible, n_fits
+
+
+def run_workload(name, workload, repeats):
+    dataset = workload["dataset"]()
+    train, val = _splits(dataset)
+    k = len(Problem(workload["spec"]).bind(train))
+    timings = {}
+    results = {}
+    for engine_kind in ("naive", "compiled"):
+        best = np.inf
+        for _ in range(repeats):
+            elapsed, lambdas, feasible, n_fits = _solve(
+                engine_kind, workload, train, val
+            )
+            best = min(best, elapsed)
+        timings[engine_kind] = best
+        results[engine_kind] = (lambdas, feasible, n_fits)
+    speedup = timings["naive"] / timings["compiled"]
+    lam_naive, feas, n_fits = results["naive"]
+    lam_compiled = results["compiled"][0]
+    return {
+        "strategy": workload["strategy"],
+        "spec": workload["spec"],
+        "constraints": k,
+        "rows_train": len(train),
+        "rows_val": len(val),
+        "n_fits": n_fits,
+        "naive_seconds": round(timings["naive"], 4),
+        "compiled_seconds": round(timings["compiled"], 4),
+        "speedup": round(speedup, 2),
+        "feasible": feas,
+        "selected_lambdas": lam_naive,
+        "selected_lambda_match": lam_naive == lam_compiled,
+        "headline": workload["headline"],
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workloads", default=None,
+                        help="comma-separated subset (default: all)")
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of-N timing per engine (default 3)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke sizes (~1/4 rows)")
+    parser.add_argument("--fail-below", type=float, default=None,
+                        metavar="X",
+                        help="exit non-zero if any workload speedup < X")
+    args = parser.parse_args(argv)
+
+    registry = workloads(quick=args.quick)
+    selected = (
+        args.workloads.split(",") if args.workloads else list(registry)
+    )
+    unknown = sorted(set(selected) - set(registry))
+    if unknown:
+        parser.error(f"unknown workload(s) {unknown}; known: {list(registry)}")
+
+    report = {
+        "schema": SCHEMA,
+        "quick": args.quick,
+        "repeats": args.repeats,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "workloads": {},
+    }
+    for name in selected:
+        print(f"[bench_kernels] {name} ...", flush=True)
+        entry = run_workload(name, registry[name], args.repeats)
+        report["workloads"][name] = entry
+        print(
+            f"  naive {entry['naive_seconds']:.3f}s | compiled "
+            f"{entry['compiled_seconds']:.3f}s | speedup "
+            f"{entry['speedup']:.2f}x | feasible={entry['feasible']} "
+            f"| lambda_match={entry['selected_lambda_match']}"
+        )
+    speedups = [w["speedup"] for w in report["workloads"].values()]
+    report["summary"] = {
+        "min_speedup": min(speedups),
+        "max_speedup": max(speedups),
+    }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[bench_kernels] wrote {args.out}")
+
+    if args.fail_below is not None and min(speedups) < args.fail_below:
+        print(
+            f"[bench_kernels] FAIL: min speedup {min(speedups):.2f}x "
+            f"< threshold {args.fail_below:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

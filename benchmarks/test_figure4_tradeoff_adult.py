@@ -9,7 +9,6 @@ Paper's claims this bench checks:
 
 from __future__ import annotations
 
-import numpy as np
 from _common import bench_splits, emit, load_bench_dataset, run_once
 
 from repro.analysis import baseline_frontier, format_series, omnifair_frontier

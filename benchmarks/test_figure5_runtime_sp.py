@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
 from _common import bench_splits, emit, load_bench_dataset, run_once
 
 from repro import FairnessSpec, OmniFair

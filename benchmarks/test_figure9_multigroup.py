@@ -17,7 +17,6 @@ from _common import bench_splits, emit, load_bench_dataset, run_once
 from repro import FairnessSpec, OmniFair
 from repro.analysis import format_table
 from repro.baselines import CelisMetaAlgorithm, ExponentiatedGradient
-from repro.core.spec import bind_specs
 from repro.datasets import two_group_view
 from repro.ml import LogisticRegression
 from repro.ml.metrics import accuracy_score

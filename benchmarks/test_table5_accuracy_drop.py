@@ -64,8 +64,8 @@ def _run_table5():
             base = run_unconstrained(data, estimator, n_splits=1)
             for method_name, method_cls in METHODS:
                 # non-model-agnostic methods support only LR (NA(2))
-                if algo != "LR" and method_cls is not None \
-                        and not method_cls.MODEL_AGNOSTIC:
+                if (algo != "LR" and method_cls is not None
+                        and not method_cls.MODEL_AGNOSTIC):
                     drop = float("nan")
                 elif method_cls is None:
                     agg = run_omnifair(

@@ -8,7 +8,6 @@ Paper's findings this bench checks:
 
 from __future__ import annotations
 
-import numpy as np
 from _common import bench_splits, emit, load_bench_dataset, run_once
 
 from repro import FairnessSpec, InfeasibleConstraintError, OmniFair

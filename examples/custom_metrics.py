@@ -12,7 +12,6 @@ Shows the customization axes of §4.3:
 Run:  python examples/custom_metrics.py
 """
 
-import numpy as np
 
 from repro import FairnessSpec, OmniFair
 from repro.core.fairness_metrics import average_error_cost_parity

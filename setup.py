@@ -1,7 +1,32 @@
-"""Setup shim: enables legacy editable installs in offline environments
-that lack the `wheel` package (PEP 517 editable builds need bdist_wheel).
-All metadata lives in pyproject.toml.
-"""
-from setuptools import setup
+"""Packaging metadata.
 
-setup()
+Kept in setup.py (rather than a [project] table) so legacy editable
+installs work in offline environments that lack the `wheel` package
+(PEP 517 editable builds need bdist_wheel); pyproject.toml carries the
+build-system pin and tool configuration only.
+
+The "dev" extra mirrors requirements-dev.txt, which CI installs and
+caches against.
+"""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-omnifair",
+    version="0.2.0",
+    description=(
+        "Declarative model-agnostic group fairness (OmniFair, SIGMOD'21) "
+        "with compiled constraint kernels and a batched lambda-search engine"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+    extras_require={
+        "dev": [
+            "pytest>=8",
+            "pytest-benchmark>=4",
+            "hypothesis>=6",
+            "ruff>=0.4",
+        ],
+    },
+)

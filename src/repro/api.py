@@ -164,6 +164,17 @@ class Engine:
     negative_weights, warm_start, subsample
         Weighted-training knobs, passed to
         :class:`~repro.core.fitter.WeightedFitter`.
+    engine : {"compiled", "naive"}
+        Weight-computation engine.  ``"compiled"`` (default) builds the
+        constraint set once into stacked numpy kernels
+        (:mod:`repro.core.kernels`) and lets grid/CMA-ES score whole λ
+        batches per pass; ``"naive"`` keeps the pure-Python reference
+        loop — bit-for-bit identical results, kept selectable for
+        benchmarking and verification.
+    n_jobs : int or None
+        Opt-in process-pool width for batched per-candidate model fits
+        (grid and CMA-ES under the compiled engine); ``None`` fits
+        serially in-process.
     strict : bool
         Whether unknown ``**options`` keys raise (the legacy shim sets
         ``False`` because it forwards the union of all old kwargs).
@@ -179,6 +190,8 @@ class Engine:
         negative_weights="flip",
         warm_start=False,
         subsample=None,
+        engine="compiled",
+        n_jobs=None,
         strict=True,
         **options,
     ):
@@ -187,10 +200,17 @@ class Engine:
                 f"unknown search strategy {strategy!r}; registered: "
                 f"{available_strategies()} (plus 'auto')"
             )
+        if engine not in ("compiled", "naive"):
+            raise SpecificationError(
+                f"unknown weight engine {engine!r}; use 'compiled' or "
+                f"'naive'"
+            )
         self.strategy = strategy
         self.negative_weights = negative_weights
         self.warm_start = warm_start
         self.subsample = subsample
+        self.engine = engine
+        self.n_jobs = n_jobs
         self.strict = strict
         self.options = dict(options)
         # even in non-strict mode, an option no registered strategy
@@ -252,6 +272,8 @@ class Engine:
             negative_weights=self.negative_weights,
             warm_start=self.warm_start,
             subsample=self.subsample,
+            engine=self.engine,
+            n_jobs=self.n_jobs,
         )
 
         name = resolve_strategy_name(self.strategy, len(train_constraints))
@@ -290,12 +312,14 @@ class Engine:
             metadata={
                 "estimator": type(estimator).__name__,
                 "strategy": name,
+                "engine": self.engine,
             },
         )
 
     def __repr__(self):
         return (
-            f"Engine(strategy={self.strategy!r}, options={self.options!r})"
+            f"Engine(strategy={self.strategy!r}, engine={self.engine!r}, "
+            f"options={self.options!r})"
         )
 
 

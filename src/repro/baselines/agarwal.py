@@ -144,8 +144,10 @@ class ExponentiatedGradient(FairnessMethod):
             models.append(model)
 
             pred = model.predict(X)
-            signal = (pred != y).astype(np.float64) if is_error \
+            signal = (
+                (pred != y).astype(np.float64) if is_error
                 else pred.astype(np.float64)
+            )
             gamma = self._signed_moment(pred, s, event, signal)
             grad = np.array(
                 [gamma[0] - self.epsilon, -gamma[0] - self.epsilon,

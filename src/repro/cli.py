@@ -98,6 +98,13 @@ def build_parser():
                             "pair (COMPAS: African-American vs Caucasian)")
     train.add_argument("--subsample", type=float, default=None,
                        help="bounding-stage subsample fraction (§8 pruning)")
+    train.add_argument("--engine", default="compiled",
+                       choices=["compiled", "naive"],
+                       help="weight engine: compiled constraint kernels "
+                            "(default) or the pure-python reference path")
+    train.add_argument("--n-jobs", type=int, default=None,
+                       help="process-pool width for batched candidate "
+                            "fits (grid/cmaes under the compiled engine)")
     train.add_argument("--save", metavar="PATH", default=None,
                        help="save the deployable FairModel artifact")
     return parser
@@ -128,6 +135,7 @@ def _cmd_train(args, out):
         options = dict(args.strategy_opt or ())
         reserved = {
             "negative_weights", "warm_start", "subsample", "strict",
+            "engine", "n_jobs",
         } & set(options)
         if reserved:
             raise SpecificationError(
@@ -135,7 +143,8 @@ def _cmd_train(args, out):
                 f"{sorted(reserved)}; use the dedicated CLI flags"
             )
         engine = Engine(
-            args.search, subsample=args.subsample, **options
+            args.search, subsample=args.subsample,
+            engine=args.engine, n_jobs=args.n_jobs, **options,
         )
     except SpecificationError as exc:
         out.write(f"SPEC ERROR: {exc}\n")

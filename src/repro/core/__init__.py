@@ -30,6 +30,11 @@ from .grouping import (
     intersectional,
 )
 from .history import HistoryPoint
+from .kernels import (
+    CompiledConstraints,
+    CompiledEvaluator,
+    evaluate_lambda_batch,
+)
 from .report import FitReport
 from .spec import (
     Constraint,
@@ -47,7 +52,11 @@ from .strategies import (
     unregister_strategy,
 )
 from .trainer import OmniFair
-from .weights import compute_weights, resolve_negative_weights
+from .weights import (
+    compute_weights,
+    compute_weights_batch,
+    resolve_negative_weights,
+)
 
 __all__ = [
     "OmniFair",
@@ -83,7 +92,11 @@ __all__ = [
     "by_predicate",
     "intersectional",
     "compute_weights",
+    "compute_weights_batch",
     "resolve_negative_weights",
+    "CompiledConstraints",
+    "CompiledEvaluator",
+    "evaluate_lambda_batch",
     "evaluate_model",
     "max_violation",
     "disparity_vector",

@@ -5,17 +5,50 @@ example weights for the current Λ (Eq. 12 / Eq. 21), resolves negative
 weights, and calls ``fit(X, y, sample_weight=w)`` on a fresh clone (or the
 same instance when warm-starting).  Everything above this layer treats the
 model as a black box.
+
+Two weight engines are available:
+
+``"compiled"`` (default)
+    Constraints are compiled once into stacked numpy kernels
+    (:class:`repro.core.kernels.CompiledConstraints`); per-λ weights are
+    one fused product, batches of candidates one broadcasted pass, and
+    FOR/FDR prediction state is updated incrementally.
+``"naive"``
+    The original pure-Python reference loop
+    (:func:`repro.core.weights.compute_weights`), kept selectable for
+    benchmarking and equivalence testing — both engines produce
+    bit-for-bit identical weights.
 """
 
 from __future__ import annotations
 
 import copy
+from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
+from .kernels import CompiledConstraints
 from .weights import compute_weights, resolve_negative_weights
 
 __all__ = ["WeightedFitter"]
+
+WEIGHT_ENGINES = ("compiled", "naive")
+
+# -- process-pool workers (module level so they pickle under spawn) ----------
+
+_POOL_X = None
+
+
+def _pool_init(X):
+    global _POOL_X
+    _POOL_X = X
+
+
+def _pool_fit(task):
+    estimator, y_fit, w = task
+    model = estimator.clone()
+    model.fit(_POOL_X, y_fit, sample_weight=w)
+    return model
 
 
 class WeightedFitter:
@@ -42,6 +75,11 @@ class WeightedFitter:
         cheap fits before refining on the full training set (§8).
     subsample_seed : int
         Seed for the subsample draw.
+    engine : {"compiled", "naive"}
+        Weight computation engine (see module docstring).
+    n_jobs : int or None
+        Default process-pool width for :meth:`fit_batch`; ``None`` (or 1)
+        fits candidates serially in-process.
     """
 
     def __init__(
@@ -54,15 +92,31 @@ class WeightedFitter:
         warm_start=False,
         subsample=None,
         subsample_seed=0,
+        engine="compiled",
+        n_jobs=None,
     ):
+        if engine not in WEIGHT_ENGINES:
+            raise ValueError(
+                f"unknown weight engine {engine!r}; use one of "
+                f"{WEIGHT_ENGINES}"
+            )
+        if n_jobs is not None and int(n_jobs) < 1:
+            raise ValueError(f"n_jobs must be >= 1 or None, got {n_jobs}")
         self.estimator = estimator
         self.X_train = np.asarray(X_train, dtype=np.float64)
         self.y_train = np.asarray(y_train, dtype=np.int64)
         self.constraints = list(constraints)
         self.negative_weights = negative_weights
         self.warm_start = warm_start
+        self.engine = engine
+        self.n_jobs = None if n_jobs is None else int(n_jobs)
         self.n_fits = 0
         self._shared = None
+        self._kernel = None
+        self._sub_kernel = None
+        self._kernel_constraints = None
+        self._pool = None
+        self._pool_key = None
         if warm_start:
             self._shared = estimator.clone()
             if "warm_start" in self._shared.get_params():
@@ -110,10 +164,62 @@ class WeightedFitter:
             )
         self._sub_constraints = subbed
 
+    # -- compiled kernels ----------------------------------------------------
+
+    @property
+    def kernel(self):
+        """The :class:`CompiledConstraints` for the full training split.
+
+        Built lazily on first use and rebuilt if the constraint list is
+        swapped in place (Algorithm 1's orientation step replaces
+        ``constraints[0]``).
+        """
+        current = tuple(id(c) for c in self.constraints)
+        if self._kernel is None or self._kernel_constraints != current:
+            self._kernel = CompiledConstraints(self.constraints, self.y_train)
+            self._kernel_constraints = current
+        return self._kernel
+
+    def _subsample_kernel(self):
+        if self._sub_kernel is None:
+            self._sub_kernel = CompiledConstraints(
+                self._sub_constraints, self.y_train[self._sub_idx]
+            )
+        return self._sub_kernel
+
     @property
     def parameterized(self):
         """True when any constraint's metric needs model predictions."""
         return any(c.metric.parameterized_by_model for c in self.constraints)
+
+    # -- weight computation --------------------------------------------------
+
+    def _weights_for(self, lambdas, predictions, use_subsample):
+        """Raw weights for one Λ via the configured engine."""
+        if use_subsample:
+            y, constraints = self.y_train[self._sub_idx], self._sub_constraints
+        else:
+            y, constraints = self.y_train, self.constraints
+        if self.engine == "naive":
+            return compute_weights(
+                len(y), constraints, lambdas, y, predictions=predictions
+            )
+        kernel = self._subsample_kernel() if use_subsample else self.kernel
+        if predictions is not None:
+            kernel.update_predictions(predictions)
+        return kernel.weights(lambdas)
+
+    def _train_arrays(self, use_subsample):
+        if use_subsample:
+            if self._sub_idx is None:
+                raise ValueError(
+                    "use_subsample requires the subsample constructor "
+                    "argument"
+                )
+            return self.X_train[self._sub_idx], self.y_train[self._sub_idx]
+        return self.X_train, self.y_train
+
+    # -- fitting -------------------------------------------------------------
 
     def fit(self, lambdas, prev_model=None, use_subsample=False):
         """Fit the estimator with weights ``w(Λ[, h_prev])``.
@@ -124,17 +230,7 @@ class WeightedFitter:
         prepared subsample (cheap λ-range pruning; requires the
         ``subsample`` constructor argument).
         """
-        if use_subsample:
-            if self._sub_idx is None:
-                raise ValueError(
-                    "use_subsample requires the subsample constructor "
-                    "argument"
-                )
-            X, y = self.X_train[self._sub_idx], self.y_train[self._sub_idx]
-            constraints = self._sub_constraints
-        else:
-            X, y = self.X_train, self.y_train
-            constraints = self.constraints
+        X, y = self._train_arrays(use_subsample)
         predictions = None
         if self.parameterized and np.any(np.asarray(lambdas) != 0):
             if prev_model is None:
@@ -143,16 +239,13 @@ class WeightedFitter:
                     "for nonzero lambda"
                 )
             predictions = prev_model.predict(X)
-        w = compute_weights(
-            len(y),
-            constraints,
-            lambdas,
-            y,
-            predictions=predictions,
-        )
+        w = self._weights_for(lambdas, predictions, use_subsample)
         w, y_fit = resolve_negative_weights(
             w, y, strategy=self.negative_weights
         )
+        return self._fit_resolved(X, y_fit, w)
+
+    def _fit_resolved(self, X, y_fit, w):
         if self.warm_start:
             self._shared.fit(X, y_fit, sample_weight=w)
             # snapshot so callers can keep models for different λ values
@@ -163,6 +256,102 @@ class WeightedFitter:
             model.fit(X, y_fit, sample_weight=w)
         self.n_fits += 1
         return model
+
+    def fit_batch(self, lambdas_matrix, use_subsample=False, n_jobs=None):
+        """Fit one model per row of a ``(B, k)`` Λ matrix.
+
+        Requires the compiled engine and constant-coefficient metrics
+        (FOR/FDR candidates each need their own chained predictions, an
+        inherently sequential recurrence): the weights of all candidates
+        come from a single vectorized pass, negative-weight resolution is
+        broadcast over the batch, and the per-candidate model fits run
+        serially or on an ``n_jobs``-wide process pool.
+
+        Returns the fitted models in candidate order.
+        """
+        L = np.atleast_2d(np.asarray(lambdas_matrix, dtype=np.float64))
+        if self.engine != "compiled":
+            raise ValueError(
+                "fit_batch requires engine='compiled'; the naive engine "
+                "fits candidates one at a time via fit()"
+            )
+        if self.parameterized and np.any(L != 0.0):
+            raise ValueError(
+                "fit_batch does not support model-parameterized "
+                "constraints (FOR/FDR); their weights chain through each "
+                "candidate's own predictions"
+            )
+        X, y = self._train_arrays(use_subsample)
+        kernel = self._subsample_kernel() if use_subsample else self.kernel
+        W = kernel.weights_batch(L)
+        # vectorized resolve_negative_weights over the whole batch
+        negative = W < 0
+        if self.negative_weights == "flip":
+            W_res = np.abs(W)
+            Y_res = np.where(negative, 1 - y, y)
+        elif self.negative_weights == "clip":
+            W_res = np.where(negative, 0.0, W)
+            Y_res = np.broadcast_to(y, W.shape)
+        else:
+            raise ValueError(
+                f"unknown strategy {self.negative_weights!r}; "
+                f"use 'flip' or 'clip'"
+            )
+        # closed-form batch fit when the estimator opts in (see the
+        # optional batch protocol note in repro.ml.base)
+        batch_fit = getattr(self.estimator, "fit_weighted_batch", None)
+        if batch_fit is not None and not self.warm_start:
+            models = batch_fit(X, Y_res, W_res)
+            self.n_fits += len(models)
+            return models
+        n_jobs = self.n_jobs if n_jobs is None else n_jobs
+        use_pool = (
+            n_jobs is not None and n_jobs > 1
+            and not self.warm_start and len(L) > 1
+        )
+        if use_pool:
+            tasks = [
+                (self.estimator, Y_res[b], W_res[b]) for b in range(len(L))
+            ]
+            pool = self._get_pool(n_jobs, use_subsample, X)
+            chunk = max(1, len(L) // (4 * n_jobs))
+            models = list(pool.map(_pool_fit, tasks, chunksize=chunk))
+            self.n_fits += len(models)
+            return models
+        return [
+            self._fit_resolved(X, Y_res[b], W_res[b]) for b in range(len(L))
+        ]
+
+    def _get_pool(self, n_jobs, use_subsample, X):
+        """Reuse one executor across fit_batch calls.
+
+        CMA-ES calls fit_batch once per generation; forking workers and
+        re-shipping ``X`` every time would dominate the fits being
+        parallelized.  The pool is keyed on the worker count and the
+        training-array choice, and lives until :meth:`close`.
+        """
+        key = (n_jobs, use_subsample)
+        if self._pool is not None and self._pool_key == key:
+            return self._pool
+        self.close()
+        self._pool = ProcessPoolExecutor(
+            max_workers=n_jobs, initializer=_pool_init, initargs=(X,),
+        )
+        self._pool_key = key
+        return self._pool
+
+    def close(self):
+        """Shut down the cached process pool (no-op when none is open)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+            self._pool_key = None
+
+    def __del__(self):  # best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
 
     def fit_unweighted(self):
         """Fit with Λ = 0 — the unconstrained accuracy-maximizing model."""

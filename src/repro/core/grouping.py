@@ -115,8 +115,8 @@ class _ByAttributes:
         if name == dataset.sensitive_attribute:
             return dataset.sensitive, dataset.group_names or None
         extra = dataset.extras.get(name)
-        if extra is not None and np.ndim(extra) == 1 \
-                and len(extra) == len(dataset):
+        if (extra is not None and np.ndim(extra) == 1
+                and len(extra) == len(dataset)):
             return np.asarray(extra), None
         if name in dataset.feature_names:
             col = dataset.feature_names.index(name)

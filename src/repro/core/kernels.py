@@ -1,0 +1,591 @@
+"""Compiled constraint kernels: canonicalize once, reuse for every λ.
+
+The naive hot path (:func:`repro.core.weights.compute_weights`) rebuilds
+every constraint's coefficient vector from scratch on each λ step — a
+Python loop over constraints and group sides, with fresh allocations and
+scatter updates per call.  For a search that fits hundreds of candidate
+models this dominates everything but the model fits themselves.
+
+:class:`CompiledConstraints` is built **once** per (dataset, constraint
+set) binding.  It stacks each constraint's contribution into dense
+per-row coefficient arrays with the ``N`` scale and the group-pair sign
+already folded in, so the weights for any multiplier vector become the
+fused product
+
+    w(λ) = 1 + Cᵀ · λ
+
+applied as one accumulation per constraint (k is small; applying the
+stacked rows sequentially keeps the floating-point operation order of
+the reference implementation, so compiled and naive weights agree
+**bit for bit** — property-tested in ``tests/test_kernels.py``).
+``weights_batch`` broadcasts the same product over a whole matrix of λ
+candidates in one vectorized pass.
+
+Prediction-parameterized metrics (FOR/FDR) have coefficients of the form
+``-1/m(θ)`` on a *static* row subset, where ``m(θ)`` counts the group's
+predicted-negative (FOR) or predicted-positive (FDR) rows.  The kernel
+therefore stores the static mask once and tracks only the scalar count:
+:meth:`CompiledConstraints.update_predictions` re-tallies ``m`` from the
+rows whose predictions actually changed since the previous call, instead
+of recomputing every coefficient.
+
+:class:`CompiledEvaluator` is the validation-side twin: it compiles the
+group/label masks needed to score predictions against every constraint
+into one stacked matrix, so the disparities of a whole batch of
+prediction vectors reduce to a single ``(B, n) @ (n, S)`` product.  All
+rates are computed as exact integer counts divided once, mirroring
+:mod:`repro.ml.metrics` bitwise.
+
+:func:`evaluate_lambda_batch` glues the two together: weights for a grid
+or population of λ candidates in one pass, one model fit per candidate
+(optionally farmed out to a process pool), and a single vectorized
+scoring pass over the stacked predictions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ml import metrics as mlm
+from .fairness_metrics import (
+    _aec_rate,
+    _fdr_coeff,
+    _for_coeff,
+    _mr_rate,
+    _sp_rate,
+)
+
+__all__ = [
+    "CompiledConstraints",
+    "CompiledEvaluator",
+    "BatchEvalResult",
+    "evaluate_lambda_batch",
+]
+
+
+class _ConstantTerm:
+    """One precompiled dense contribution row: ``w += λ_k · row``.
+
+    ``row`` holds ``±N·c`` for a constant-coefficient group side (or a
+    merged pair of disjoint sides), zeros elsewhere.
+    """
+
+    __slots__ = ("k", "row")
+
+    def __init__(self, k, row):
+        self.k = k
+        self.row = row
+
+    def contribution(self, lam, out=None):
+        return np.multiply(lam, self.row, out=out)
+
+
+class _CountScaledTerm:
+    """A FOR/FDR group side: static ``±1`` mask scaled by ``N·(-1/m(θ))``.
+
+    ``m`` is the number of group rows whose prediction equals
+    ``denom_value`` (0 for FOR, 1 for FDR); the owning kernel updates it
+    incrementally through :meth:`recount` / :meth:`apply_delta`.
+    """
+
+    __slots__ = ("k", "mask_row", "in_group", "denom_value", "n", "count")
+
+    def __init__(self, k, mask_row, in_group, denom_value, n):
+        self.k = k
+        self.mask_row = mask_row          # dense, ±1.0 on coefficient rows
+        self.in_group = in_group          # dense bool, group membership
+        self.denom_value = denom_value    # prediction value counted in m
+        self.n = n
+        self.count = None
+
+    def recount(self, predictions):
+        self.count = int(np.sum(self.in_group & (predictions == self.denom_value)))
+
+    def apply_delta(self, changed, new_pred, old_pred):
+        member = self.in_group[changed]
+        if not member.any():
+            return
+        gained = int(np.sum(member & (new_pred[changed] == self.denom_value)))
+        lost = int(np.sum(member & (old_pred[changed] == self.denom_value)))
+        self.count += gained - lost
+
+    def scale(self):
+        # same operation order as the naive path: c = -1.0/m, then N*c
+        if not self.count:
+            return 0.0
+        return self.n * (-1.0 / self.count)
+
+    def contribution(self, lam, out=None):
+        return np.multiply(lam * self.scale(), self.mask_row, out=out)
+
+
+class _GenericParamTerm:
+    """Fallback for custom model-parameterized metrics.
+
+    Coefficients are recomputed through ``metric.coefficients`` whenever
+    any group row's prediction changed (no structural assumptions), so
+    arbitrary user metrics still go through the kernel layer.
+    """
+
+    __slots__ = ("k", "sign", "idx", "metric", "y_group", "n", "in_group",
+                 "_row", "_dirty")
+
+    def __init__(self, k, sign, idx, metric, y_group, n, in_group):
+        self.k = k
+        self.sign = sign
+        self.idx = idx
+        self.metric = metric
+        self.y_group = y_group
+        self.n = n
+        self.in_group = in_group
+        self._row = None
+        self._dirty = True
+
+    def mark_if_touched(self, changed):
+        if self._dirty or self.in_group[changed].any():
+            self._dirty = True
+
+    def refresh(self, predictions):
+        if not self._dirty and self._row is not None:
+            return
+        c, _c0 = self.metric.coefficients(self.y_group, predictions[self.idx])
+        row = np.zeros(self.n, dtype=np.float64)
+        row[self.idx] = self.sign * (self.n * c)
+        self._row = row
+        self._dirty = False
+
+    def contribution(self, lam, out=None):
+        return np.multiply(lam, self._row, out=out)
+
+
+class CompiledConstraints:
+    """Stacked reusable weight kernels for one (dataset, constraints) pair.
+
+    Parameters
+    ----------
+    constraints : list of Constraint
+        Constraints bound to the training split (indices address ``y``).
+    y : ndarray (n,)
+        Training labels.
+
+    Notes
+    -----
+    ``weights(λ)`` reproduces :func:`repro.core.weights.compute_weights`
+    bit for bit, including overlapping groups (a constraint whose two
+    group sides intersect keeps its sides as separate accumulation terms
+    so the addition order matches the reference loop).
+    """
+
+    def __init__(self, constraints, y):
+        self.y = np.asarray(y, dtype=np.int64)
+        self.n = len(self.y)
+        self.constraints = list(constraints)
+        self.k = len(self.constraints)
+        self._terms = []          # ordered: constraint 0 g1, g2, constraint 1 ...
+        self._param_terms = []    # subset needing prediction state
+        self._predictions = None
+        self._compile()
+
+    # -- compilation ---------------------------------------------------------
+
+    def _compile(self):
+        n = self.n
+        for k, constraint in enumerate(self.constraints):
+            metric = constraint.metric
+            sides = ((+1.0, constraint.g1_idx), (-1.0, constraint.g2_idx))
+            if not metric.parameterized_by_model:
+                rows = []
+                for sign, idx in sides:
+                    c, _c0 = metric.coefficients(self.y[idx], None)
+                    row = np.zeros(n, dtype=np.float64)
+                    row[idx] = sign * (n * c)
+                    rows.append((idx, row))
+                (g1_idx, row1), (g2_idx, row2) = rows
+                overlap = np.intersect1d(g1_idx, g2_idx).size > 0
+                if overlap:
+                    # keep sides separate: the reference loop performs two
+                    # adds at overlapping rows, and float addition is not
+                    # associative
+                    self._terms.append(_ConstantTerm(k, row1))
+                    self._terms.append(_ConstantTerm(k, row2))
+                else:
+                    self._terms.append(_ConstantTerm(k, row1 + row2))
+                continue
+            for sign, idx in sides:
+                in_group = np.zeros(n, dtype=bool)
+                in_group[idx] = True
+                structured = self._structured_param_side(
+                    k, sign, idx, metric, in_group
+                )
+                if structured is not None:
+                    term = structured
+                else:
+                    term = _GenericParamTerm(
+                        k, sign, idx, metric, self.y[idx], n, in_group
+                    )
+                self._terms.append(term)
+                self._param_terms.append(term)
+
+    def _structured_param_side(self, k, sign, idx, metric, in_group):
+        """Compile a FOR/FDR side into a count-scaled static mask."""
+        coeff_fn = metric._coefficients
+        if coeff_fn is _for_coeff:
+            cond_label, denom_value = 0, 0
+        elif coeff_fn is _fdr_coeff:
+            cond_label, denom_value = 1, 1
+        else:
+            return None
+        mask_row = np.zeros(self.n, dtype=np.float64)
+        rows = idx[self.y[idx] == cond_label]
+        mask_row[rows] = sign
+        return _CountScaledTerm(k, mask_row, in_group, denom_value, self.n)
+
+    # -- prediction state (FOR/FDR incremental path) -------------------------
+
+    @property
+    def parameterized(self):
+        """True when any compiled constraint needs model predictions."""
+        return bool(self._param_terms)
+
+    def update_predictions(self, predictions):
+        """Refresh prediction-dependent state, touching only changed rows.
+
+        The first call tallies every parameterized side's denominator
+        count in full; subsequent calls re-tally only over the rows whose
+        predictions differ from the previous call — the incremental path
+        for FOR/FDR, whose coefficient *rows* are static and only the
+        per-group scalar ``1/m`` moves.
+        """
+        predictions = np.asarray(predictions, dtype=np.int64)
+        if predictions.shape != (self.n,):
+            raise ValueError(
+                f"predictions has shape {predictions.shape}, "
+                f"expected ({self.n},)"
+            )
+        if self._predictions is None:
+            for term in self._param_terms:
+                if isinstance(term, _CountScaledTerm):
+                    term.recount(predictions)
+                else:
+                    term._dirty = True
+        else:
+            changed = np.nonzero(predictions != self._predictions)[0]
+            if changed.size:
+                for term in self._param_terms:
+                    if isinstance(term, _CountScaledTerm):
+                        term.apply_delta(
+                            changed, predictions, self._predictions
+                        )
+                    else:
+                        term.mark_if_touched(changed)
+        self._predictions = predictions.copy()
+        for term in self._param_terms:
+            if isinstance(term, _GenericParamTerm):
+                term.refresh(self._predictions)
+
+    # -- weight kernels ------------------------------------------------------
+
+    def _check_lambdas(self, lambdas):
+        lambdas = np.asarray(lambdas, dtype=np.float64)
+        if lambdas.shape[-1] != self.k:
+            raise ValueError(
+                f"lambdas has shape {lambdas.shape}, expected "
+                f"trailing dimension {self.k}"
+            )
+        if (self.parameterized and np.any(lambdas != 0.0)
+                and self._predictions is None):
+            raise ValueError(
+                "model-parameterized constraints require "
+                "update_predictions() (or the predictions argument) "
+                "before computing weights for nonzero lambda"
+            )
+        return lambdas
+
+    def weights(self, lambdas, predictions=None):
+        """``w(λ) = 1 + Cᵀλ`` — bitwise identical to the naive loop."""
+        if predictions is not None:
+            self.update_predictions(predictions)
+        lambdas = self._check_lambdas(np.atleast_1d(lambdas))
+        w = np.ones(self.n, dtype=np.float64)
+        for term in self._terms:
+            lam = lambdas[term.k]
+            if lam == 0.0:
+                continue
+            w += term.contribution(lam)
+        return w
+
+    def weights_batch(self, lambdas_matrix, predictions=None):
+        """Weights for a whole (B, k) matrix of λ candidates at once.
+
+        One broadcasted accumulation per constraint instead of B·k
+        Python-level scatter updates.  Rows equal ``weights(λ_b)``
+        exactly.  With parameterized constraints all candidates share
+        the same prediction state (the batch APIs are used by the
+        constant-metric fast paths; sequential searches chain
+        per-model predictions through :meth:`weights`).
+        """
+        if predictions is not None:
+            self.update_predictions(predictions)
+        L = self._check_lambdas(np.atleast_2d(lambdas_matrix))
+        W = np.ones((L.shape[0], self.n), dtype=np.float64)
+        buf = np.empty_like(W)
+        for term in self._terms:
+            lams = L[:, term.k]
+            if not lams.any():
+                continue
+            W += term.contribution(lams[:, None], out=buf)
+        return W
+
+
+# -- validation-side evaluation kernel ---------------------------------------
+
+
+class _RateSide:
+    """How to score one group side of one constraint from count columns.
+
+    ``kind`` selects the closed-form rate; ``cols`` indexes into the
+    stacked count matrix produced by one batched mask product.
+    """
+
+    __slots__ = ("kind", "size", "n_y0", "n_y1", "cols", "costs")
+
+    def __init__(self, kind, size, n_y0, n_y1, cols, costs=None):
+        self.kind = kind
+        self.size = size
+        self.n_y0 = n_y0
+        self.n_y1 = n_y1
+        self.cols = cols
+        self.costs = costs
+
+
+def _rate_kind(metric):
+    """Map a built-in metric to its closed-form batch rate, else None."""
+    rate = metric._rate
+    if rate is _sp_rate:
+        return "sp", None
+    if rate is _mr_rate:
+        return "mr", None
+    if rate is mlm.false_positive_rate:
+        return "fpr", None
+    if rate is mlm.false_negative_rate:
+        return "fnr", None
+    if rate is mlm.false_omission_rate:
+        return "for", None
+    if rate is mlm.false_discovery_rate:
+        return "fdr", None
+    func = getattr(rate, "func", None)
+    if func is _aec_rate:
+        kw = rate.keywords or {}
+        return "aec", (float(kw.get("cost_fp", 1.0)),
+                       float(kw.get("cost_fn", 1.0)))
+    return None, None
+
+
+class CompiledEvaluator:
+    """Vectorized disparity/accuracy scoring against bound constraints.
+
+    Built once per (validation split, constraints) pair.  For built-in
+    metrics every group rate reduces to exact integer counts obtained
+    from a single stacked mask product, so scoring B candidate
+    prediction vectors is one ``(B, n) @ (n, S)`` matmul; custom metrics
+    fall back to the per-constraint Python path, keeping results
+    identical to :meth:`Constraint.disparity` in all cases.
+    """
+
+    def __init__(self, constraints, y):
+        self.y = np.asarray(y, dtype=np.int64)
+        self.n = len(self.y)
+        self.constraints = list(constraints)
+        self.k = len(self.constraints)
+        self.epsilons = np.array(
+            [c.epsilon for c in self.constraints], dtype=np.float64
+        )
+        mask_cols = []
+
+        def add_mask(rows):
+            col = np.zeros(self.n, dtype=np.float64)
+            col[rows] = 1.0
+            mask_cols.append(col)
+            return len(mask_cols) - 1
+
+        self._sides = {}      # (constraint_index, side) -> _RateSide
+        self._fallback = []   # constraint indices scored via Python
+        for k, constraint in enumerate(self.constraints):
+            kind, costs = _rate_kind(constraint.metric)
+            if kind is None:
+                self._fallback.append(k)
+                continue
+            for side, idx in ((0, constraint.g1_idx), (1, constraint.g2_idx)):
+                y_g = self.y[idx]
+                n_y0 = int(np.sum(y_g == 0))
+                n_y1 = int(np.sum(y_g == 1))
+                if kind in ("sp",):
+                    cols = (add_mask(idx),)
+                elif kind in ("mr", "for", "fdr", "aec"):
+                    cols = (add_mask(idx[y_g == 0]), add_mask(idx[y_g == 1]))
+                elif kind == "fpr":
+                    cols = (add_mask(idx[y_g == 0]),)
+                else:  # fnr
+                    cols = (add_mask(idx[y_g == 1]),)
+                self._sides[(k, side)] = _RateSide(
+                    kind, len(idx), n_y0, n_y1, cols, costs
+                )
+        self._mask_matrix = (
+            np.column_stack(mask_cols) if mask_cols
+            else np.zeros((self.n, 0))
+        )
+
+    # -- scoring -------------------------------------------------------------
+
+    @staticmethod
+    def _safe_div(num, den):
+        """Vectorized twin of :func:`repro.ml.metrics._safe_div`."""
+        num = np.asarray(num, dtype=np.float64)
+        den = np.asarray(den, dtype=np.float64)
+        out = np.zeros(np.broadcast(num, den).shape, dtype=np.float64)
+        np.divide(num, den, out=out, where=den != 0)
+        return out
+
+    def _side_values(self, side, pos_counts):
+        """Rates for one group side from the positive-prediction counts.
+
+        ``pos_counts`` holds ``Σ_{i∈mask}(pred_i = 1)`` per stacked mask
+        column; every other count is an exact integer complement.
+        """
+        kind = side.kind
+        if kind == "sp":
+            pos = pos_counts[..., side.cols[0]]
+            return pos / side.size
+        if kind == "fpr":
+            fp = pos_counts[..., side.cols[0]]
+            return self._safe_div(fp, side.n_y0)
+        if kind == "fnr":
+            tp = pos_counts[..., side.cols[0]]
+            return self._safe_div(side.n_y1 - tp, side.n_y1)
+        pos0 = pos_counts[..., side.cols[0]]   # pred=1 among y=0 rows: FP
+        pos1 = pos_counts[..., side.cols[1]]   # pred=1 among y=1 rows: TP
+        if kind == "mr":
+            return (pos0 + (side.n_y1 - pos1)) / side.size
+        if kind == "for":
+            fn = side.n_y1 - pos1
+            pred_neg = side.size - (pos0 + pos1)
+            return self._safe_div(fn, pred_neg)
+        if kind == "fdr":
+            return self._safe_div(pos0, pos0 + pos1)
+        if kind == "aec":
+            cost_fp, cost_fn = side.costs
+            return (cost_fp * pos0 + cost_fn * (side.n_y1 - pos1)) / side.size
+        raise AssertionError(f"unhandled rate kind {kind!r}")
+
+    def disparities_batch(self, predictions):
+        """``(B, k)`` disparity matrix for stacked prediction vectors."""
+        preds = np.atleast_2d(np.asarray(predictions, dtype=np.int64))
+        if preds.shape[1] != self.n:
+            raise ValueError(
+                f"predictions have {preds.shape[1]} columns, "
+                f"expected {self.n}"
+            )
+        out = np.empty((preds.shape[0], self.k), dtype=np.float64)
+        if self._sides:
+            pos_counts = (preds == 1).astype(np.float64) @ self._mask_matrix
+            for k in range(self.k):
+                if (k, 0) not in self._sides:
+                    continue
+                v1 = self._side_values(self._sides[(k, 0)], pos_counts)
+                v2 = self._side_values(self._sides[(k, 1)], pos_counts)
+                out[:, k] = v1 - v2
+        for k in self._fallback:
+            constraint = self.constraints[k]
+            out[:, k] = [
+                constraint.disparity(self.y, pred) for pred in preds
+            ]
+        return out
+
+    def disparities(self, predictions):
+        """``(k,)`` disparity vector for a single prediction vector."""
+        return self.disparities_batch(predictions)[0]
+
+    def accuracies_batch(self, predictions):
+        """Plain accuracy per stacked prediction vector."""
+        preds = np.atleast_2d(np.asarray(predictions, dtype=np.int64))
+        return (preds == self.y).astype(np.float64).sum(axis=1) / self.n
+
+    def accuracy(self, predictions):
+        return float(self.accuracies_batch(predictions)[0])
+
+
+# -- batched candidate evaluation --------------------------------------------
+
+
+class BatchEvalResult:
+    """Scored λ batch: fitted models plus vectorized validation metrics.
+
+    Attributes
+    ----------
+    lambdas : ndarray (B, k)
+    models : list of fitted estimators, one per candidate
+    disparities : ndarray (B, k)
+        Validation disparity of every constraint under every candidate.
+    accuracies : ndarray (B,)
+        Validation accuracy per candidate.
+    """
+
+    __slots__ = ("lambdas", "models", "disparities", "accuracies")
+
+    def __init__(self, lambdas, models, disparities, accuracies):
+        self.lambdas = lambdas
+        self.models = models
+        self.disparities = disparities
+        self.accuracies = accuracies
+
+    def __len__(self):
+        return len(self.models)
+
+
+def evaluate_lambda_batch(
+    fitter, val_constraints, X_val, y_val, lambdas,
+    n_jobs=None, evaluator=None,
+):
+    """Fit and score a whole grid/population of λ candidates in one pass.
+
+    Parameters
+    ----------
+    fitter : WeightedFitter
+        Must use the compiled engine; candidate weights come from one
+        ``weights_batch`` call and the per-candidate fits optionally run
+        on a process pool (``n_jobs``).
+    val_constraints, X_val, y_val
+        Validation binding for scoring (same order as the fitter's
+        training constraints).
+    lambdas : array-like (B, k)
+        Candidate multiplier vectors.
+    n_jobs : int, optional
+        Process-pool width for the model fits; defaults to the fitter's
+        own ``n_jobs`` (``None`` = in-process serial fits).
+    evaluator : CompiledEvaluator, optional
+        Reuse a prebuilt validation evaluator across calls (CMA-ES calls
+        once per generation).
+
+    Returns
+    -------
+    BatchEvalResult
+    """
+    lambdas = np.atleast_2d(np.asarray(lambdas, dtype=np.float64))
+    if lambdas.shape[0] == 0:
+        raise ValueError("evaluate_lambda_batch needs at least one candidate")
+    models = fitter.fit_batch(lambdas, n_jobs=n_jobs)
+    X_val = np.asarray(X_val, dtype=np.float64)
+    if evaluator is None:
+        evaluator = CompiledEvaluator(val_constraints, y_val)
+    cls = type(models[0])
+    batch_predict = getattr(cls, "predict_batch", None)
+    if batch_predict is not None and all(type(m) is cls for m in models):
+        preds = np.asarray(batch_predict(models, X_val))
+    else:
+        preds = np.stack([model.predict(X_val) for model in models])
+    return BatchEvalResult(
+        lambdas=lambdas,
+        models=models,
+        disparities=evaluator.disparities_batch(preds),
+        accuracies=evaluator.accuracies_batch(preds),
+    )

@@ -24,6 +24,7 @@ import numpy as np
 from ..ml.metrics import accuracy_score
 from .exceptions import InfeasibleConstraintError
 from .history import HistoryPoint
+from .kernels import CompiledEvaluator, evaluate_lambda_batch
 
 __all__ = ["tune_single_lambda", "SingleTuneResult", "lambda_grid_search"]
 
@@ -41,15 +42,36 @@ class SingleTuneResult:
 
 
 class _Evaluator:
-    """Caches validation predictions → (FP, accuracy) per fitted model."""
+    """Caches validation predictions → (FP, accuracy) per fitted model.
 
-    def __init__(self, X_val, y_val, val_constraint):
+    With ``compiled=True`` the disparity/accuracy come from a
+    :class:`~repro.core.kernels.CompiledEvaluator` built once per
+    constraint orientation (bitwise identical to the Python path, minus
+    the per-call group slicing).
+    """
+
+    def __init__(self, X_val, y_val, val_constraint, compiled=False):
         self.X_val = np.asarray(X_val, dtype=np.float64)
         self.y_val = np.asarray(y_val, dtype=np.int64)
         self.constraint = val_constraint
+        self.compiled = compiled
+        self._kernel = None
+        self._kernel_constraint = None
+
+    def kernel(self):
+        if self._kernel is None or self._kernel_constraint is not self.constraint:
+            self._kernel = CompiledEvaluator([self.constraint], self.y_val)
+            self._kernel_constraint = self.constraint
+        return self._kernel
 
     def __call__(self, model):
         pred = model.predict(self.X_val)
+        if self.compiled:
+            kernel = self.kernel()
+            return (
+                float(kernel.disparities(pred)[0]),
+                kernel.accuracy(pred),
+            )
         return (
             self.constraint.disparity(self.y_val, pred),
             accuracy_score(self.y_val, pred),
@@ -97,7 +119,10 @@ def tune_single_lambda(
         raise ValueError("tune_single_lambda expects exactly one constraint")
     train_constraint = fitter.constraints[0]
     epsilon = train_constraint.epsilon
-    evaluate = _Evaluator(X_val, y_val, val_constraint)
+    evaluate = _Evaluator(
+        X_val, y_val, val_constraint,
+        compiled=fitter.engine == "compiled",
+    )
     history = []
 
     # -- stage 1: λ = 0 ------------------------------------------------------
@@ -243,28 +268,52 @@ def tune_single_lambda(
     )
 
 
-def lambda_grid_search(fitter, val_constraint, X_val, y_val, grid):
+def lambda_grid_search(fitter, val_constraint, X_val, y_val, grid, n_jobs=None):
     """Ablation baseline: plain grid search over λ (DESIGN.md §5.2).
 
     Fits every λ in ``grid`` and returns the feasible model with the best
     validation accuracy.  Unlike Algorithm 1 this needs no monotonicity,
     but costs ``len(grid)`` fits regardless of where the boundary lies.
+
+    With the compiled engine and constant-coefficient metrics the whole
+    grid is scored batch-natively: all candidate weights in one
+    vectorized pass (:func:`~repro.core.kernels.evaluate_lambda_batch`),
+    with the per-candidate fits optionally on an ``n_jobs`` process
+    pool.  Model-parameterized metrics (FOR/FDR) keep the sequential
+    loop, whose weights chain each candidate's predictions.
     """
     if len(fitter.constraints) != 1:
         raise ValueError("lambda_grid_search expects exactly one constraint")
-    evaluate = _Evaluator(X_val, y_val, val_constraint)
     epsilon = val_constraint.epsilon
     model0 = fitter.fit_unweighted()
     history = []
     best = (None, np.nan, -np.inf)
-    prev = model0
-    for lam in sorted(np.asarray(grid, dtype=np.float64)):
-        model = fitter.fit(np.array([lam]), prev_model=prev)
-        prev = model
-        fp, acc = evaluate(model)
-        history.append(HistoryPoint(float(lam), fp, acc))
-        if abs(fp) <= epsilon and acc > best[2]:
-            best = (model, float(lam), acc)
+    grid = sorted(np.asarray(grid, dtype=np.float64))
+
+    if fitter.engine == "compiled" and not fitter.parameterized:
+        batch = evaluate_lambda_batch(
+            fitter, [val_constraint], X_val, y_val,
+            np.asarray(grid)[:, None], n_jobs=n_jobs,
+        )
+        for b, lam in enumerate(grid):
+            fp, acc = float(batch.disparities[b, 0]), float(batch.accuracies[b])
+            history.append(HistoryPoint(float(lam), fp, acc))
+            if abs(fp) <= epsilon and acc > best[2]:
+                best = (batch.models[b], float(lam), acc)
+    else:
+        evaluate = _Evaluator(
+            X_val, y_val, val_constraint,
+            compiled=fitter.engine == "compiled",
+        )
+        prev = model0
+        for lam in grid:
+            model = fitter.fit(np.array([lam]), prev_model=prev)
+            prev = model
+            fp, acc = evaluate(model)
+            history.append(HistoryPoint(float(lam), fp, acc))
+            if abs(fp) <= epsilon and acc > best[2]:
+                best = (model, float(lam), acc)
+
     if best[0] is None:
         raise InfeasibleConstraintError(
             f"no grid point satisfies {val_constraint.label}",

@@ -47,6 +47,7 @@ from ..ml.metrics import accuracy_score
 from ..optim.cmaes import cmaes_minimize
 from .exceptions import InfeasibleConstraintError, SpecificationError
 from .history import HistoryPoint
+from .kernels import CompiledEvaluator, evaluate_lambda_batch
 from .multi import MultiTuneResult, grid_search_lambdas, hill_climb
 from .single import SingleTuneResult, lambda_grid_search, tune_single_lambda
 
@@ -378,6 +379,13 @@ class CMAESStrategy(SearchStrategy):
     fits.  For θ-parameterized metrics (FOR/FDR) each fit's weights use
     the previous candidate's predictions, the same continuation
     approximation Algorithm 1's linear search uses (§5.2).
+
+    With the compiled engine and constant-coefficient metrics the solver
+    is batch-native: every CMA-ES generation's population is fitted and
+    scored in one vectorized pass through
+    :func:`~repro.core.kernels.evaluate_lambda_batch` (with the fits
+    optionally on the fitter's ``n_jobs`` process pool), yielding the
+    exact same search trajectory as the scalar path.
     """
 
     name = "cmaes"
@@ -387,9 +395,15 @@ class CMAESStrategy(SearchStrategy):
         k = len(fitter.constraints)
         y_val = np.asarray(y_val, dtype=np.int64)
         eps = np.array([c.epsilon for c in val_constraints])
+        compiled = fitter.engine == "compiled"
+        evaluator = (
+            CompiledEvaluator(val_constraints, y_val) if compiled else None
+        )
 
         def evaluate(model):
             pred = model.predict(X_val)
+            if evaluator is not None:
+                return evaluator.disparities(pred), evaluator.accuracy(pred)
             d = np.array(
                 [c.disparity(y_val, pred) for c in val_constraints]
             )
@@ -406,11 +420,7 @@ class CMAESStrategy(SearchStrategy):
 
         state = {"prev": model0, "best": None}
 
-        def objective(lams):
-            lams = np.asarray(lams, dtype=np.float64)
-            model = fitter.fit(lams, prev_model=state["prev"])
-            state["prev"] = model
-            d, acc = evaluate(model)
+        def score(lams, model, d, acc):
             history.append(HistoryPoint(lams.copy(), d, acc))
             viol = float((np.abs(d) - eps).max())
             if viol <= 1e-12:
@@ -419,10 +429,32 @@ class CMAESStrategy(SearchStrategy):
                     state["best"] = (acc, lams.copy(), model)
             return config.penalty * max(viol, 0.0) + (1.0 - acc)
 
+        def objective(lams):
+            lams = np.asarray(lams, dtype=np.float64)
+            model = fitter.fit(lams, prev_model=state["prev"])
+            state["prev"] = model
+            d, acc = evaluate(model)
+            return score(lams, model, d, acc)
+
+        objective_batch = None
+        if compiled and not fitter.parameterized:
+            def objective_batch(population):
+                batch = evaluate_lambda_batch(
+                    fitter, val_constraints, X_val, y_val, population,
+                    evaluator=evaluator,
+                )
+                return np.array([
+                    score(
+                        batch.lambdas[i], batch.models[i],
+                        batch.disparities[i], float(batch.accuracies[i]),
+                    )
+                    for i in range(len(batch))
+                ])
+
         cmaes_minimize(
             objective, np.zeros(k), sigma0=config.sigma0,
             max_evals=config.max_evals, popsize=config.popsize,
-            seed=config.seed,
+            seed=config.seed, objective_batch=objective_batch,
         )
         if state["best"] is None:
             raise InfeasibleConstraintError(

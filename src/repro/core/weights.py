@@ -14,13 +14,26 @@ Large λ can push weights negative.  Maximizing ``w·1(h(x)=y)`` with
 and weights by ``|w|`` — the exact identity, and the same device Agarwal
 et al.'s reduction uses.  A clipping strategy is kept for the ablation
 benchmark (DESIGN.md §5).
+
+This module is the **reference implementation** (the ``engine="naive"``
+path): a Python loop over constraints that recomputes every coefficient
+vector per call.  The production hot path compiles the same arithmetic
+once into stacked numpy kernels — see
+:class:`repro.core.kernels.CompiledConstraints`, whose weights are
+bit-for-bit identical to :func:`compute_weights` (the contribution of
+each group side is accumulated in the same order with the same operation
+nesting, ``(sign·λ) · (N·c)``).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["compute_weights", "resolve_negative_weights"]
+__all__ = [
+    "compute_weights",
+    "compute_weights_batch",
+    "resolve_negative_weights",
+]
 
 
 def compute_weights(n, constraints, lambdas, y, predictions=None):
@@ -71,8 +84,30 @@ def compute_weights(n, constraints, lambdas, y, predictions=None):
                     )
                 pred_group = np.asarray(predictions)[idx]
             c, _c0 = metric.coefficients(y[idx], pred_group)
-            w[idx] += sign * lam * n * c
+            # operation nesting (sign·λ)·(N·c) matches the compiled
+            # kernels, keeping both engines bit-for-bit identical
+            w[idx] += (sign * lam) * (n * c)
     return w
+
+
+def compute_weights_batch(n, constraints, lambdas_matrix, y, predictions=None):
+    """Weights for a whole ``(B, k)`` matrix of Λ candidates at once.
+
+    Convenience wrapper that compiles the constraints once
+    (:class:`repro.core.kernels.CompiledConstraints`) and evaluates every
+    candidate in one vectorized pass; row ``b`` equals
+    ``compute_weights(n, constraints, lambdas_matrix[b], y, predictions)``
+    exactly.  Callers fitting many models should build the kernel
+    themselves (via :class:`~repro.core.fitter.WeightedFitter`) so it is
+    reused across searches.
+    """
+    from .kernels import CompiledConstraints
+
+    y = np.asarray(y)
+    if len(y) != n:
+        raise ValueError(f"y has length {len(y)}, expected {n}")
+    kernel = CompiledConstraints(constraints, y)
+    return kernel.weights_batch(lambdas_matrix, predictions=predictions)
 
 
 def resolve_negative_weights(w, y, strategy="flip"):

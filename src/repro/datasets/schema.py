@@ -67,8 +67,9 @@ class Dataset:
 
     @property
     def n_groups(self):
-        return len(self.group_names) if self.group_names \
-            else int(self.sensitive.max()) + 1
+        if self.group_names:
+            return len(self.group_names)
+        return int(self.sensitive.max()) + 1
 
     def subset(self, idx):
         """Return a new Dataset restricted to the rows in ``idx``."""

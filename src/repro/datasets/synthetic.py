@@ -119,8 +119,8 @@ def make_biased_dataset(
     # group-correlated numerics (redlining proxies): mean depends on group
     group_centers = np.linspace(-1.0, 1.0, k)
     for j in range(n_group_correlated):
-        col = group_centers[sensitive] * group_shift \
-            + rng.normal(scale=noise_scale, size=n)
+        col = (group_centers[sensitive] * group_shift
+               + rng.normal(scale=noise_scale, size=n))
         columns.append(col)
         feature_names.append(f"num_proxy_{j}")
 
@@ -133,8 +133,8 @@ def make_biased_dataset(
     # categoricals: quantized noisy copies of the label signal, one-hot
     cat_blocks = []
     for j in range(n_categorical):
-        latent = y_signal * (separation * 0.6) \
-            + rng.normal(scale=noise_scale, size=n)
+        latent = (y_signal * (separation * 0.6)
+                  + rng.normal(scale=noise_scale, size=n))
         levels = np.digitize(latent, np.quantile(latent, [0.25, 0.5, 0.75]))
         block = np.zeros((n, 4))
         block[np.arange(n), levels] = 1.0

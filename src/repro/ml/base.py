@@ -160,6 +160,20 @@ class BaseClassifier:
         """
         return True
 
+    # -- optional batch protocol ---------------------------------------------
+    #
+    # Estimators whose weighted fit is closed-form may additionally
+    # implement
+    #
+    #   fit_weighted_batch(X, y_batch, w_batch) -> list of fitted models
+    #   predict_batch(models, X) -> (B, n) int64 matrix   [staticmethod]
+    #
+    # The compiled λ-search engine (repro.core.kernels) probes for these
+    # with getattr and falls back to per-candidate clone().fit() /
+    # model.predict() loops when absent, so implementing them is purely
+    # a performance opt-in (see ml.naive_bayes for the reference
+    # implementation).
+
 
 def clone(estimator):
     """Module-level clone helper mirroring ``sklearn.base.clone``."""

@@ -59,7 +59,9 @@ def replicate_by_weight(X, y, sample_weight, resolution=100, max_rows=2_000_000)
     if total > max_rows:
         # degrade the resolution until we fit under the cap
         scale = max_rows / total
-        counts = np.maximum((counts * scale).astype(np.int64), positive.astype(np.int64))
+        counts = np.maximum(
+            (counts * scale).astype(np.int64), positive.astype(np.int64)
+        )
         total = int(counts.sum())
     idx = np.repeat(np.arange(len(y)), counts)
     return X[idx], y[idx]

@@ -38,6 +38,7 @@ def cmaes_minimize(
     popsize=None,
     tol=1e-10,
     seed=0,
+    objective_batch=None,
 ):
     """Minimize ``objective`` over R^d with CMA-ES.
 
@@ -57,6 +58,12 @@ def cmaes_minimize(
         Stop when the generation's objective spread falls below this.
     seed : int
         RNG seed.
+    objective_batch : callable, optional
+        ``(λ, d) population matrix -> (λ,) objective values``.  When
+        given, each generation is evaluated through one call instead of
+        λ scalar calls — the hook the compiled constraint kernels use to
+        fit and score a whole population per pass.  Must agree with
+        ``objective`` pointwise; the search trajectory is then identical.
     """
     rng = np.random.default_rng(seed)
     mean = np.asarray(x0, dtype=np.float64).copy()
@@ -97,7 +104,15 @@ def cmaes_minimize(
         zs = rng.standard_normal((lam, d))
         ys = zs @ np.diag(D) @ B.T
         xs = mean + sigma * ys
-        fs = np.array([objective(x) for x in xs])
+        if objective_batch is not None:
+            fs = np.asarray(objective_batch(xs), dtype=np.float64)
+            if fs.shape != (lam,):
+                raise ValueError(
+                    f"objective_batch returned shape {fs.shape}, "
+                    f"expected ({lam},)"
+                )
+        else:
+            fs = np.array([objective(x) for x in xs])
         n_evals += lam
 
         order = np.argsort(fs)

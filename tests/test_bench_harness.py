@@ -1,0 +1,60 @@
+"""Smoke tests for the benchmarks/perf kernel micro-harness."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+HARNESS = REPO_ROOT / "benchmarks" / "perf" / "bench_kernels.py"
+
+
+def _load_harness():
+    spec = importlib.util.spec_from_file_location("bench_kernels", HARNESS)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["bench_kernels"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quick_synthetic_workload_emits_json(tmp_path):
+    harness = _load_harness()
+    out = tmp_path / "BENCH_kernels.json"
+    rc = harness.main([
+        "--workloads", "synthetic_grid",
+        "--quick", "--repeats", "1",
+        "--out", str(out),
+    ])
+    assert rc == 0
+    report = json.loads(out.read_text())
+    assert report["schema"] == "bench_kernels/v1"
+    entry = report["workloads"]["synthetic_grid"]
+    assert entry["strategy"] == "grid"
+    assert entry["constraints"] == 3
+    assert entry["naive_seconds"] > 0
+    assert entry["compiled_seconds"] > 0
+    assert entry["selected_lambda_match"] is True
+    assert report["summary"]["min_speedup"] == entry["speedup"]
+
+
+def test_fail_below_gate(tmp_path):
+    harness = _load_harness()
+    out = tmp_path / "bench.json"
+    # an impossible threshold must trip the gate
+    rc = harness.main([
+        "--workloads", "compas_grid",
+        "--quick", "--repeats", "1",
+        "--out", str(out),
+        "--fail-below", "1e9",
+    ])
+    assert rc == 1
+
+
+def test_unknown_workload_is_an_error():
+    import pytest
+
+    harness = _load_harness()
+    with pytest.raises(SystemExit):
+        harness.main(["--workloads", "no_such_workload"])

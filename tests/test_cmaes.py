@@ -1,7 +1,6 @@
 """Tests for the from-scratch CMA-ES optimizer."""
 
 import numpy as np
-import pytest
 
 from repro.optim import cmaes_minimize
 
@@ -44,7 +43,9 @@ class TestCMAES:
         assert len(calls) <= 200 + 12  # at most one extra generation
 
     def test_deterministic_given_seed(self):
-        f = lambda x: float(np.sum(x**2) + np.sum(np.abs(x)))
+        def f(x):
+            return float(np.sum(x**2) + np.sum(np.abs(x)))
+
         a = cmaes_minimize(f, np.ones(3), max_evals=500, seed=7)
         b = cmaes_minimize(f, np.ones(3), max_evals=500, seed=7)
         assert np.allclose(a.x, b.x)

@@ -23,8 +23,9 @@ def _equivalent(a, b):
     for sa, sb in zip(a, b):
         assert sa.metric.name == sb.metric.name
         assert sa.epsilon == sb.epsilon
-        assert getattr(sa.grouping, "dsl_attrs", None) == \
-            getattr(sb.grouping, "dsl_attrs", None)
+        assert getattr(sa.grouping, "dsl_attrs", None) == getattr(
+            sb.grouping, "dsl_attrs", None
+        )
 
 
 class TestParse:
@@ -150,8 +151,9 @@ class TestRoundTrip:
     def test_canonical_reparses_equivalently_modulo_order(self):
         specs = parse_spec("FNR <= 0.05 and FPR <= 0.05")
         re = parse_spec(specs.canonical())
-        assert sorted(s.metric.name for s in re) == \
-            sorted(s.metric.name for s in specs)
+        assert sorted(s.metric.name for s in re) == sorted(
+            s.metric.name for s in specs
+        )
 
     def test_non_dsl_grouping_not_printable(self):
         spec = FairnessSpec(

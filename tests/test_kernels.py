@@ -1,0 +1,465 @@
+"""Compiled constraint kernels: equivalence with the naive reference path.
+
+The contract under test (ISSUE 2 acceptance):
+
+* :class:`CompiledConstraints` weights match the legacy
+  :func:`compute_weights` **bit for bit** across random specs, λ vectors
+  (including negative-weight regimes), and overlapping groups;
+* the batched APIs (``weights_batch`` / ``fit_batch`` /
+  ``evaluate_lambda_batch``) agree with their sequential counterparts;
+* the incremental FOR/FDR prediction update equals a fresh recount;
+* ``engine="compiled"`` and ``engine="naive"`` select identical λ on
+  fixed seeds, strategy by strategy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import Engine, Problem
+from repro.core.fairness_metrics import (
+    METRIC_FACTORIES,
+    average_error_cost_parity,
+    custom_metric,
+)
+from repro.core.fitter import WeightedFitter
+from repro.core.kernels import (
+    CompiledConstraints,
+    CompiledEvaluator,
+    evaluate_lambda_batch,
+)
+from repro.core.spec import Constraint
+from repro.core.weights import (
+    compute_weights,
+    compute_weights_batch,
+    resolve_negative_weights,
+)
+from repro.datasets.synthetic import make_biased_dataset
+from repro.ml.logistic import LogisticRegression
+from repro.ml.metrics import accuracy_score
+from repro.ml.model_selection import train_val_test_split
+from repro.ml.naive_bayes import GaussianNaiveBayes
+
+ALL_METRICS = sorted(METRIC_FACTORIES)
+
+
+# -- custom parameterized metric exercising the generic fallback -------------
+
+
+def _flip_share_coeff(y, pred):
+    # an arbitrary prediction-dependent linear metric: coefficients scale
+    # with the number of predicted positives in the group
+    scale = 1.0 + float(np.sum(pred == 1))
+    return np.where(y == 1, 1.0 / scale, -0.5 / scale), 0.25
+
+
+def _flip_share_rate(y, pred):
+    scale = 1.0 + float(np.sum(pred == 1))
+    correct = (y == pred).astype(np.float64)
+    c = np.where(y == 1, 1.0 / scale, -0.5 / scale)
+    return float(np.dot(c, correct) + 0.25)
+
+
+def _custom_param_metric():
+    return custom_metric(
+        "CUSTOM", _flip_share_coeff, _flip_share_rate,
+        parameterized_by_model=True,
+    )
+
+
+# -- hypothesis machinery -----------------------------------------------------
+
+
+def _make_metric(name):
+    if name == "AEC":
+        return average_error_cost_parity(cost_fp=0.7, cost_fn=1.3)
+    if name == "CUSTOM":
+        return _custom_param_metric()
+    return METRIC_FACTORIES[name]()
+
+
+@st.composite
+def weight_problems(draw):
+    """Random (y, constraints, λ, predictions) tuples, overlaps included."""
+    n = draw(st.integers(min_value=5, max_value=50))
+    y = np.array(
+        draw(st.lists(st.integers(0, 1), min_size=n, max_size=n)),
+        dtype=np.int64,
+    )
+    k = draw(st.integers(min_value=1, max_value=4))
+    constraints = []
+    rng = np.random.default_rng(draw(st.integers(0, 2**32 - 1)))
+    names = ALL_METRICS + ["AEC", "CUSTOM"]
+    for i in range(k):
+        metric = _make_metric(draw(st.sampled_from(names)))
+        # overlapping, non-empty groups drawn independently
+        g1 = rng.choice(n, size=rng.integers(1, n + 1), replace=False)
+        g2 = rng.choice(n, size=rng.integers(1, n + 1), replace=False)
+        constraints.append(
+            Constraint(
+                metric=metric,
+                epsilon=0.1,
+                group_names=(f"a{i}", f"b{i}"),
+                g1_idx=np.sort(g1),
+                g2_idx=np.sort(g2),
+            )
+        )
+    lambdas = np.array([
+        draw(st.floats(
+            min_value=-50.0, max_value=50.0,
+            allow_nan=False, allow_infinity=False,
+        ))
+        for _ in range(k)
+    ])
+    # sprinkle exact zeros and a large-λ (negative-weight) regime
+    if draw(st.booleans()):
+        lambdas[draw(st.integers(0, k - 1))] = 0.0
+    if draw(st.booleans()):
+        lambdas[draw(st.integers(0, k - 1))] *= 1e3
+    predictions = np.array(
+        draw(st.lists(st.integers(0, 1), min_size=n, max_size=n)),
+        dtype=np.int64,
+    )
+    return y, constraints, lambdas, predictions
+
+
+class TestWeightEquivalenceProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(weight_problems())
+    def test_compiled_matches_naive_bit_for_bit(self, problem):
+        y, constraints, lambdas, predictions = problem
+        n = len(y)
+        naive = compute_weights(
+            n, constraints, lambdas, y, predictions=predictions
+        )
+        kernel = CompiledConstraints(constraints, y)
+        compiled = kernel.weights(lambdas, predictions=predictions)
+        assert np.array_equal(naive, compiled)
+
+    @settings(max_examples=30, deadline=None)
+    @given(weight_problems())
+    def test_batch_rows_equal_single_calls(self, problem):
+        y, constraints, lambdas, predictions = problem
+        kernel = CompiledConstraints(constraints, y)
+        L = np.stack([lambdas, np.zeros_like(lambdas), -0.5 * lambdas])
+        W = kernel.weights_batch(L, predictions=predictions)
+        for b in range(len(L)):
+            assert np.array_equal(W[b], kernel.weights(L[b]))
+
+    @settings(max_examples=30, deadline=None)
+    @given(weight_problems())
+    def test_negative_weight_resolution_agrees(self, problem):
+        y, constraints, lambdas, predictions = problem
+        n = len(y)
+        naive = compute_weights(
+            n, constraints, lambdas, y, predictions=predictions
+        )
+        kernel = CompiledConstraints(constraints, y)
+        compiled = kernel.weights(lambdas, predictions=predictions)
+        for strategy in ("flip", "clip"):
+            w_n, y_n = resolve_negative_weights(naive, y, strategy=strategy)
+            w_c, y_c = resolve_negative_weights(compiled, y, strategy=strategy)
+            assert np.array_equal(w_n, w_c)
+            assert np.array_equal(y_n, y_c)
+
+
+class TestIncrementalPredictionUpdates:
+    def _constraints(self, y, rng, metrics=("FOR", "FDR", "CUSTOM")):
+        n = len(y)
+        constraints = []
+        for i, name in enumerate(metrics):
+            g1 = np.sort(rng.choice(n, size=n // 2, replace=False))
+            g2 = np.sort(rng.choice(n, size=n // 2, replace=False))
+            constraints.append(
+                Constraint(
+                    metric=_make_metric(name), epsilon=0.05,
+                    group_names=(f"a{i}", f"b{i}"), g1_idx=g1, g2_idx=g2,
+                )
+            )
+        return constraints
+
+    def test_incremental_equals_fresh_recount(self):
+        rng = np.random.default_rng(7)
+        y = rng.integers(0, 2, size=120)
+        constraints = self._constraints(y, rng)
+        lambdas = np.array([0.8, -1.6, 2.5])
+        incremental = CompiledConstraints(constraints, y)
+        pred = rng.integers(0, 2, size=120)
+        for step in range(8):
+            # flip a few rows at a time — the incremental path only
+            # re-tallies those
+            flips = rng.choice(120, size=rng.integers(0, 9), replace=False)
+            pred = pred.copy()
+            pred[flips] = 1 - pred[flips]
+            incremental.update_predictions(pred)
+            fresh = CompiledConstraints(constraints, y)
+            fresh.update_predictions(pred)
+            naive = compute_weights(
+                120, constraints, lambdas, y, predictions=pred
+            )
+            assert np.array_equal(incremental.weights(lambdas), naive)
+            assert np.array_equal(fresh.weights(lambdas), naive)
+
+    def test_nonzero_lambda_requires_predictions(self):
+        rng = np.random.default_rng(3)
+        y = rng.integers(0, 2, size=40)
+        kernel = CompiledConstraints(self._constraints(y, rng, ("FOR",)), y)
+        with pytest.raises(ValueError, match="update_predictions"):
+            kernel.weights(np.array([1.0]))
+        # λ = 0 never needs predictions
+        assert np.array_equal(
+            kernel.weights(np.array([0.0])), np.ones(40)
+        )
+
+
+class TestCompiledEvaluator:
+    @settings(max_examples=40, deadline=None)
+    @given(weight_problems())
+    def test_matches_constraint_disparity_and_accuracy(self, problem):
+        y, constraints, _lambdas, predictions = problem
+        evaluator = CompiledEvaluator(constraints, y)
+        got = evaluator.disparities(predictions)
+        want = np.array(
+            [c.disparity(y, predictions) for c in constraints]
+        )
+        assert np.array_equal(got, want)
+        assert evaluator.accuracy(predictions) == accuracy_score(
+            y, predictions
+        )
+
+    def test_batch_scoring_matches_per_row(self):
+        rng = np.random.default_rng(11)
+        y = rng.integers(0, 2, size=200)
+        constraints = []
+        for i, name in enumerate(ALL_METRICS + ["AEC"]):
+            g1 = np.sort(rng.choice(200, size=90, replace=False))
+            g2 = np.sort(rng.choice(200, size=90, replace=False))
+            constraints.append(
+                Constraint(
+                    metric=_make_metric(name), epsilon=0.05,
+                    group_names=(f"a{i}", f"b{i}"), g1_idx=g1, g2_idx=g2,
+                )
+            )
+        evaluator = CompiledEvaluator(constraints, y)
+        preds = rng.integers(0, 2, size=(7, 200))
+        D = evaluator.disparities_batch(preds)
+        A = evaluator.accuracies_batch(preds)
+        for b in range(7):
+            want = [c.disparity(y, preds[b]) for c in constraints]
+            assert np.array_equal(D[b], np.array(want))
+            assert A[b] == accuracy_score(y, preds[b])
+
+
+# -- fitter-level batching ----------------------------------------------------
+
+
+def _toy_training_setup(seed=0, n=300):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 4))
+    y = (X[:, 0] + 0.5 * rng.normal(size=n) > 0).astype(np.int64)
+    groups = rng.integers(0, 2, size=n)
+    g1 = np.nonzero(groups == 0)[0]
+    g2 = np.nonzero(groups == 1)[0]
+    constraints = [
+        Constraint(
+            metric=_make_metric("SP"), epsilon=0.05,
+            group_names=("a", "b"), g1_idx=g1, g2_idx=g2,
+        ),
+        Constraint(
+            metric=_make_metric("MR"), epsilon=0.1,
+            group_names=("a", "b"), g1_idx=g1, g2_idx=g2,
+        ),
+    ]
+    return X, y, constraints
+
+
+class TestFitBatch:
+    def test_batch_models_match_sequential_fits(self):
+        X, y, constraints = _toy_training_setup()
+        L = np.array([[0.0, 0.0], [0.6, -0.4], [-2.0, 1.5]])
+        serial = WeightedFitter(LogisticRegression(max_iter=40), X, y,
+                                constraints)
+        batch = WeightedFitter(LogisticRegression(max_iter=40), X, y,
+                               constraints)
+        wanted = [serial.fit(L[b]) for b in range(len(L))]
+        got = batch.fit_batch(L)
+        assert batch.n_fits == len(L)
+        for m_w, m_g in zip(wanted, got):
+            assert np.array_equal(m_w.predict(X), m_g.predict(X))
+
+    def test_naive_engine_rejects_fit_batch(self):
+        X, y, constraints = _toy_training_setup()
+        fitter = WeightedFitter(
+            GaussianNaiveBayes(), X, y, constraints, engine="naive"
+        )
+        with pytest.raises(ValueError, match="naive"):
+            fitter.fit_batch(np.zeros((2, 2)))
+
+    def test_parameterized_rejects_fit_batch(self):
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(60, 3))
+        y = rng.integers(0, 2, size=60)
+        constraints = [
+            Constraint(
+                metric=_make_metric("FOR"), epsilon=0.05,
+                group_names=("a", "b"),
+                g1_idx=np.arange(30), g2_idx=np.arange(30, 60),
+            )
+        ]
+        fitter = WeightedFitter(GaussianNaiveBayes(), X, y, constraints)
+        with pytest.raises(ValueError, match="parameterized"):
+            fitter.fit_batch(np.array([[0.5]]))
+        # all-zero λ batches are constant-weight and therefore fine
+        assert len(fitter.fit_batch(np.zeros((2, 1)))) == 2
+
+    def test_process_pool_matches_serial(self):
+        X, y, constraints = _toy_training_setup()
+        L = np.array([[0.3, 0.0], [-0.7, 0.2], [1.1, -1.0], [0.0, 0.4]])
+        est = LogisticRegression(max_iter=25)
+        serial = WeightedFitter(est.clone(), X, y, constraints)
+        pooled = WeightedFitter(est.clone(), X, y, constraints, n_jobs=2)
+        for m_s, m_p in zip(serial.fit_batch(L), pooled.fit_batch(L)):
+            assert np.array_equal(m_s.predict(X), m_p.predict(X))
+
+    def test_invalid_engine_and_n_jobs(self):
+        X, y, constraints = _toy_training_setup()
+        with pytest.raises(ValueError, match="engine"):
+            WeightedFitter(GaussianNaiveBayes(), X, y, constraints,
+                           engine="vectorized")
+        with pytest.raises(ValueError, match="n_jobs"):
+            WeightedFitter(GaussianNaiveBayes(), X, y, constraints,
+                           n_jobs=0)
+
+
+class TestEstimatorBatchHooks:
+    def test_naive_bayes_batch_fit_matches_scalar_fits(self):
+        X, y, constraints = _toy_training_setup(seed=2)
+        rng = np.random.default_rng(9)
+        W = rng.uniform(0.2, 3.0, size=(5, len(y)))
+        Y = np.where(rng.random((5, len(y))) < 0.1, 1 - y, y)
+        proto = GaussianNaiveBayes()
+        models = proto.fit_weighted_batch(X, Y, W)
+        for b, model in enumerate(models):
+            ref = GaussianNaiveBayes().fit(X, Y[b], sample_weight=W[b])
+            np.testing.assert_allclose(model.theta_, ref.theta_,
+                                       rtol=1e-9, atol=1e-12)
+            np.testing.assert_allclose(model.var_, ref.var_,
+                                       rtol=1e-9, atol=1e-12)
+            np.testing.assert_allclose(model.class_prior_, ref.class_prior_,
+                                       rtol=1e-12)
+            assert np.array_equal(model.predict(X), ref.predict(X))
+
+    def test_naive_bayes_predict_batch_matches_scalar_predict(self):
+        X, y, _ = _toy_training_setup(seed=4)
+        rng = np.random.default_rng(13)
+        models = [
+            GaussianNaiveBayes().fit(
+                X, y, sample_weight=rng.uniform(0.5, 2.0, size=len(y))
+            )
+            for _ in range(4)
+        ]
+        batch = GaussianNaiveBayes.predict_batch(models, X)
+        for b, model in enumerate(models):
+            assert np.array_equal(batch[b], model.predict(X))
+
+
+class TestEvaluateLambdaBatch:
+    def test_matches_sequential_fit_and_score(self):
+        X, y, constraints = _toy_training_setup(seed=6)
+        X_val, y_val = X[:150], y[:150]
+        val_constraints = [
+            Constraint(
+                metric=c.metric, epsilon=c.epsilon,
+                group_names=c.group_names,
+                g1_idx=c.g1_idx[c.g1_idx < 150],
+                g2_idx=c.g2_idx[c.g2_idx < 150],
+            )
+            for c in constraints
+        ]
+        L = np.array([[0.0, 0.0], [0.5, -0.5], [-1.0, 1.0]])
+        est = LogisticRegression(max_iter=30)
+        batch_fitter = WeightedFitter(est.clone(), X, y, constraints)
+        result = evaluate_lambda_batch(
+            batch_fitter, val_constraints, X_val, y_val, L
+        )
+        serial_fitter = WeightedFitter(est.clone(), X, y, constraints)
+        for b in range(len(L)):
+            model = serial_fitter.fit(L[b])
+            pred = model.predict(X_val)
+            want = np.array(
+                [c.disparity(y_val, pred) for c in val_constraints]
+            )
+            assert np.array_equal(result.disparities[b], want)
+            assert result.accuracies[b] == accuracy_score(y_val, pred)
+
+    def test_compute_weights_batch_wrapper(self):
+        _X, y, constraints = _toy_training_setup(seed=8)
+        L = np.array([[0.25, -0.75], [0.0, 0.0]])
+        W = compute_weights_batch(len(y), constraints, L, y)
+        for b in range(len(L)):
+            assert np.array_equal(
+                W[b], compute_weights(len(y), constraints, L[b], y)
+            )
+
+
+# -- end-to-end engine equivalence --------------------------------------------
+
+
+def _split_synthetic(seed=1, n=2400):
+    data = make_biased_dataset(
+        "synth-equiv", n, ("a", "b"), (0.6, 0.4), (0.5, 0.32), seed=seed,
+        n_informative=2, n_group_correlated=1, n_noise=1, n_categorical=0,
+    )
+    strat = data.sensitive * 2 + data.y
+    tr, va, _te = train_val_test_split(len(data), seed=0, stratify=strat)
+    return data.subset(tr), data.subset(va)
+
+
+class TestEngineEquivalence:
+    """Compiled and naive engines select identical λ on fixed seeds."""
+
+    @pytest.mark.parametrize("strategy,options,spec", [
+        ("grid", {"grid_steps": 8}, "SP <= 0.16 and MR <= 0.3"),
+        ("cmaes", {"max_evals": 18}, "SP <= 0.1 and MR <= 0.2"),
+        ("hill_climb", {}, "SP <= 0.1 and MR <= 0.2"),
+        ("binary_search", {}, "SP <= 0.03"),
+        ("binary_search", {}, "FDR <= 0.08"),
+        ("grid", {"grid_steps": 8}, "SP <= 0.1"),
+    ])
+    def test_identical_lambdas_and_history(self, strategy, options, spec):
+        train, val = _split_synthetic()
+        reports = {}
+        for engine in ("naive", "compiled"):
+            fair = Engine(strategy, engine=engine, **options).solve(
+                Problem(spec), GaussianNaiveBayes(), train, val,
+            )
+            reports[engine] = fair.report
+        naive, compiled = reports["naive"], reports["compiled"]
+        assert np.array_equal(naive.lambdas, compiled.lambdas)
+        assert naive.n_fits == compiled.n_fits
+        assert len(naive.history) == len(compiled.history)
+        assert naive.validation["accuracy"] == compiled.validation["accuracy"]
+
+    def test_identical_weights_through_fitters(self):
+        train, _val = _split_synthetic()
+        problem = Problem("SP <= 0.05 and FPR <= 0.1")
+        constraints = problem.bind(train)
+        lambdas = np.array([1.7, -0.9])
+        naive = WeightedFitter(
+            GaussianNaiveBayes(), train.X, train.y, constraints,
+            engine="naive",
+        )._weights_for(lambdas, None, False)
+        compiled = WeightedFitter(
+            GaussianNaiveBayes(), train.X, train.y, constraints,
+            engine="compiled",
+        )._weights_for(lambdas, None, False)
+        assert np.array_equal(naive, compiled)
+
+    def test_engine_knob_validation(self):
+        from repro.core.exceptions import SpecificationError
+
+        with pytest.raises(SpecificationError, match="engine"):
+            Engine("grid", engine="turbo")

@@ -1,6 +1,5 @@
 """Tests for the OmniFair public trainer API."""
 
-import numpy as np
 import pytest
 
 from repro import FairnessSpec, OmniFair, SpecificationError
