@@ -175,6 +175,11 @@ class Engine:
         Opt-in process-pool width for batched per-candidate model fits
         (grid and CMA-ES under the compiled engine); ``None`` fits
         serially in-process.
+    fit_cache : bool
+        Memoize model fits on the hash of their resolved weight/label
+        vectors (default True; automatically off under ``warm_start``).
+        Hit counts surface as ``FitReport.fit_cache_hits`` /
+        ``eval_cache_hits``.
     strict : bool
         Whether unknown ``**options`` keys raise (the legacy shim sets
         ``False`` because it forwards the union of all old kwargs).
@@ -192,6 +197,7 @@ class Engine:
         subsample=None,
         engine="compiled",
         n_jobs=None,
+        fit_cache=True,
         strict=True,
         **options,
     ):
@@ -211,6 +217,7 @@ class Engine:
         self.subsample = subsample
         self.engine = engine
         self.n_jobs = n_jobs
+        self.fit_cache = fit_cache
         self.strict = strict
         self.options = dict(options)
         # even in non-strict mode, an option no registered strategy
@@ -274,6 +281,7 @@ class Engine:
             subsample=self.subsample,
             engine=self.engine,
             n_jobs=self.n_jobs,
+            fit_cache=self.fit_cache,
         )
 
         name = resolve_strategy_name(self.strategy, len(train_constraints))
@@ -302,6 +310,11 @@ class Engine:
                 raw.model, val.X, val.y, val_constraints
             ),
             swapped=swapped,
+            fit_cache_hits=fitter.fit_cache_hits,
+            fit_cache_lookups=fitter.fit_cache_lookups,
+            eval_cache_hits=fitter.eval_stats["hits"],
+            eval_cache_lookups=fitter.eval_stats["lookups"],
+            fit_paths=dict(fitter.fit_paths),
             train_constraints=list(fitter.constraints),
             val_constraints=list(val_constraints),
         )

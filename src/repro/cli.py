@@ -105,6 +105,9 @@ def build_parser():
     train.add_argument("--n-jobs", type=int, default=None,
                        help="process-pool width for batched candidate "
                             "fits (grid/cmaes under the compiled engine)")
+    train.add_argument("--no-fit-cache", action="store_true",
+                       help="disable memoization of model fits on their "
+                            "resolved weight vectors")
     train.add_argument("--save", metavar="PATH", default=None,
                        help="save the deployable FairModel artifact")
     return parser
@@ -135,7 +138,7 @@ def _cmd_train(args, out):
         options = dict(args.strategy_opt or ())
         reserved = {
             "negative_weights", "warm_start", "subsample", "strict",
-            "engine", "n_jobs",
+            "engine", "n_jobs", "fit_cache",
         } & set(options)
         if reserved:
             raise SpecificationError(
@@ -144,7 +147,8 @@ def _cmd_train(args, out):
             )
         engine = Engine(
             args.search, subsample=args.subsample,
-            engine=args.engine, n_jobs=args.n_jobs, **options,
+            engine=args.engine, n_jobs=args.n_jobs,
+            fit_cache=not args.no_fit_cache, **options,
         )
     except SpecificationError as exc:
         out.write(f"SPEC ERROR: {exc}\n")
@@ -168,6 +172,14 @@ def _cmd_train(args, out):
     )
     out.write(
         f"lambda(s): {report.lambdas.tolist()}  model fits: {report.n_fits}\n"
+    )
+    paths = ", ".join(
+        f"{name}={count}" for name, count in sorted(report.fit_paths.items())
+    )
+    out.write(
+        f"caches: fit {report.fit_cache_hits}/{report.fit_cache_lookups} "
+        f"hits, eval {report.eval_cache_hits}/{report.eval_cache_lookups} "
+        f"hits ({paths})\n"
     )
     out.write(f"validation: {report.disparities}\n")
     audit = fair_model.audit(test)

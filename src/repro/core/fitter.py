@@ -18,11 +18,30 @@ Two weight engines are available:
     (:func:`repro.core.weights.compute_weights`), kept selectable for
     benchmarking and equivalence testing — both engines produce
     bit-for-bit identical weights.
+
+Independent of the weight engine, a **fit memoization cache** sits in
+front of every model fit: the resolved ``(weights, labels)`` pair — plus
+the estimator's hyperparameters and which training split is in play —
+is hashed, and a candidate whose resolved vectors collide with an
+earlier fit reuses the fitted model instead of retraining.  Collisions
+are common in practice: ``resolve_negative_weights`` can map distinct λ
+to the same resolved vectors, λ-searches revisit Λ = 0, and hill
+climbing re-lands on coordinates it has already tried.  Hit counts are
+exposed as :attr:`WeightedFitter.fit_cache_hits` and surfaced through
+:class:`~repro.core.report.FitReport`.  ``n_fits`` counts *logical*
+fits — cache hits included — so search-budget accounting (and
+``n_fits == len(history)`` invariants) is unchanged by memoization;
+the work actually avoided is ``fit_cache_hits``.  The cache holds at
+most :data:`FIT_CACHE_MAX` models (LRU eviction) and is disabled
+under ``warm_start`` (a warm-started fit depends on the mutable shared
+estimator state, not just the weights).
 """
 
 from __future__ import annotations
 
 import copy
+import hashlib
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
@@ -33,6 +52,10 @@ from .weights import compute_weights, resolve_negative_weights
 __all__ = ["WeightedFitter"]
 
 WEIGHT_ENGINES = ("compiled", "naive")
+
+# fit-cache size bound: peak memory must scale with the cache cap, not
+# with the total number of distinct candidates a long search visits
+FIT_CACHE_MAX = 256
 
 # -- process-pool workers (module level so they pickle under spawn) ----------
 
@@ -80,6 +103,30 @@ class WeightedFitter:
     n_jobs : int or None
         Default process-pool width for :meth:`fit_batch`; ``None`` (or 1)
         fits candidates serially in-process.
+    fit_cache : bool
+        Memoize fitted models on the hash of their resolved
+        ``(weights, labels)`` vectors (default True; forced off under
+        ``warm_start``).  See the module docstring.
+
+    Attributes
+    ----------
+    n_fits : int
+        Logical model fits requested (cache hits included, so the
+        ``n_fits == len(history)`` bookkeeping of the searches is
+        unaffected by memoization); ``n_fits - fit_cache_hits`` is the
+        number of actual training runs.
+    fit_cache_hits, fit_cache_lookups : int
+        Fit-memoization traffic; ``hits`` short-circuited a fit.
+    eval_stats : dict
+        ``{"hits": int, "lookups": int}`` sink shared with every
+        :class:`~repro.core.kernels.CompiledEvaluator` the search builds
+        for this fitter (the validation-side prediction-score cache).
+    fit_paths : dict
+        How batch candidates were fitted, by path:
+        ``"batch_protocol"`` (estimator's ``fit_weighted_batch``),
+        ``"pool"`` (process pool), ``"serial"`` (in-process loop),
+        ``"cached"`` (fit cache hit), plus ``"single"`` for plain
+        :meth:`fit` calls.
     """
 
     def __init__(
@@ -94,6 +141,7 @@ class WeightedFitter:
         subsample_seed=0,
         engine="compiled",
         n_jobs=None,
+        fit_cache=True,
     ):
         if engine not in WEIGHT_ENGINES:
             raise ValueError(
@@ -111,6 +159,15 @@ class WeightedFitter:
         self.engine = engine
         self.n_jobs = None if n_jobs is None else int(n_jobs)
         self.n_fits = 0
+        # a warm-started fit depends on the shared estimator's mutable
+        # state, so identical weights do NOT imply identical models
+        self.fit_cache = bool(fit_cache) and not warm_start
+        self.fit_cache_hits = 0
+        self.fit_cache_lookups = 0
+        self._fit_cache = {}
+        self.eval_stats = {"hits": 0, "lookups": 0}
+        self.fit_paths = {}
+        self._warned_warm_bypass = False
         self._shared = None
         self._kernel = None
         self._sub_kernel = None
@@ -123,6 +180,8 @@ class WeightedFitter:
                 self._shared.set_params(warm_start=True)
         self.subsample = subsample
         self._sub_idx = None
+        self._sub_X = None
+        self._sub_y = None
         self._sub_constraints = None
         if subsample is not None:
             if not 0.0 < subsample < 1.0:
@@ -146,6 +205,10 @@ class WeightedFitter:
             idx.append(rng.choice(rows, size=min(take, len(rows)),
                                   replace=False))
         self._sub_idx = np.sort(np.concatenate(idx))[:max(k, 2)]
+        # materialize the subsample arrays once: stable objects make the
+        # process-pool identity key sound and avoid re-slicing per fit
+        self._sub_X = self.X_train[self._sub_idx]
+        self._sub_y = self.y_train[self._sub_idx]
         positions = np.full(n, -1, dtype=np.int64)
         positions[self._sub_idx] = np.arange(len(self._sub_idx))
         subbed = []
@@ -197,7 +260,7 @@ class WeightedFitter:
     def _weights_for(self, lambdas, predictions, use_subsample):
         """Raw weights for one Λ via the configured engine."""
         if use_subsample:
-            y, constraints = self.y_train[self._sub_idx], self._sub_constraints
+            y, constraints = self._sub_y, self._sub_constraints
         else:
             y, constraints = self.y_train, self.constraints
         if self.engine == "naive":
@@ -216,8 +279,42 @@ class WeightedFitter:
                     "use_subsample requires the subsample constructor "
                     "argument"
                 )
-            return self.X_train[self._sub_idx], self.y_train[self._sub_idx]
+            return self._sub_X, self._sub_y
         return self.X_train, self.y_train
+
+    # -- fit memoization -----------------------------------------------------
+
+    def _params_fingerprint(self):
+        """Small stable digest of the estimator's hyperparameters.
+
+        Recomputed per lookup so an external ``set_params`` between fits
+        cannot serve a stale model; the dicts involved are tiny.
+        """
+        return repr(sorted(self.estimator.get_params().items()))
+
+    def _cache_key(self, w, y_fit, split):
+        digest = hashlib.sha1()
+        digest.update(np.ascontiguousarray(w).tobytes())
+        digest.update(np.ascontiguousarray(y_fit).tobytes())
+        return (split, self._params_fingerprint(), digest.digest())
+
+    def _record_path(self, path, count=1):
+        self.fit_paths[path] = self.fit_paths.get(path, 0) + count
+
+    def _cache_store(self, key, model):
+        """Insert with LRU eviction at :data:`FIT_CACHE_MAX` entries."""
+        cache = self._fit_cache
+        if key not in cache and len(cache) >= FIT_CACHE_MAX:
+            cache.pop(next(iter(cache)))
+        cache[key] = model
+
+    def _cache_get(self, key):
+        """Lookup that refreshes recency, so hot entries (Λ = 0, recent
+        hill-climb coordinates) survive eviction."""
+        model = self._fit_cache.pop(key, None)
+        if model is not None:
+            self._fit_cache[key] = model
+        return model
 
     # -- fitting -------------------------------------------------------------
 
@@ -243,9 +340,19 @@ class WeightedFitter:
         w, y_fit = resolve_negative_weights(
             w, y, strategy=self.negative_weights
         )
-        return self._fit_resolved(X, y_fit, w)
+        return self._fit_resolved(X, y_fit, w, use_subsample)
 
-    def _fit_resolved(self, X, y_fit, w):
+    def _fit_resolved(self, X, y_fit, w, use_subsample=False):
+        if self.fit_cache:
+            key = self._cache_key(w, y_fit, use_subsample)
+            self.fit_cache_lookups += 1
+            cached = self._cache_get(key)
+            if cached is not None:
+                self.fit_cache_hits += 1
+                self.n_fits += 1   # logical fit; the work was memoized
+                self._record_path("cached")
+                return cached
+        self._record_path("warm" if self.warm_start else "single")
         if self.warm_start:
             self._shared.fit(X, y_fit, sample_weight=w)
             # snapshot so callers can keep models for different λ values
@@ -255,7 +362,24 @@ class WeightedFitter:
             model = self.estimator.clone()
             model.fit(X, y_fit, sample_weight=w)
         self.n_fits += 1
+        if self.fit_cache:
+            self._cache_store(key, model)
         return model
+
+    def _resolve_batch(self, W, y):
+        """Vectorized ``resolve_negative_weights`` over a weight batch."""
+        negative = W < 0
+        if self.negative_weights == "flip":
+            return np.abs(W), np.where(negative, 1 - y, y)
+        if self.negative_weights == "clip":
+            return (
+                np.where(negative, 0.0, W),
+                np.broadcast_to(y, W.shape),
+            )
+        raise ValueError(
+            f"unknown strategy {self.negative_weights!r}; "
+            f"use 'flip' or 'clip'"
+        )
 
     def fit_batch(self, lambdas_matrix, use_subsample=False, n_jobs=None):
         """Fit one model per row of a ``(B, k)`` Λ matrix.
@@ -265,7 +389,10 @@ class WeightedFitter:
         inherently sequential recurrence): the weights of all candidates
         come from a single vectorized pass, negative-weight resolution is
         broadcast over the batch, and the per-candidate model fits run
-        serially or on an ``n_jobs``-wide process pool.
+        through the estimator's batch protocol, serially, or on an
+        ``n_jobs``-wide process pool.  The fit cache dedupes candidates
+        whose resolved weight vectors collide — within the batch and
+        against every earlier fit.
 
         Returns the fitted models in candidate order.
         """
@@ -284,53 +411,119 @@ class WeightedFitter:
         X, y = self._train_arrays(use_subsample)
         kernel = self._subsample_kernel() if use_subsample else self.kernel
         W = kernel.weights_batch(L)
-        # vectorized resolve_negative_weights over the whole batch
-        negative = W < 0
-        if self.negative_weights == "flip":
-            W_res = np.abs(W)
-            Y_res = np.where(negative, 1 - y, y)
-        elif self.negative_weights == "clip":
-            W_res = np.where(negative, 0.0, W)
-            Y_res = np.broadcast_to(y, W.shape)
+        W_res, Y_res = self._resolve_batch(W, y)
+        B = len(L)
+
+        # fit-cache pass: collect the candidates that still need a fit,
+        # deduping identical resolved vectors inside the batch as well
+        models = [None] * B
+        keys = None
+        if self.fit_cache:
+            keys = [
+                self._cache_key(W_res[b], Y_res[b], use_subsample)
+                for b in range(B)
+            ]
+            self.fit_cache_lookups += B
+            todo = []
+            fresh = set()
+            hits = 0
+            for b, key in enumerate(keys):
+                cached = self._cache_get(key)
+                if cached is not None:
+                    models[b] = cached
+                    hits += 1
+                elif key in fresh:
+                    hits += 1      # in-batch duplicate, filled below
+                else:
+                    fresh.add(key)
+                    todo.append(b)
+            self.fit_cache_hits += hits
+            if hits:
+                self._record_path("cached", hits)
         else:
-            raise ValueError(
-                f"unknown strategy {self.negative_weights!r}; "
-                f"use 'flip' or 'clip'"
-            )
-        # closed-form batch fit when the estimator opts in (see the
-        # optional batch protocol note in repro.ml.base)
+            todo = list(range(B))
+
+        if todo:
+            if len(todo) == B:   # all-miss: no need to copy the batch
+                Y_todo, W_todo = Y_res, W_res
+            else:
+                Y_todo, W_todo = Y_res[todo], W_res[todo]
+            fitted = self._fit_batch_resolved(X, Y_todo, W_todo, n_jobs)
+            for b, model in zip(todo, fitted):
+                models[b] = model
+            if self.fit_cache:
+                by_key = {keys[b]: models[b] for b in todo}
+                for b in todo:
+                    self._cache_store(keys[b], models[b])
+                for b in range(B):
+                    if models[b] is None:  # in-batch duplicate key
+                        models[b] = by_key[keys[b]]
+        self.n_fits += B
+        return models
+
+    def _fit_batch_resolved(self, X, Y_res, W_res, n_jobs):
+        """Dispatch resolved candidates to the fastest available path."""
+        B = len(Y_res)
+        # closed-form / vectorized batch fit when the estimator opts in
+        # (see the optional batch protocol note in repro.ml.base)
         batch_fit = getattr(self.estimator, "fit_weighted_batch", None)
-        if batch_fit is not None and not self.warm_start:
-            models = batch_fit(X, Y_res, W_res)
-            self.n_fits += len(models)
-            return models
+        if batch_fit is not None and not getattr(
+            self.estimator, "supports_batch_fit", True
+        ):
+            batch_fit = None
+        if batch_fit is not None:
+            if not self.warm_start:
+                self._record_path("batch_protocol", B)
+                return batch_fit(X, Y_res, W_res)
+            # satellite fix: this used to fall through silently — warm
+            # starting chains state through the shared estimator, which
+            # the stateless batch hook cannot reproduce
+            if not self._warned_warm_bypass:
+                self._warned_warm_bypass = True
+                warnings.warn(
+                    f"{type(self.estimator).__name__}.fit_weighted_batch "
+                    "is bypassed because warm_start=True chains state "
+                    "through the shared estimator; candidates fit "
+                    "serially (warned once per fitter)",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
         n_jobs = self.n_jobs if n_jobs is None else n_jobs
         use_pool = (
             n_jobs is not None and n_jobs > 1
-            and not self.warm_start and len(L) > 1
+            and not self.warm_start and B > 1
         )
         if use_pool:
-            tasks = [
-                (self.estimator, Y_res[b], W_res[b]) for b in range(len(L))
-            ]
-            pool = self._get_pool(n_jobs, use_subsample, X)
-            chunk = max(1, len(L) // (4 * n_jobs))
-            models = list(pool.map(_pool_fit, tasks, chunksize=chunk))
-            self.n_fits += len(models)
-            return models
-        return [
-            self._fit_resolved(X, Y_res[b], W_res[b]) for b in range(len(L))
-        ]
+            tasks = [(self.estimator, Y_res[b], W_res[b]) for b in range(B)]
+            pool = self._get_pool(n_jobs, X)
+            chunk = max(1, B // (4 * n_jobs))
+            self._record_path("pool", B)
+            return list(pool.map(_pool_fit, tasks, chunksize=chunk))
+        self._record_path("serial", B)
+        models = []
+        for b in range(B):
+            if self.warm_start:
+                self._shared.fit(X, Y_res[b], sample_weight=W_res[b])
+                models.append(copy.deepcopy(self._shared))
+            else:
+                model = self.estimator.clone()
+                model.fit(X, Y_res[b], sample_weight=W_res[b])
+                models.append(model)
+        return models
 
-    def _get_pool(self, n_jobs, use_subsample, X):
+    def _get_pool(self, n_jobs, X):
         """Reuse one executor across fit_batch calls.
 
         CMA-ES calls fit_batch once per generation; forking workers and
         re-shipping ``X`` every time would dominate the fits being
         parallelized.  The pool is keyed on the worker count and the
-        training-array choice, and lives until :meth:`close`.
+        *identity* of the training matrix the workers were initialized
+        with — workers pin ``X`` globally at spawn, so any change of
+        training array (e.g. toggling ``use_subsample`` between solves)
+        must re-initialize the pool rather than train on stale data.
+        The pool lives until :meth:`close`.
         """
-        key = (n_jobs, use_subsample)
+        key = (n_jobs, id(X))
         if self._pool is not None and self._pool_key == key:
             return self._pool
         self.close()

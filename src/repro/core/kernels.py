@@ -44,6 +44,8 @@ scoring pass over the stacked predictions.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from ..ml import metrics as mlm
@@ -61,6 +63,11 @@ __all__ = [
     "BatchEvalResult",
     "evaluate_lambda_batch",
 ]
+
+# prediction-score cache bound (entries are ~300 B: digest key, (k,)
+# disparity row, accuracy) — LRU so long searches stay bounded while
+# hot vectors keep hitting
+EVAL_CACHE_MAX = 4096
 
 
 class _ConstantTerm:
@@ -390,9 +397,18 @@ class CompiledEvaluator:
     prediction vectors is one ``(B, n) @ (n, S)`` matmul; custom metrics
     fall back to the per-constraint Python path, keeping results
     identical to :meth:`Constraint.disparity` in all cases.
+
+    :meth:`score` / :meth:`score_batch` additionally memoize per
+    prediction-vector hash — the validation-side sibling of the fit
+    cache: duplicate fits return the *same* model object, and λ-searches
+    frequently re-score predictions they have already seen (Λ = 0
+    re-evaluations, cache-hit candidates inside grids).  ``stats`` is an
+    optional ``{"hits": int, "lookups": int}`` dict — pass the owning
+    fitter's ``eval_stats`` so the search can surface hit counts through
+    :class:`~repro.core.report.FitReport`.
     """
 
-    def __init__(self, constraints, y):
+    def __init__(self, constraints, y, stats=None):
         self.y = np.asarray(y, dtype=np.int64)
         self.n = len(self.y)
         self.constraints = list(constraints)
@@ -400,6 +416,8 @@ class CompiledEvaluator:
         self.epsilons = np.array(
             [c.epsilon for c in self.constraints], dtype=np.float64
         )
+        self.stats = stats if stats is not None else {"hits": 0, "lookups": 0}
+        self._score_cache = {}
         mask_cols = []
 
         def add_mask(rows):
@@ -513,6 +531,63 @@ class CompiledEvaluator:
     def accuracy(self, predictions):
         return float(self.accuracies_batch(predictions)[0])
 
+    # -- memoized scoring ----------------------------------------------------
+
+    def score_batch(self, predictions):
+        """``(disparities (B, k), accuracies (B,))``, memoized per row.
+
+        Rows whose prediction-vector hash was scored before — by any
+        earlier :meth:`score`/:meth:`score_batch` call on this evaluator
+        — are served from the cache; only the unseen rows go through the
+        stacked kernels.  Results are identical to
+        :meth:`disparities_batch` / :meth:`accuracies_batch` (the cache
+        stores their exact outputs).
+        """
+        preds = np.atleast_2d(np.asarray(predictions, dtype=np.int64))
+        B = preds.shape[0]
+        digests = [
+            hashlib.sha1(np.ascontiguousarray(preds[b]).tobytes()).digest()
+            for b in range(B)
+        ]
+        self.stats["lookups"] += B
+        disparities = np.empty((B, self.k), dtype=np.float64)
+        accuracies = np.empty(B, dtype=np.float64)
+        filled = np.zeros(B, dtype=bool)
+        todo = []
+        fresh = {}
+        cache = self._score_cache
+        for b, dig in enumerate(digests):
+            cached = cache.pop(dig, None)
+            if cached is not None:
+                cache[dig] = cached          # LRU touch
+                disparities[b], accuracies[b] = cached
+                filled[b] = True
+                self.stats["hits"] += 1
+            elif dig in fresh:
+                self.stats["hits"] += 1   # in-batch duplicate, filled below
+            else:
+                fresh[dig] = b
+                todo.append(b)
+        if todo:
+            new_d = self.disparities_batch(preds[todo])
+            new_a = self.accuracies_batch(preds[todo])
+            for j, b in enumerate(todo):
+                disparities[b] = new_d[j]
+                accuracies[b] = new_a[j]
+                filled[b] = True
+                if len(cache) >= EVAL_CACHE_MAX:
+                    cache.pop(next(iter(cache)))
+                cache[digests[b]] = (new_d[j].copy(), float(new_a[j]))
+        for b in np.nonzero(~filled)[0]:         # in-batch duplicate rows
+            j = fresh[digests[b]]
+            disparities[b], accuracies[b] = disparities[j], accuracies[j]
+        return disparities, accuracies
+
+    def score(self, predictions):
+        """``(disparities (k,), accuracy)`` for one vector, memoized."""
+        disparities, accuracies = self.score_batch(predictions)
+        return disparities[0], float(accuracies[0])
+
 
 # -- batched candidate evaluation --------------------------------------------
 
@@ -576,16 +651,20 @@ def evaluate_lambda_batch(
     models = fitter.fit_batch(lambdas, n_jobs=n_jobs)
     X_val = np.asarray(X_val, dtype=np.float64)
     if evaluator is None:
-        evaluator = CompiledEvaluator(val_constraints, y_val)
+        evaluator = CompiledEvaluator(
+            val_constraints, y_val,
+            stats=getattr(fitter, "eval_stats", None),
+        )
     cls = type(models[0])
     batch_predict = getattr(cls, "predict_batch", None)
     if batch_predict is not None and all(type(m) is cls for m in models):
         preds = np.asarray(batch_predict(models, X_val))
     else:
         preds = np.stack([model.predict(X_val) for model in models])
+    disparities, accuracies = evaluator.score_batch(preds)
     return BatchEvalResult(
         lambdas=lambdas,
         models=models,
-        disparities=evaluator.disparities_batch(preds),
-        accuracies=evaluator.accuracies_batch(preds),
+        disparities=disparities,
+        accuracies=accuracies,
     )

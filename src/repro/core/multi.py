@@ -41,19 +41,21 @@ class MultiTuneResult:
 class _MultiEvaluator:
     """Per-model validation scoring, optionally through compiled kernels."""
 
-    def __init__(self, X_val, y_val, val_constraints, compiled=False):
+    def __init__(self, X_val, y_val, val_constraints, compiled=False,
+                 stats=None):
         self.X_val = np.asarray(X_val, dtype=np.float64)
         self.y_val = np.asarray(y_val, dtype=np.int64)
         self.constraints = list(val_constraints)
         self._kernel = (
-            CompiledEvaluator(self.constraints, self.y_val)
+            CompiledEvaluator(self.constraints, self.y_val, stats=stats)
             if compiled else None
         )
 
     def __call__(self, model):
         pred = model.predict(self.X_val)
         if self._kernel is not None:
-            return self._kernel.disparities(pred), self._kernel.accuracy(pred)
+            disparities, acc = self._kernel.score(pred)
+            return disparities, acc
         disparities = np.array(
             [c.disparity(self.y_val, pred) for c in self.constraints]
         )
@@ -214,6 +216,7 @@ def hill_climb(
     evaluate = _MultiEvaluator(
         X_val, y_val, val_constraints,
         compiled=fitter.engine == "compiled",
+        stats=getattr(fitter, "eval_stats", None),
     )
 
     lambdas = np.zeros(k)
@@ -276,6 +279,7 @@ def grid_search_lambdas(
     evaluate = _MultiEvaluator(
         X_val, y_val, val_constraints,
         compiled=fitter.engine == "compiled",
+        stats=getattr(fitter, "eval_stats", None),
     )
     axis = np.linspace(-grid_max, grid_max, grid_steps)
     best = (None, None, -np.inf)

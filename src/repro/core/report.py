@@ -42,6 +42,21 @@ class FitReport:
         validation split (accuracy, disparities, violations, feasible).
     swapped : bool
         Whether Algorithm 1 reoriented the group pair (single only).
+    fit_cache_hits, fit_cache_lookups : int
+        Fit-memoization traffic: ``n_fits`` counts logical fits, of
+        which ``fit_cache_hits`` were served from the resolved-weight
+        cache instead of retraining (see
+        :class:`~repro.core.fitter.WeightedFitter`).
+    eval_cache_hits, eval_cache_lookups : int
+        Validation-side prediction-score cache traffic
+        (:meth:`~repro.core.kernels.CompiledEvaluator.score_batch`);
+        always 0 under the naive engine, which scores through the
+        uncached Python path.
+    fit_paths : dict
+        How fits were dispatched, by path name (``"batch_protocol"``,
+        ``"pool"``, ``"serial"``, ``"single"``, ``"warm"``,
+        ``"cached"``) — records, e.g., that ``warm_start`` bypassed an
+        estimator's batch hook.
     train_constraints, val_constraints : list of Constraint
         The bound constraints (train side reflects any reorientation);
         kept for audit/debug, excluded from ``repr``.
@@ -56,6 +71,11 @@ class FitReport:
     constraint_labels: tuple
     validation: dict
     swapped: bool = False
+    fit_cache_hits: int = 0
+    fit_cache_lookups: int = 0
+    eval_cache_hits: int = 0
+    eval_cache_lookups: int = 0
+    fit_paths: dict = field(default_factory=dict, repr=False)
     train_constraints: list = field(default_factory=list, repr=False)
     val_constraints: list = field(default_factory=list, repr=False)
 
@@ -82,6 +102,10 @@ class FitReport:
             f"lambdas:    {np.round(self.lambdas, 6).tolist()}",
             f"feasible:   {self.feasible}",
             f"accuracy:   {self.accuracy:.4f} (validation)",
+            f"caches:     fit {self.fit_cache_hits}/"
+            f"{self.fit_cache_lookups} hits, "
+            f"eval {self.eval_cache_hits}/"
+            f"{self.eval_cache_lookups} hits",
         ]
         for label, value in self.disparities.items():
             lines.append(f"disparity:  {label} = {value:+.4f}")

@@ -50,28 +50,29 @@ class _Evaluator:
     the per-call group slicing).
     """
 
-    def __init__(self, X_val, y_val, val_constraint, compiled=False):
+    def __init__(self, X_val, y_val, val_constraint, compiled=False,
+                 stats=None):
         self.X_val = np.asarray(X_val, dtype=np.float64)
         self.y_val = np.asarray(y_val, dtype=np.int64)
         self.constraint = val_constraint
         self.compiled = compiled
+        self.stats = stats
         self._kernel = None
         self._kernel_constraint = None
 
     def kernel(self):
         if self._kernel is None or self._kernel_constraint is not self.constraint:
-            self._kernel = CompiledEvaluator([self.constraint], self.y_val)
+            self._kernel = CompiledEvaluator(
+                [self.constraint], self.y_val, stats=self.stats
+            )
             self._kernel_constraint = self.constraint
         return self._kernel
 
     def __call__(self, model):
         pred = model.predict(self.X_val)
         if self.compiled:
-            kernel = self.kernel()
-            return (
-                float(kernel.disparities(pred)[0]),
-                kernel.accuracy(pred),
-            )
+            disparities, acc = self.kernel().score(pred)
+            return float(disparities[0]), acc
         return (
             self.constraint.disparity(self.y_val, pred),
             accuracy_score(self.y_val, pred),
@@ -122,6 +123,7 @@ def tune_single_lambda(
     evaluate = _Evaluator(
         X_val, y_val, val_constraint,
         compiled=fitter.engine == "compiled",
+        stats=getattr(fitter, "eval_stats", None),
     )
     history = []
 
@@ -304,6 +306,7 @@ def lambda_grid_search(fitter, val_constraint, X_val, y_val, grid, n_jobs=None):
         evaluate = _Evaluator(
             X_val, y_val, val_constraint,
             compiled=fitter.engine == "compiled",
+            stats=getattr(fitter, "eval_stats", None),
         )
         prev = model0
         for lam in grid:

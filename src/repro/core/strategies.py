@@ -397,13 +397,18 @@ class CMAESStrategy(SearchStrategy):
         eps = np.array([c.epsilon for c in val_constraints])
         compiled = fitter.engine == "compiled"
         evaluator = (
-            CompiledEvaluator(val_constraints, y_val) if compiled else None
+            CompiledEvaluator(
+                val_constraints, y_val,
+                stats=getattr(fitter, "eval_stats", None),
+            )
+            if compiled else None
         )
 
         def evaluate(model):
             pred = model.predict(X_val)
             if evaluator is not None:
-                return evaluator.disparities(pred), evaluator.accuracy(pred)
+                disparities, acc = evaluator.score(pred)
+                return disparities, acc
             d = np.array(
                 [c.disparity(y_val, pred) for c in val_constraints]
             )

@@ -31,7 +31,7 @@ from .neural import NeuralNetwork
 from .preprocessing import OneHotEncoder, StandardScaler, TabularEncoder
 from .replication import ReplicationWrapper, replicate_by_weight
 from .svm import LinearSVM
-from .tree import DecisionTree
+from .tree import DecisionTree, PresortedDataset
 
 __all__ = [
     "BaseClassifier",
@@ -39,6 +39,7 @@ __all__ = [
     "LogisticRegression",
     "LinearSVM",
     "DecisionTree",
+    "PresortedDataset",
     "RandomForest",
     "GradientBoostedTrees",
     "NeuralNetwork",

@@ -101,12 +101,21 @@ class BaseClassifier:
     """
 
     def get_params(self):
-        """Return a dict of constructor hyperparameters."""
-        names = [
-            p.name
-            for p in inspect.signature(type(self).__init__).parameters.values()
-            if p.name != "self" and p.kind != p.VAR_KEYWORD
-        ]
+        """Return a dict of constructor hyperparameters.
+
+        The signature inspection is memoized per class — λ-search
+        batches clone and fingerprint estimators hundreds of times, and
+        ``inspect.signature`` is ~100µs a call.
+        """
+        cls = type(self)
+        names = cls.__dict__.get("_param_names")
+        if names is None:
+            names = [
+                p.name
+                for p in inspect.signature(cls.__init__).parameters.values()
+                if p.name != "self" and p.kind != p.VAR_KEYWORD
+            ]
+            cls._param_names = names
         return {name: getattr(self, name) for name in names}
 
     def set_params(self, **params):
@@ -162,17 +171,46 @@ class BaseClassifier:
 
     # -- optional batch protocol ---------------------------------------------
     #
-    # Estimators whose weighted fit is closed-form may additionally
-    # implement
+    # Estimators whose weighted fit vectorizes over candidates may
+    # additionally implement
     #
     #   fit_weighted_batch(X, y_batch, w_batch) -> list of fitted models
     #   predict_batch(models, X) -> (B, n) int64 matrix   [staticmethod]
+    #   supports_batch_fit -> bool                        [property]
     #
-    # The compiled λ-search engine (repro.core.kernels) probes for these
-    # with getattr and falls back to per-candidate clone().fit() /
-    # model.predict() loops when absent, so implementing them is purely
-    # a performance opt-in (see ml.naive_bayes for the reference
-    # implementation).
+    # The compiled λ-search engine (repro.core.fitter / repro.core.kernels)
+    # probes for these with getattr and falls back to per-candidate
+    # clone().fit() / model.predict() loops when absent — or when
+    # ``supports_batch_fit`` (default True whenever the method exists)
+    # is False, the configuration-dependent opt-out.  Implementing them
+    # is purely a performance opt-in.
+    #
+    # Current implementers:
+    #
+    # * GaussianNaiveBayes — closed-form batch moments, two-dgemm batch
+    #   predict (the reference implementation; matches scalar fits to
+    #   summation-order round-off).
+    # * LogisticRegression — batched IRLS under ``solver="irls"`` only
+    #   (``supports_batch_fit`` is False for lbfgs/gd, whose
+    #   trajectories have no batched counterpart); single-dgemm batch
+    #   predict; matches serial IRLS to BLAS reduction-order round-off.
+    # * DecisionTree — per-candidate builds off one shared
+    #   ``PresortedDataset`` (``supports_batch_fit`` is False when
+    #   ``presort=False``); stacked vectorized batch predict; trees are
+    #   bit-for-bit identical to scalar fits.
+    #
+    # The conformance suite (tests/test_batch_protocol.py) runs every
+    # implementer against its serial path on random weighted problems.
+
+    @property
+    def supports_batch_fit(self):
+        """Whether ``fit_weighted_batch`` is usable as configured.
+
+        Only consulted when the method exists; subclasses whose batch
+        path depends on hyperparameters (e.g. the logistic solver)
+        override this.
+        """
+        return True
 
 
 def clone(estimator):

@@ -19,6 +19,7 @@ import numpy as np
 
 from .base import BaseClassifier, check_Xy, check_sample_weight
 from .logistic import sigmoid
+from .tree import partition_sorted
 
 __all__ = ["GradientBoostedTrees"]
 
@@ -119,6 +120,93 @@ class _BoostTreeBuilder:
         return value[nodes]
 
 
+class _PresortBoostTreeBuilder(_BoostTreeBuilder):
+    """The identical regression tree grown from presorted index lists.
+
+    Boosting refits a tree on the *same* feature matrix every round, so
+    the per-feature stable argsort is computed once per ``fit`` and
+    shared by all rounds; nodes partition the index lists stably instead
+    of re-sorting (see :mod:`repro.ml.tree` for the bitwise-equivalence
+    argument — stable partition of a full stable sort equals a stable
+    sort of the subset).
+    """
+
+    def __init__(self, max_depth, min_child_weight, reg_lambda, gamma,
+                 max_features, rng, X, g, h):
+        super().__init__(max_depth, min_child_weight, reg_lambda, gamma,
+                         max_features, rng)
+        self.X = X
+        self.g = g
+        self.h = h
+        self._member = np.zeros(len(g), dtype=bool)
+
+    def build(self, node_rows, sorted_idx, depth=0):
+        node = self._new_node()
+        g = self.g[node_rows]
+        h = self.h[node_rows]
+        G, H = g.sum(), h.sum()
+        self.value[node] = float(-G / (H + self.reg_lambda))
+        if depth >= self.max_depth or len(g) < 2:
+            return node
+        split = self._best_split(sorted_idx, G, H)
+        if split is None:
+            return node
+        feat, thresh = split
+        go_left = self.X[node_rows, feat] <= thresh
+        left_rows = node_rows[go_left]
+        right_rows = node_rows[~go_left]
+        self._member[left_rows] = True
+        left_sorted, right_sorted = partition_sorted(
+            sorted_idx, self._member, len(left_rows)
+        )
+        self._member[left_rows] = False
+        left = self.build(left_rows, left_sorted, depth + 1)
+        right = self.build(right_rows, right_sorted, depth + 1)
+        self.feature[node] = feat
+        self.threshold[node] = thresh
+        self.left[node] = left
+        self.right[node] = right
+        return node
+
+    def _best_split(self, sorted_idx, G, H):
+        n_features = sorted_idx.shape[1]
+        if self.max_features is None or self.max_features >= n_features:
+            candidates = np.arange(n_features)
+            sorted_sub = sorted_idx
+        else:
+            candidates = self.rng.choice(
+                n_features, size=self.max_features, replace=False
+            )
+            sorted_sub = sorted_idx[:, candidates]
+        lam = self.reg_lambda
+        parent_score = G * G / (H + lam)
+        CS = self.X[sorted_sub, candidates[None, :]]
+        GL = np.cumsum(self.g[sorted_sub], axis=0)[:-1]
+        HL = np.cumsum(self.h[sorted_sub], axis=0)[:-1]
+        valid = CS[:-1] < CS[1:]
+        HR = H - HL
+        valid &= (HL >= self.min_child_weight) & (HR >= self.min_child_weight)
+        if not valid.any():
+            return None
+        GR = G - GL
+        gain = 0.5 * (
+            GL**2 / (HL + lam) + GR**2 / (HR + lam) - parent_score
+        ) - self.gamma
+        gain[~valid] = -np.inf
+        best, best_gain = None, 1e-12
+        rows = np.argmax(gain, axis=0)
+        col_gains = gain[rows, np.arange(gain.shape[1])]
+        for ci in range(len(candidates)):
+            if col_gains[ci] > best_gain:
+                best_gain = float(col_gains[ci])
+                j = rows[ci]
+                best = (
+                    int(candidates[ci]),
+                    float(0.5 * (CS[j, ci] + CS[j + 1, ci])),
+                )
+        return best
+
+
 class GradientBoostedTrees(BaseClassifier):
     """XGBoost-style boosted trees for binary classification.
 
@@ -140,6 +228,12 @@ class GradientBoostedTrees(BaseClassifier):
         Feature subsampling per split.
     random_state : int
         Seed for feature subsampling.
+    presort : bool
+        Argsort each feature once per ``fit`` and grow all
+        ``n_estimators`` round trees off the shared presorted index
+        lists (default) — the per-node mergesort of the legacy builder
+        disappears, and the trees stay bit-for-bit identical.  ``False``
+        keeps the legacy builder for equivalence testing.
     """
 
     def __init__(
@@ -152,6 +246,7 @@ class GradientBoostedTrees(BaseClassifier):
         min_child_weight=1e-3,
         max_features=None,
         random_state=0,
+        presort=True,
     ):
         self.n_estimators = n_estimators
         self.learning_rate = learning_rate
@@ -161,6 +256,7 @@ class GradientBoostedTrees(BaseClassifier):
         self.min_child_weight = min_child_weight
         self.max_features = max_features
         self.random_state = random_state
+        self.presort = presort
         self._fitted = False
 
     def fit(self, X, y, sample_weight=None):
@@ -174,19 +270,39 @@ class GradientBoostedTrees(BaseClassifier):
         raw = np.full(len(y), self.base_score_)
         self.trees_ = []
         yf = y.astype(np.float64)
+        # boosting refits on the same X every round: one argsort serves
+        # all rounds (only g/h change round to round)
+        order = (
+            np.argsort(X, axis=0, kind="mergesort") if self.presort else None
+        )
+        all_rows = np.arange(len(y), dtype=np.int64)
         for _ in range(self.n_estimators):
             p = sigmoid(raw)
             g = w * (p - yf)
             h = np.maximum(w * p * (1.0 - p), 1e-16)
-            builder = _BoostTreeBuilder(
-                self.max_depth,
-                self.min_child_weight,
-                self.reg_lambda,
-                self.gamma,
-                self.max_features,
-                rng,
-            )
-            builder.build(X, g, h)
+            if self.presort:
+                builder = _PresortBoostTreeBuilder(
+                    self.max_depth,
+                    self.min_child_weight,
+                    self.reg_lambda,
+                    self.gamma,
+                    self.max_features,
+                    rng,
+                    X,
+                    g,
+                    h,
+                )
+                builder.build(all_rows, order)
+            else:
+                builder = _BoostTreeBuilder(
+                    self.max_depth,
+                    self.min_child_weight,
+                    self.reg_lambda,
+                    self.gamma,
+                    self.max_features,
+                    rng,
+                )
+                builder.build(X, g, h)
             update = builder.predict(X)
             raw = raw + self.learning_rate * update
             self.trees_.append(builder)

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from .base import BaseClassifier, check_Xy, check_sample_weight
-from .tree import DecisionTree
+from .tree import DecisionTree, PresortedDataset
 
 __all__ = ["RandomForest"]
 
@@ -65,6 +65,21 @@ class RandomForest(BaseClassifier):
         n = len(y)
         probs = w / w.sum()
         max_features = self._resolve_max_features(X.shape[1])
+        # without bootstrapping every tree trains on the same weighted
+        # matrix, so the per-feature presort is computed once and shared
+        # across all trees (only the split-time feature subsampling
+        # differs per tree); zero-weight rows are dropped here so the
+        # shared presort matches what each tree would build on (a tree
+        # ignores a presort whose rows it must filter); bootstrap draws
+        # need per-tree matrices
+        shared = None
+        X_fit, y_fit, w_fit = X, y, w
+        if not self.bootstrap:
+            keep = w > 0
+            if not np.all(keep):
+                X_fit, y_fit, w_fit = X[keep], y[keep], w[keep]
+            shared = PresortedDataset(X_fit)
+            X_fit = shared.X
         self.trees_ = []
         for t in range(self.n_estimators):
             seed = int(rng.integers(0, 2**31 - 1))
@@ -78,7 +93,8 @@ class RandomForest(BaseClassifier):
                 idx = rng.choice(n, size=n, replace=True, p=probs)
                 tree.fit(X[idx], y[idx])
             else:
-                tree.fit(X, y, sample_weight=w)
+                tree.fit(X_fit, y_fit, sample_weight=w_fit,
+                         presorted=shared)
             self.trees_.append(tree)
         self._fitted = True
         return self

@@ -1,0 +1,256 @@
+"""Batch-protocol conformance suite (ISSUE 3 satellite).
+
+Every estimator advertising ``fit_weighted_batch`` / ``predict_batch``
+is run against its serial path on random weighted problems
+(hypothesis-backed):
+
+* ``fit_weighted_batch(X, Y, W)[b]`` must equal
+  ``clone().fit(X, Y[b], sample_weight=W[b])`` — bit-for-bit for trees,
+  within the documented reduction-order tolerance for IRLS logistic
+  regression and Gaussian NB (mismatching hard labels are allowed only
+  on rows whose serial decision score sits within the tolerance of the
+  0.5 boundary);
+* ``predict_batch(models, X)[b]`` must match ``models[b].predict(X)``
+  under the same rule;
+* ``supports_batch_fit`` must gate configurations whose serial
+  trajectory has no batched counterpart (lbfgs/gd logistic, legacy
+  trees), and the fitter must honor the gate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fitter import WeightedFitter
+from repro.core.spec import Constraint
+from repro.core.fairness_metrics import METRIC_FACTORIES
+from repro.ml.logistic import LogisticRegression
+from repro.ml.naive_bayes import GaussianNaiveBayes
+from repro.ml.tree import DecisionTree
+
+# (factory, decision margin below which a prediction flip is tolerated;
+#  0.0 means predictions must match exactly)
+BATCH_ESTIMATORS = {
+    "nb": (lambda: GaussianNaiveBayes(), 1e-9),
+    "logistic_irls": (
+        lambda: LogisticRegression(solver="irls", max_iter=60), 1e-9,
+    ),
+    "tree": (lambda: DecisionTree(max_depth=5), 0.0),
+    "tree_subspace": (
+        lambda: DecisionTree(
+            max_depth=4, max_features=2, min_samples_leaf=3, random_state=3
+        ),
+        0.0,
+    ),
+}
+
+
+@st.composite
+def weighted_problems(draw):
+    """Random (X, Y, W) batches with flipped labels and spread weights."""
+    seed = draw(st.integers(0, 2**32 - 1))
+    n = draw(st.integers(min_value=30, max_value=90))
+    d = draw(st.integers(min_value=2, max_value=5))
+    B = draw(st.integers(min_value=1, max_value=4))
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    if draw(st.booleans()):
+        X[:, 0] = np.round(X[:, 0])  # ties exercise split tie-breaks
+    y = (X[:, 0] + 0.5 * rng.normal(size=n) > 0).astype(np.int64)
+    if y.min() == y.max():
+        y[: n // 2] = 1 - y[0]
+    W = rng.uniform(0.1, 4.0, size=(B, n))
+    Y = np.where(rng.random((B, n)) < 0.15, 1 - y, y)
+    return X, Y, W
+
+
+def _assert_predictions_match(got, want, scores, margin, context):
+    """Exact match, except rows the serial model itself finds ambiguous."""
+    mismatch = got != want
+    if not mismatch.any():
+        return
+    assert margin > 0.0, f"{context}: exact match required, got mismatches"
+    worst = float(np.min(np.abs(scores[mismatch])))
+    assert worst <= margin, (
+        f"{context}: {int(mismatch.sum())} prediction(s) differ on rows "
+        f"with decision margin {worst:.3e} > {margin:.0e}"
+    )
+
+
+class TestConformance:
+    @pytest.mark.parametrize("name", sorted(BATCH_ESTIMATORS))
+    @settings(max_examples=25, deadline=None)
+    @given(problem=weighted_problems())
+    def test_batch_fit_matches_serial(self, name, problem):
+        factory, margin = BATCH_ESTIMATORS[name]
+        X, Y, W = problem
+        proto = factory()
+        assert proto.supports_batch_fit
+        models = proto.fit_weighted_batch(X, Y, W)
+        assert len(models) == len(Y)
+        for b, model in enumerate(models):
+            ref = factory().fit(X, Y[b], sample_weight=W[b])
+            scores = ref.predict_proba(X)[:, 1] - 0.5
+            _assert_predictions_match(
+                model.predict(X), ref.predict(X), scores, margin,
+                f"{name}[{b}] fit_weighted_batch",
+            )
+
+    @pytest.mark.parametrize("name", sorted(BATCH_ESTIMATORS))
+    @settings(max_examples=25, deadline=None)
+    @given(problem=weighted_problems())
+    def test_predict_batch_matches_serial(self, name, problem):
+        factory, margin = BATCH_ESTIMATORS[name]
+        X, Y, W = problem
+        models = [
+            factory().fit(X, Y[b], sample_weight=W[b]) for b in range(len(Y))
+        ]
+        preds = type(models[0]).predict_batch(models, X)
+        assert preds.shape == (len(Y), len(X))
+        for b, model in enumerate(models):
+            scores = model.predict_proba(X)[:, 1] - 0.5
+            _assert_predictions_match(
+                preds[b], model.predict(X), scores, margin,
+                f"{name}[{b}] predict_batch",
+            )
+
+    def test_irls_coefficients_within_documented_tolerance(self):
+        rng = np.random.default_rng(11)
+        n, d, B = 200, 4, 6
+        X = rng.normal(size=(n, d))
+        y = (X[:, 0] - X[:, 1] + 0.4 * rng.normal(size=n) > 0).astype(
+            np.int64
+        )
+        W = rng.uniform(0.2, 3.0, size=(B, n))
+        Y = np.where(rng.random((B, n)) < 0.1, 1 - y, y)
+        proto = LogisticRegression(solver="irls")
+        for b, model in enumerate(proto.fit_weighted_batch(X, Y, W)):
+            ref = LogisticRegression(solver="irls").fit(
+                X, Y[b], sample_weight=W[b]
+            )
+            np.testing.assert_allclose(
+                model.coef_, ref.coef_, rtol=1e-8, atol=1e-10
+            )
+            np.testing.assert_allclose(
+                model.intercept_, ref.intercept_, rtol=1e-8, atol=1e-10
+            )
+            assert model.n_iter_ == ref.n_iter_
+
+    def test_tree_batch_is_bit_for_bit(self):
+        rng = np.random.default_rng(5)
+        n = 300
+        X = rng.normal(size=(n, 5))
+        X[:, 1] = np.round(X[:, 1] * 2) / 2
+        y = (X[:, 0] > 0).astype(np.int64)
+        W = rng.uniform(0.2, 2.0, size=(4, n))
+        Y = np.where(rng.random((4, n)) < 0.1, 1 - y, y)
+        # one candidate exercises the zero-weight fallback
+        W[2, rng.choice(n, size=20, replace=False)] = 0.0
+        proto = DecisionTree(max_depth=6)
+        for b, model in enumerate(proto.fit_weighted_batch(X, Y, W)):
+            ref = DecisionTree(max_depth=6).fit(X, Y[b], sample_weight=W[b])
+            for attr in ("feature_", "threshold_", "left_", "right_",
+                         "value_"):
+                assert np.array_equal(
+                    getattr(model, attr), getattr(ref, attr)
+                ), (b, attr)
+
+
+class TestPresortTieBreaks:
+    """Satellite: presorted and legacy builders pick identical splits
+    even when gains tie — across features (duplicated columns must both
+    resolve to the first candidate in feature order) and within a
+    feature (heavily quantized values give equal-gain positions)."""
+
+    def test_duplicated_columns_tie_break_identically(self):
+        rng = np.random.default_rng(21)
+        n = 400
+        base = np.round(rng.normal(size=n) * 2) / 2
+        X = np.column_stack([
+            base,
+            base.copy(),           # exact duplicate: cross-feature ties
+            rng.normal(size=n),
+        ])
+        y = (base + 0.3 * rng.normal(size=n) > 0).astype(np.int64)
+        w = rng.uniform(0.5, 1.5, size=n)
+        legacy = DecisionTree(max_depth=6, presort=False).fit(
+            X, y, sample_weight=w
+        )
+        fast = DecisionTree(max_depth=6, presort=True).fit(
+            X, y, sample_weight=w
+        )
+        for attr in ("feature_", "threshold_", "left_", "right_", "value_"):
+            assert np.array_equal(getattr(legacy, attr), getattr(fast, attr))
+        # the duplicate-column tie genuinely occurred and resolved to
+        # the first feature in candidate order
+        split_feats = legacy.feature_[legacy.feature_ >= 0]
+        assert 0 in split_feats and 1 not in split_feats
+
+    def test_quantized_within_feature_ties_break_identically(self):
+        rng = np.random.default_rng(22)
+        n = 300
+        X = rng.integers(0, 4, size=(n, 3)).astype(np.float64)
+        y = ((X[:, 0] + X[:, 1] > 3)
+             ^ (rng.random(n) < 0.1)).astype(np.int64)
+        w = np.ones(n)
+        w[rng.choice(n, size=40, replace=False)] = 2.0
+        legacy = DecisionTree(max_depth=8, presort=False).fit(
+            X, y, sample_weight=w
+        )
+        fast = DecisionTree(max_depth=8, presort=True).fit(
+            X, y, sample_weight=w
+        )
+        for attr in ("feature_", "threshold_", "left_", "right_", "value_"):
+            assert np.array_equal(getattr(legacy, attr), getattr(fast, attr))
+
+
+class TestGating:
+    def _fitter(self, estimator, **kwargs):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(120, 3))
+        y = (X[:, 0] > 0).astype(np.int64)
+        groups = rng.integers(0, 2, size=120)
+        constraint = Constraint(
+            metric=METRIC_FACTORIES["SP"](), epsilon=0.05,
+            group_names=("a", "b"),
+            g1_idx=np.nonzero(groups == 0)[0],
+            g2_idx=np.nonzero(groups == 1)[0],
+        )
+        return WeightedFitter(estimator, X, y, [constraint], **kwargs), X
+
+    def test_unsupported_solver_gates_batch_path(self):
+        assert not LogisticRegression(solver="lbfgs").supports_batch_fit
+        assert not LogisticRegression(solver="gd").supports_batch_fit
+        assert LogisticRegression(solver="irls").supports_batch_fit
+        with pytest.raises(ValueError, match="irls"):
+            LogisticRegression(solver="lbfgs").fit_weighted_batch(
+                np.zeros((4, 2)), np.zeros((1, 4), dtype=int),
+                np.ones((1, 4)),
+            )
+
+    def test_legacy_tree_gates_batch_path(self):
+        assert not DecisionTree(presort=False).supports_batch_fit
+        assert DecisionTree().supports_batch_fit
+
+    def test_fitter_honors_gate(self):
+        # lbfgs logistic: fit_batch must take the serial path, and its
+        # models must equal per-candidate serial fits
+        fitter, X = self._fitter(LogisticRegression(max_iter=30))
+        L = np.array([[0.0], [0.4]])
+        models = fitter.fit_batch(L)
+        assert fitter.fit_paths.get("batch_protocol", 0) == 0
+        assert fitter.fit_paths.get("serial", 0) == len(L)
+        serial, _ = self._fitter(LogisticRegression(max_iter=30))
+        for b, model in enumerate(models):
+            ref = serial.fit(L[b])
+            assert np.array_equal(model.predict(X), ref.predict(X))
+
+    def test_fitter_uses_batch_protocol_when_supported(self):
+        fitter, _X = self._fitter(
+            LogisticRegression(solver="irls", max_iter=30)
+        )
+        fitter.fit_batch(np.array([[0.0], [0.4]]))
+        assert fitter.fit_paths.get("batch_protocol", 0) == 2

@@ -1,0 +1,300 @@
+"""Fit/eval memoization caches and batch-path bookkeeping (ISSUE 3).
+
+Covers the :class:`~repro.core.fitter.WeightedFitter` fit cache (keyed
+on resolved weight/label vectors), the
+:class:`~repro.core.kernels.CompiledEvaluator` prediction-score cache,
+the one-time warm-start batch-bypass warning, the process-pool
+invalidation on training-matrix changes, and the FitReport/CLI plumbing
+of the hit counters.
+"""
+
+from __future__ import annotations
+
+import io
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.api import Engine, Problem
+from repro.cli import main
+from repro.core.fairness_metrics import METRIC_FACTORIES
+from repro.core.fitter import WeightedFitter
+from repro.core.kernels import CompiledEvaluator
+from repro.core.spec import Constraint
+from repro.datasets.synthetic import make_biased_dataset
+from repro.ml.logistic import LogisticRegression
+from repro.ml.model_selection import train_val_test_split
+from repro.ml.naive_bayes import GaussianNaiveBayes
+
+
+def _setup(seed=0, n=240):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 4))
+    y = (X[:, 0] + 0.5 * rng.normal(size=n) > 0).astype(np.int64)
+    groups = rng.integers(0, 2, size=n)
+    constraints = [
+        Constraint(
+            metric=METRIC_FACTORIES[name](), epsilon=eps,
+            group_names=("a", "b"),
+            g1_idx=np.nonzero(groups == 0)[0],
+            g2_idx=np.nonzero(groups == 1)[0],
+        )
+        for name, eps in (("SP", 0.05), ("MR", 0.1))
+    ]
+    return X, y, constraints
+
+
+class TestFitCache:
+    def test_repeated_lambda_hits_and_returns_same_model(self):
+        X, y, constraints = _setup()
+        fitter = WeightedFitter(GaussianNaiveBayes(), X, y, constraints)
+        lam = np.array([0.7, -0.3])
+        first = fitter.fit(lam)
+        assert fitter.fit_cache_hits == 0
+        again = fitter.fit(lam)
+        assert again is first
+        assert fitter.fit_cache_hits == 1
+        assert fitter.n_fits == 2  # logical fits keep counting
+
+    def test_batch_dedupes_duplicates_within_and_across_calls(self):
+        X, y, constraints = _setup()
+        fitter = WeightedFitter(GaussianNaiveBayes(), X, y, constraints)
+        L = np.array([[0.0, 0.0], [0.5, -0.5], [0.0, 0.0], [0.5, -0.5]])
+        models = fitter.fit_batch(L)
+        assert fitter.fit_cache_hits == 2          # in-batch duplicates
+        assert models[0] is models[2]
+        assert models[1] is models[3]
+        assert fitter.n_fits == 4
+        # the whole grid again: every candidate is a cross-call hit
+        again = fitter.fit_batch(L)
+        assert fitter.fit_cache_hits == 6
+        assert again[1] is models[1]
+        # cached batch results equal fresh uncached fits
+        fresh = WeightedFitter(
+            GaussianNaiveBayes(), X, y, constraints, fit_cache=False
+        )
+        for b, model in enumerate(fresh.fit_batch(L)):
+            assert np.array_equal(models[b].predict(X), model.predict(X))
+        assert fresh.fit_cache_hits == 0
+        assert fresh.fit_cache_lookups == 0
+
+    def test_serial_and_batch_paths_share_the_cache(self):
+        X, y, constraints = _setup()
+        fitter = WeightedFitter(GaussianNaiveBayes(), X, y, constraints)
+        model = fitter.fit(np.array([0.25, 0.1]))
+        batch = fitter.fit_batch(
+            np.array([[0.25, 0.1], [1.0, 0.0]])
+        )
+        assert batch[0] is model
+        assert fitter.fit_cache_hits == 1
+
+    def test_estimator_param_change_invalidates(self):
+        X, y, constraints = _setup()
+        fitter = WeightedFitter(
+            LogisticRegression(max_iter=25), X, y, constraints
+        )
+        lam = np.array([0.4, 0.0])
+        fitter.fit(lam)
+        fitter.estimator.set_params(max_iter=26)
+        fitter.fit(lam)
+        assert fitter.fit_cache_hits == 0
+        assert fitter.n_fits == 2
+
+    def test_warm_start_disables_cache(self):
+        X, y, constraints = _setup()
+        fitter = WeightedFitter(
+            LogisticRegression(max_iter=25), X, y, constraints,
+            warm_start=True,
+        )
+        assert not fitter.fit_cache
+        lam = np.array([0.4, 0.0])
+        a = fitter.fit(lam)
+        b = fitter.fit(lam)
+        assert a is not b
+        assert fitter.fit_cache_lookups == 0
+
+    def test_cache_is_bounded_with_lru_eviction(self, monkeypatch):
+        import repro.core.fitter as fitter_mod
+
+        monkeypatch.setattr(fitter_mod, "FIT_CACHE_MAX", 4)
+        X, y, constraints = _setup()
+        fitter = WeightedFitter(GaussianNaiveBayes(), X, y, constraints)
+        L = np.column_stack([np.linspace(0.1, 1.0, 10), np.zeros(10)])
+        fitter.fit_batch(L)
+        assert len(fitter._fit_cache) == 4
+        # the newest entries survive, the oldest were evicted
+        fitter.fit_batch(L[-2:])
+        assert fitter.fit_cache_hits == 2
+        fitter.fit_batch(L[:1])
+        assert fitter.fit_cache_hits == 2  # evicted -> refit, not a hit
+
+    def test_subsample_and_full_fits_do_not_collide(self):
+        X, y, constraints = _setup()
+        fitter = WeightedFitter(
+            GaussianNaiveBayes(), X, y, constraints, subsample=0.5,
+        )
+        # Λ = 0 resolves to all-ones weights on both splits; the split
+        # tag must keep the keys apart
+        full = fitter.fit(np.zeros(2))
+        sub = fitter.fit(np.zeros(2), use_subsample=True)
+        assert fitter.fit_cache_hits == 0
+        assert not np.array_equal(full.theta_, sub.theta_)
+
+
+class TestEvalCache:
+    def test_score_batch_matches_uncached_kernels(self):
+        _X, y, constraints = _setup(seed=3)
+        rng = np.random.default_rng(4)
+        evaluator = CompiledEvaluator(constraints, y)
+        preds = rng.integers(0, 2, size=(5, len(y)))
+        preds[3] = preds[0]                      # in-batch duplicate
+        disparities, accuracies = evaluator.score_batch(preds)
+        assert np.array_equal(
+            disparities, evaluator.disparities_batch(preds)
+        )
+        assert np.array_equal(
+            accuracies, evaluator.accuracies_batch(preds)
+        )
+        assert evaluator.stats["hits"] == 1
+        assert evaluator.stats["lookups"] == 5
+        # scoring the same rows again is all hits
+        d2, a2 = evaluator.score_batch(preds[:2])
+        assert np.array_equal(d2, disparities[:2])
+        assert np.array_equal(a2, accuracies[:2])
+        assert evaluator.stats["hits"] == 3
+
+    def test_single_score_uses_cache(self):
+        _X, y, constraints = _setup(seed=5)
+        stats = {"hits": 0, "lookups": 0}
+        evaluator = CompiledEvaluator(constraints, y, stats=stats)
+        pred = np.zeros(len(y), dtype=np.int64)
+        d1, a1 = evaluator.score(pred)
+        d2, a2 = evaluator.score(pred)
+        assert np.array_equal(d1, d2) and a1 == a2
+        assert stats == {"hits": 1, "lookups": 2}
+
+
+class TestWarmStartBypassWarning:
+    def test_warns_once_and_records_serial_path(self):
+        X, y, constraints = _setup()
+        fitter = WeightedFitter(
+            GaussianNaiveBayes(), X, y, constraints, warm_start=True,
+        )
+        L = np.array([[0.0, 0.0], [0.3, -0.2]])
+        with pytest.warns(RuntimeWarning, match="warm_start"):
+            fitter.fit_batch(L)
+        assert fitter.fit_paths.get("batch_protocol", 0) == 0
+        assert fitter.fit_paths.get("serial", 0) == len(L)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")       # second call stays silent
+            fitter.fit_batch(np.array([[0.1, 0.1]]))
+
+    def test_no_warning_without_warm_start(self):
+        X, y, constraints = _setup()
+        fitter = WeightedFitter(GaussianNaiveBayes(), X, y, constraints)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            fitter.fit_batch(np.array([[0.0, 0.0], [0.3, -0.2]]))
+        assert fitter.fit_paths.get("batch_protocol", 0) == 2
+
+
+class TestPoolInvalidation:
+    def test_pool_reinitialized_when_training_matrix_changes(self):
+        # regression test: _pool_init pins X globally in the workers, so
+        # toggling use_subsample between fit_batch calls must rebuild
+        # the pool — a stale pool would train on the wrong matrix.
+        X, y, constraints = _setup(n=160)
+        est = LogisticRegression(max_iter=20)    # lbfgs: no batch hook
+        pooled = WeightedFitter(
+            est.clone(), X, y, constraints, subsample=0.5, n_jobs=2,
+            fit_cache=False,
+        )
+        serial = WeightedFitter(
+            est.clone(), X, y, constraints, subsample=0.5,
+            fit_cache=False,
+        )
+        L = np.array([[0.3, 0.0], [-0.4, 0.2]])
+        try:
+            for use_subsample in (False, True, False):
+                got = pooled.fit_batch(L, use_subsample=use_subsample)
+                want = [
+                    serial.fit(L[b], use_subsample=use_subsample)
+                    for b in range(len(L))
+                ]
+                X_eval = X if not use_subsample else X[pooled._sub_idx]
+                for g, w_model in zip(got, want):
+                    assert np.array_equal(
+                        g.predict(X_eval), w_model.predict(X_eval)
+                    )
+        finally:
+            pooled.close()
+
+    def test_pool_key_tracks_matrix_identity(self):
+        X, y, constraints = _setup(n=120)
+        fitter = WeightedFitter(
+            LogisticRegression(max_iter=15), X, y, constraints,
+            subsample=0.5, n_jobs=2, fit_cache=False,
+        )
+        try:
+            pool_full = fitter._get_pool(2, fitter.X_train)
+            key_full = fitter._pool_key
+            X_sub = fitter.X_train[fitter._sub_idx]
+            pool_sub = fitter._get_pool(2, X_sub)
+            assert fitter._pool_key != key_full
+            assert pool_sub is not pool_full
+        finally:
+            fitter.close()
+
+
+class TestReportAndCli:
+    def _dataset(self):
+        return make_biased_dataset(
+            "cache-test", 1600, ("a", "b"), (0.6, 0.4), (0.5, 0.34),
+            seed=2, n_informative=2, n_group_correlated=1, n_noise=1,
+            n_categorical=0,
+        )
+
+    def test_report_exposes_cache_counters(self):
+        data = self._dataset()
+        strat = data.sensitive * 2 + data.y
+        tr, va, _te = train_val_test_split(len(data), seed=0, stratify=strat)
+        train, val = data.subset(tr), data.subset(va)
+        fair = Engine("grid", grid_steps=6).solve(
+            Problem("SP <= 0.12 and MR <= 0.3"), GaussianNaiveBayes(),
+            train, val,
+        )
+        report = fair.report
+        assert report.fit_cache_lookups >= report.n_fits - 1
+        assert report.eval_cache_lookups > 0
+        assert report.fit_cache_hits >= 0
+        assert sum(report.fit_paths.values()) >= report.n_fits
+        assert report.fit_paths.get("batch_protocol", 0) > 0
+        assert "caches:" in report.summary()
+
+    def test_cli_prints_cache_line(self):
+        out = io.StringIO()
+        code = main(
+            [
+                "train", "--dataset", "compas", "--two-group",
+                "--spec", "SP <= 0.1", "--rows", "1200",
+                "--engine", "compiled",
+            ],
+            out=out,
+        )
+        text = out.getvalue()
+        assert code == 0, text
+        assert "caches: fit " in text and "eval " in text
+
+    def test_cli_no_fit_cache_flag(self):
+        out = io.StringIO()
+        code = main(
+            [
+                "train", "--dataset", "compas", "--two-group",
+                "--spec", "SP <= 0.1", "--rows", "1200", "--no-fit-cache",
+            ],
+            out=out,
+        )
+        text = out.getvalue()
+        assert code == 0, text
+        assert "caches: fit 0/0 hits" in text

@@ -42,6 +42,7 @@ from repro.ml.logistic import LogisticRegression
 from repro.ml.metrics import accuracy_score
 from repro.ml.model_selection import train_val_test_split
 from repro.ml.naive_bayes import GaussianNaiveBayes
+from repro.ml.tree import DecisionTree
 
 ALL_METRICS = sorted(METRIC_FACTORIES)
 
@@ -442,6 +443,42 @@ class TestEngineEquivalence:
         assert naive.n_fits == compiled.n_fits
         assert len(naive.history) == len(compiled.history)
         assert naive.validation["accuracy"] == compiled.validation["accuracy"]
+
+    @pytest.mark.parametrize("estimator_factory,exact_accuracy", [
+        (lambda: LogisticRegression(solver="irls", max_iter=60), False),
+        (lambda: DecisionTree(max_depth=6), True),
+    ], ids=["logistic_irls", "tree_presorted"])
+    def test_identical_selection_across_batch_paths(
+        self, estimator_factory, exact_accuracy
+    ):
+        """ISSUE 3: the new estimator batch paths (batched IRLS,
+        shared-presort trees) must select the same λ as serial fits
+        through the naive engine — exactly for bit-for-bit trees,
+        within reduction-order round-off for IRLS accuracies."""
+        train, val = _split_synthetic()
+        reports = {}
+        for engine in ("naive", "compiled"):
+            fair = Engine("grid", engine=engine, grid_steps=5).solve(
+                Problem("SP <= 0.16 and MR <= 0.3"),
+                estimator_factory(), train, val,
+            )
+            reports[engine] = fair.report
+        naive, compiled = reports["naive"], reports["compiled"]
+        assert np.array_equal(naive.lambdas, compiled.lambdas)
+        assert naive.n_fits == compiled.n_fits
+        assert len(naive.history) == len(compiled.history)
+        if exact_accuracy:
+            assert (
+                naive.validation["accuracy"]
+                == compiled.validation["accuracy"]
+            )
+        else:
+            assert naive.validation["accuracy"] == pytest.approx(
+                compiled.validation["accuracy"], abs=1e-9
+            )
+        # the compiled side actually exercised the batch protocol
+        assert compiled.fit_paths.get("batch_protocol", 0) > 0
+        assert naive.fit_paths.get("batch_protocol", 0) == 0
 
     def test_identical_weights_through_fitters(self):
         train, _val = _split_synthetic()
