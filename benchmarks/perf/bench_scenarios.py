@@ -1,0 +1,228 @@
+"""Scenario-scale harness: chunked vs in-memory λ-search at 10^6 rows.
+
+Runs identical λ-grid searches through the in-memory evaluation path
+(``chunk_size=None``) and the chunked streaming path on large scenario-
+registry workloads, recording wall-clock, **peak traced memory**
+(``tracemalloc``, which numpy allocations report into), and the selected
+λ.  The two paths are bit-identical by construction, so the harness
+fails if they ever disagree on the selected λ — that gate is the point:
+chunking buys bounded memory, never different answers.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/perf/bench_scenarios.py
+    PYTHONPATH=src python benchmarks/perf/bench_scenarios.py \
+        --workloads million_row_grid --quick
+
+The committed ``BENCH_scenarios.json`` is produced at full size — the
+headline workload is a **1,000,000-row** ``million_row`` scenario
+completing a λ-grid search via chunking.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+import tracemalloc
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.api import Engine, Problem  # noqa: E402
+from repro.core.exceptions import InfeasibleConstraintError  # noqa: E402
+from repro.datasets import load_scenario  # noqa: E402
+from repro.ml.model_selection import train_test_split  # noqa: E402
+from repro.ml.naive_bayes import GaussianNaiveBayes  # noqa: E402
+
+DEFAULT_OUT = pathlib.Path(__file__).parent / "BENCH_scenarios.json"
+SCHEMA = "bench_scenarios/v1"
+CHUNK = 65_536
+
+
+def workloads(quick=False):
+    scale = 0.12 if quick else 1.0
+
+    def rows(n):
+        return max(20_000, int(n * scale))
+
+    return {
+        # the paper's protocol tunes λ on the validation split, and the
+        # chunked path streams *validation-side* scoring — so the scale
+        # workloads put most rows there (cf. Figure 3's validation-size
+        # study), leaving the fit side small enough to isolate the
+        # evaluation memory profile
+        "million_row_grid": dict(
+            scenario="million_row",
+            n=rows(1_000_000),
+            overrides={},
+            spec="SP <= 0.05",
+            strategy="grid",
+            options={"grid_steps": 8, "grid_max": 0.5},
+            val_fraction=0.8,
+            headline=True,
+        ),
+        "group_sweep_grid": dict(
+            scenario="group_sweep",
+            n=rows(240_000),
+            overrides={"n_groups": 3},
+            spec="SP <= 0.2",
+            strategy="grid",
+            options={"grid_steps": 3, "grid_max": 0.5},
+            val_fraction=0.5,
+            headline=False,
+        ),
+        "imbalance_binary": dict(
+            scenario="imbalance",
+            n=rows(400_000),
+            overrides={},
+            spec="SP <= 0.05",
+            strategy="binary_search",
+            options={},
+            val_fraction=0.8,
+            headline=False,
+        ),
+    }
+
+
+def _splits(dataset, val_fraction):
+    idx = np.arange(len(dataset))
+    strat = dataset.sensitive * 2 + dataset.y
+    tr, va = train_test_split(
+        idx, test_size=val_fraction, seed=0, stratify=strat
+    )
+    return dataset.subset(tr), dataset.subset(va)
+
+
+def _solve(workload, train, val, chunk_size):
+    engine = Engine(
+        workload["strategy"], chunk_size=chunk_size, **workload["options"]
+    )
+    problem = Problem(workload["spec"])
+    tracemalloc.start()
+    t0 = time.perf_counter()
+    try:
+        fair = engine.solve(problem, GaussianNaiveBayes(), train, val)
+        report = fair.report
+        lambdas, feasible, n_fits = (
+            report.lambdas.tolist(), True, report.n_fits
+        )
+    except InfeasibleConstraintError:
+        lambdas, feasible, n_fits = None, False, None
+    elapsed = time.perf_counter() - t0
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return elapsed, peak, lambdas, feasible, n_fits
+
+
+def run_workload(name, workload):
+    dataset = load_scenario(
+        workload["scenario"], n=workload["n"], **workload["overrides"]
+    )
+    train, val = _splits(dataset, workload["val_fraction"])
+    k = len(Problem(workload["spec"]).bind(train))
+    modes = {}
+    for mode, chunk_size in (("inmem", None), ("chunked", CHUNK)):
+        elapsed, peak, lambdas, feasible, n_fits = _solve(
+            workload, train, val, chunk_size
+        )
+        modes[mode] = dict(
+            seconds=round(elapsed, 4),
+            peak_traced_mb=round(peak / 1e6, 2),
+            lambdas=lambdas,
+            feasible=feasible,
+            n_fits=n_fits,
+        )
+    return {
+        "scenario": workload["scenario"],
+        "strategy": workload["strategy"],
+        "spec": workload["spec"],
+        "constraints": k,
+        "rows_total": len(dataset),
+        "rows_train": len(train),
+        "rows_val": len(val),
+        "chunk_size": CHUNK,
+        "inmem": modes["inmem"],
+        "chunked": modes["chunked"],
+        "selected_lambda_match": (
+            modes["inmem"]["lambdas"] == modes["chunked"]["lambdas"]
+        ),
+        "peak_memory_ratio": round(
+            modes["chunked"]["peak_traced_mb"]
+            / max(modes["inmem"]["peak_traced_mb"], 1e-9), 3,
+        ),
+        "headline": workload["headline"],
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workloads", default=None,
+                        help="comma-separated subset (default: all)")
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke sizes (~1/8 rows)")
+    parser.add_argument("--max-slowdown", type=float, default=None,
+                        metavar="X",
+                        help="exit non-zero if chunked is more than X "
+                             "times slower than in-memory on any "
+                             "workload")
+    args = parser.parse_args(argv)
+
+    registry = workloads(quick=args.quick)
+    selected = (
+        args.workloads.split(",") if args.workloads else list(registry)
+    )
+    unknown = sorted(set(selected) - set(registry))
+    if unknown:
+        parser.error(f"unknown workload(s) {unknown}; known: {list(registry)}")
+
+    report = {
+        "schema": SCHEMA,
+        "quick": args.quick,
+        "chunk_size": CHUNK,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "workloads": {},
+    }
+    failures = []
+    for name in selected:
+        print(f"[bench_scenarios] {name} ...", flush=True)
+        entry = run_workload(name, registry[name])
+        report["workloads"][name] = entry
+        print(
+            f"  rows={entry['rows_total']} | inmem "
+            f"{entry['inmem']['seconds']:.2f}s "
+            f"{entry['inmem']['peak_traced_mb']:.0f}MB | chunked "
+            f"{entry['chunked']['seconds']:.2f}s "
+            f"{entry['chunked']['peak_traced_mb']:.0f}MB | "
+            f"mem_ratio={entry['peak_memory_ratio']} | "
+            f"lambda_match={entry['selected_lambda_match']}"
+        )
+        if not entry["selected_lambda_match"]:
+            failures.append(f"{name}: chunked selected a different lambda")
+        if (args.max_slowdown is not None
+                and entry["chunked"]["seconds"]
+                > args.max_slowdown * entry["inmem"]["seconds"]):
+            failures.append(
+                f"{name}: chunked {entry['chunked']['seconds']:.2f}s vs "
+                f"in-memory {entry['inmem']['seconds']:.2f}s exceeds "
+                f"{args.max_slowdown:.1f}x"
+            )
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[bench_scenarios] wrote {args.out}")
+    for failure in failures:
+        print(f"[bench_scenarios] FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""Repo-wide pytest configuration: RNG hermeticity and golden updates.
+
+Hermeticity (ISSUE 4 satellite): an audit found no module-level
+``np.random.*`` / ``random.*`` calls left in ``src``/``tests``/
+``benchmarks`` (everything routes through seeded ``Generator``
+instances), but nothing *enforced* that — one stray ``np.random.rand``
+in a new test would couple every later test to collection order.  The
+hooks below make the legacy global RNGs deterministic per test and
+restore their state afterwards, so
+
+* a test that does reach for the global RNG gets a seed derived from its
+  own nodeid (stable under reordering/xdist, independent of neighbors);
+* a test that *reseeds* the globals cannot leak that state into the
+  next test.
+
+Plain pytest hooks rather than an autouse fixture: hypothesis's
+``function_scoped_fixture`` health check would otherwise fire on every
+``@given`` test in the suite.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+import numpy as np
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="regenerate tests/goldens/*.json from the current engine "
+             "instead of comparing against them",
+    )
+
+
+def pytest_runtest_setup(item):
+    item._saved_rng_state = (random.getstate(), np.random.get_state())
+    digest = hashlib.sha1(item.nodeid.encode("utf-8")).digest()
+    seed = int.from_bytes(digest[:4], "little")
+    random.seed(seed)
+    np.random.seed(seed)
+
+
+def pytest_runtest_teardown(item, nextitem):
+    saved = getattr(item, "_saved_rng_state", None)
+    if saved is not None:
+        random.setstate(saved[0])
+        np.random.set_state(saved[1])

@@ -176,6 +176,7 @@ def run_omnifair(
         negative_weights=opts.pop("negative_weights", "flip"),
         warm_start=opts.pop("warm_start", False),
         subsample=opts.pop("subsample", None),
+        chunk_size=opts.pop("chunk_size", None),
         strict=False,  # legacy kwargs are a union across strategies
         **opts,
     )

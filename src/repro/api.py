@@ -44,6 +44,7 @@ from .core.strategies import (
 )
 from .core.fitter import WeightedFitter
 from .datasets.schema import Dataset
+from .ml.adapters import resolve_model
 from .ml.model_selection import train_test_split
 from .ml.persistence import load_model, save_model
 
@@ -161,6 +162,14 @@ class Engine:
         A registered strategy name, or ``"auto"`` (Algorithm 1 for one
         constraint, Algorithm 2 otherwise — resolved at solve time, once
         the bound constraint count is known).
+    model : estimator, str, or None
+        Default estimator for :meth:`solve` calls that pass none.
+        Anything :func:`repro.ml.resolve_model` accepts: a
+        :class:`~repro.ml.base.BaseClassifier`, a duck-typed external
+        object (adapter-wrapped automatically), an ``"ext:module:Class"``
+        import path, a name registered via
+        :func:`repro.ml.register_external_model`, or an in-repo short
+        name (``"LR"``, ``"RF"``, ...).
     negative_weights, warm_start, subsample
         Weighted-training knobs, passed to
         :class:`~repro.core.fitter.WeightedFitter`.
@@ -180,6 +189,12 @@ class Engine:
         vectors (default True; automatically off under ``warm_start``).
         Hit counts surface as ``FitReport.fit_cache_hits`` /
         ``eval_cache_hits``.
+    chunk_size : int or None
+        Row-block size for the validation-side chunked evaluation path:
+        disparity/accuracy accumulators stream over row blocks instead
+        of one stacked mask product, with bit-identical results — the
+        knob that lets λ-search run on million-row scenarios.  ``None``
+        (default) keeps in-memory evaluation.
     strict : bool
         Whether unknown ``**options`` keys raise (the legacy shim sets
         ``False`` because it forwards the union of all old kwargs).
@@ -192,12 +207,14 @@ class Engine:
         self,
         strategy="auto",
         *,
+        model=None,
         negative_weights="flip",
         warm_start=False,
         subsample=None,
         engine="compiled",
         n_jobs=None,
         fit_cache=True,
+        chunk_size=None,
         strict=True,
         **options,
     ):
@@ -211,13 +228,19 @@ class Engine:
                 f"unknown weight engine {engine!r}; use 'compiled' or "
                 f"'naive'"
             )
+        if chunk_size is not None and int(chunk_size) < 1:
+            raise SpecificationError(
+                f"chunk_size must be >= 1 or None, got {chunk_size}"
+            )
         self.strategy = strategy
+        self.model = None if model is None else resolve_model(model)
         self.negative_weights = negative_weights
         self.warm_start = warm_start
         self.subsample = subsample
         self.engine = engine
         self.n_jobs = n_jobs
         self.fit_cache = fit_cache
+        self.chunk_size = None if chunk_size is None else int(chunk_size)
         self.strict = strict
         self.options = dict(options)
         # even in non-strict mode, an option no registered strategy
@@ -242,17 +265,31 @@ class Engine:
         return train.subset(train_idx), train.subset(val_idx)
 
     def solve(
-        self, problem, estimator, train, val=None, *,
+        self, problem, estimator=None, train=None, val=None, *,
         val_fraction=0.25, seed=0,
     ):
         """Solve ``problem`` for ``estimator`` on ``train``/``val``.
 
-        Returns a :class:`FairModel` whose ``report`` is the
+        ``estimator`` accepts anything :func:`repro.ml.resolve_model`
+        does (instances, ``"ext:"`` paths, registry/short names); when
+        omitted, the engine's ``model=`` default is used.  Returns a
+        :class:`FairModel` whose ``report`` is the
         :class:`~repro.core.report.FitReport`.  Raises
         :class:`InfeasibleConstraintError` when no feasible
         hyperparameter setting is found, exactly like the strategies do.
         """
         problem = Problem.coerce(problem)
+        if estimator is None:
+            if self.model is None:
+                raise SpecificationError(
+                    "no estimator: pass one to solve() or construct the "
+                    "Engine with model=..."
+                )
+            estimator = self.model
+        else:
+            estimator = resolve_model(estimator)
+        if train is None:
+            raise SpecificationError("solve() requires a training Dataset")
         if not isinstance(train, Dataset):
             raise SpecificationError(
                 "train must be a repro.datasets.Dataset; wrap raw arrays "
@@ -282,6 +319,7 @@ class Engine:
             engine=self.engine,
             n_jobs=self.n_jobs,
             fit_cache=self.fit_cache,
+            eval_chunk_size=self.chunk_size,
         )
 
         name = resolve_strategy_name(self.strategy, len(train_constraints))

@@ -32,13 +32,14 @@ import argparse
 import ast
 import sys
 
-from .analysis.runner import ESTIMATOR_FACTORIES, make_estimator
+from .analysis.runner import ESTIMATOR_FACTORIES
 from .api import Engine, Problem
 from .core.exceptions import InfeasibleConstraintError, SpecificationError
 from .core.fairness_metrics import METRIC_FACTORIES
 from .core.spec import FairnessSpec
 from .core.strategies import available_strategies
-from .datasets import LOADERS, load, two_group_view
+from .datasets import LOADERS, available_scenarios, load, two_group_view
+from .ml.adapters import external_model_names, resolve_model
 from .ml.model_selection import train_val_test_split
 
 __all__ = ["main", "build_parser"]
@@ -70,7 +71,12 @@ def build_parser():
     )
 
     train = sub.add_parser("train", help="train a fair model on a twin")
-    train.add_argument("--dataset", choices=sorted(LOADERS), required=True)
+    train.add_argument("--dataset", required=True,
+                       metavar="NAME",
+                       help="benchmark twin "
+                            f"({', '.join(sorted(LOADERS))}) or a "
+                            "registered scenario family as "
+                            "scenario:<name> (see 'list')")
     train.add_argument("--spec", action="append", default=None,
                        metavar="DSL",
                        help="declarative spec, e.g. 'SP(race) <= 0.03' or "
@@ -88,8 +94,12 @@ def build_parser():
                        type=_strategy_opt, metavar="KEY=VALUE",
                        help="solver knob passed to the strategy config, "
                             "e.g. tau=1e-4 or grid_steps=9; repeatable")
-    train.add_argument("--model", default="LR",
-                       choices=sorted(ESTIMATOR_FACTORIES))
+    train.add_argument("--model", default="LR", metavar="MODEL",
+                       help="in-repo short name "
+                            f"({', '.join(sorted(ESTIMATOR_FACTORIES))}), "
+                            "a registered external model name, or an "
+                            "import path ext:module:ClassName (wrapped "
+                            "in ExternalEstimatorAdapter)")
     train.add_argument("--rows", type=int, default=4000,
                        help="twin size (default 4000)")
     train.add_argument("--seed", type=int, default=0)
@@ -108,6 +118,12 @@ def build_parser():
     train.add_argument("--no-fit-cache", action="store_true",
                        help="disable memoization of model fits on their "
                             "resolved weight vectors")
+    train.add_argument("--chunk-size", type=int, default=None,
+                       metavar="ROWS",
+                       help="stream validation scoring over row blocks "
+                            "of this size (bit-identical to in-memory "
+                            "evaluation; for datasets too large for one "
+                            "stacked mask product)")
     train.add_argument("--save", metavar="PATH", default=None,
                        help="save the deployable FairModel artifact")
     return parser
@@ -115,16 +131,30 @@ def build_parser():
 
 def _cmd_list(out):
     out.write("datasets:   " + ", ".join(sorted(LOADERS)) + "\n")
+    out.write("scenarios:  " + ", ".join(
+        f"scenario:{name}" for name in available_scenarios()) + "\n")
     out.write("metrics:    " + ", ".join(sorted(METRIC_FACTORIES)) + "\n")
-    out.write("models:     " + ", ".join(sorted(ESTIMATOR_FACTORIES)) + "\n")
+    models = sorted(ESTIMATOR_FACTORIES) + external_model_names()
+    out.write("models:     " + ", ".join(models)
+              + ", ext:<module:Class>\n")
     out.write("strategies: auto, " + ", ".join(available_strategies()) + "\n")
     return 0
 
 
 def _cmd_train(args, out):
-    data = load(args.dataset, n=args.rows, seed=args.seed)
+    try:
+        data = load(args.dataset, n=args.rows, seed=args.seed)
+    except KeyError as exc:
+        out.write(f"SPEC ERROR: {exc.args[0]}\n")
+        return 2
     if args.two_group and data.n_groups > 2:
-        data = two_group_view(data)
+        try:
+            data = two_group_view(data)
+        except (KeyError, ValueError) as exc:
+            # the classic pair only exists on the COMPAS twin; scenario
+            # families have their own group names
+            out.write(f"SPEC ERROR: --two-group: {exc}\n")
+            return 2
     strat = data.sensitive * 2 + data.y
     tr, va, te = train_val_test_split(len(data), seed=args.seed,
                                       stratify=strat)
@@ -138,26 +168,29 @@ def _cmd_train(args, out):
         options = dict(args.strategy_opt or ())
         reserved = {
             "negative_weights", "warm_start", "subsample", "strict",
-            "engine", "n_jobs", "fit_cache",
+            "engine", "n_jobs", "fit_cache", "chunk_size", "model",
         } & set(options)
         if reserved:
             raise SpecificationError(
                 f"--strategy-opt cannot set engine parameter(s) "
                 f"{sorted(reserved)}; use the dedicated CLI flags"
             )
+        estimator = resolve_model(args.model)
         engine = Engine(
             args.search, subsample=args.subsample,
             engine=args.engine, n_jobs=args.n_jobs,
-            fit_cache=not args.no_fit_cache, **options,
+            fit_cache=not args.no_fit_cache,
+            chunk_size=args.chunk_size, **options,
         )
     except SpecificationError as exc:
         out.write(f"SPEC ERROR: {exc}\n")
         return 2
+    except (KeyError, ImportError, TypeError, ValueError) as exc:
+        out.write(f"MODEL ERROR: {exc.args[0] if exc.args else exc}\n")
+        return 2
 
     try:
-        fair_model = engine.solve(
-            problem, make_estimator(args.model), train, val,
-        )
+        fair_model = engine.solve(problem, estimator, train, val)
     except InfeasibleConstraintError as exc:
         out.write(f"INFEASIBLE: {exc}\n")
         return 1

@@ -107,6 +107,13 @@ class WeightedFitter:
         Memoize fitted models on the hash of their resolved
         ``(weights, labels)`` vectors (default True; forced off under
         ``warm_start``).  See the module docstring.
+    eval_chunk_size : int or None
+        Row-block size for the validation-side chunked evaluation path.
+        Every :class:`~repro.core.kernels.CompiledEvaluator` the search
+        builds for this fitter streams its mask products and prediction
+        scoring over blocks of at most this many rows — bit-identical
+        results, bounded peak memory.  ``None`` (default) keeps the
+        in-memory path.
 
     Attributes
     ----------
@@ -142,6 +149,7 @@ class WeightedFitter:
         engine="compiled",
         n_jobs=None,
         fit_cache=True,
+        eval_chunk_size=None,
     ):
         if engine not in WEIGHT_ENGINES:
             raise ValueError(
@@ -150,6 +158,10 @@ class WeightedFitter:
             )
         if n_jobs is not None and int(n_jobs) < 1:
             raise ValueError(f"n_jobs must be >= 1 or None, got {n_jobs}")
+        if eval_chunk_size is not None and int(eval_chunk_size) < 1:
+            raise ValueError(
+                f"eval_chunk_size must be >= 1 or None, got {eval_chunk_size}"
+            )
         self.estimator = estimator
         self.X_train = np.asarray(X_train, dtype=np.float64)
         self.y_train = np.asarray(y_train, dtype=np.int64)
@@ -158,6 +170,9 @@ class WeightedFitter:
         self.warm_start = warm_start
         self.engine = engine
         self.n_jobs = None if n_jobs is None else int(n_jobs)
+        self.eval_chunk_size = (
+            None if eval_chunk_size is None else int(eval_chunk_size)
+        )
         self.n_fits = 0
         # a warm-started fit depends on the shared estimator's mutable
         # state, so identical weights do NOT imply identical models

@@ -398,6 +398,17 @@ class CompiledEvaluator:
     fall back to the per-constraint Python path, keeping results
     identical to :meth:`Constraint.disparity` in all cases.
 
+    ``chunk_size`` enables the **chunked evaluation path**: the mask
+    product and the accuracy reduction are streamed over row blocks of
+    at most ``chunk_size`` rows, bounding the transient ``(B, block)``
+    temporaries instead of materializing ``(B, n)`` products.  Because
+    every accumulated quantity is an exact integer count (float64 adds
+    of integers below 2**53 are exact), the chunked path is
+    **bit-identical** to the in-memory path — same disparities, same
+    accuracies, same selected λ (property-tested in
+    ``tests/test_chunked_eval.py``).  Custom (fallback) metrics ignore
+    the knob: they need the full prediction vector by contract.
+
     :meth:`score` / :meth:`score_batch` additionally memoize per
     prediction-vector hash — the validation-side sibling of the fit
     cache: duplicate fits return the *same* model object, and λ-searches
@@ -408,7 +419,7 @@ class CompiledEvaluator:
     :class:`~repro.core.report.FitReport`.
     """
 
-    def __init__(self, constraints, y, stats=None):
+    def __init__(self, constraints, y, stats=None, chunk_size=None):
         self.y = np.asarray(y, dtype=np.int64)
         self.n = len(self.y)
         self.constraints = list(constraints)
@@ -416,6 +427,9 @@ class CompiledEvaluator:
         self.epsilons = np.array(
             [c.epsilon for c in self.constraints], dtype=np.float64
         )
+        if chunk_size is not None and int(chunk_size) < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.chunk_size = None if chunk_size is None else int(chunk_size)
         self.stats = stats if stats is not None else {"hits": 0, "lookups": 0}
         self._score_cache = {}
         mask_cols = []
@@ -495,6 +509,36 @@ class CompiledEvaluator:
             return (cost_fp * pos0 + cost_fn * (side.n_y1 - pos1)) / side.size
         raise AssertionError(f"unhandled rate kind {kind!r}")
 
+    def _pos_counts(self, preds):
+        """Stacked positive-prediction counts, optionally row-chunked.
+
+        Partial block products accumulate exact integer counts, so the
+        chunked sum is bit-identical to the single full matmul.
+        """
+        chunk = self.chunk_size
+        if not chunk or self.n <= chunk:
+            return (preds == 1).astype(np.float64) @ self._mask_matrix
+        out = np.zeros(
+            (preds.shape[0], self._mask_matrix.shape[1]), dtype=np.float64
+        )
+        for start in range(0, self.n, chunk):
+            stop = min(start + chunk, self.n)
+            out += (
+                (preds[:, start:stop] == 1).astype(np.float64)
+                @ self._mask_matrix[start:stop]
+            )
+        return out
+
+    def _builtin_disparities(self, pos_counts, out):
+        """Fill built-in constraints' columns of ``out`` from counts."""
+        for k in range(self.k):
+            if (k, 0) not in self._sides:
+                continue
+            v1 = self._side_values(self._sides[(k, 0)], pos_counts)
+            v2 = self._side_values(self._sides[(k, 1)], pos_counts)
+            out[:, k] = v1 - v2
+        return out
+
     def disparities_batch(self, predictions):
         """``(B, k)`` disparity matrix for stacked prediction vectors."""
         preds = np.atleast_2d(np.asarray(predictions, dtype=np.int64))
@@ -505,13 +549,7 @@ class CompiledEvaluator:
             )
         out = np.empty((preds.shape[0], self.k), dtype=np.float64)
         if self._sides:
-            pos_counts = (preds == 1).astype(np.float64) @ self._mask_matrix
-            for k in range(self.k):
-                if (k, 0) not in self._sides:
-                    continue
-                v1 = self._side_values(self._sides[(k, 0)], pos_counts)
-                v2 = self._side_values(self._sides[(k, 1)], pos_counts)
-                out[:, k] = v1 - v2
+            self._builtin_disparities(self._pos_counts(preds), out)
         for k in self._fallback:
             constraint = self.constraints[k]
             out[:, k] = [
@@ -526,7 +564,17 @@ class CompiledEvaluator:
     def accuracies_batch(self, predictions):
         """Plain accuracy per stacked prediction vector."""
         preds = np.atleast_2d(np.asarray(predictions, dtype=np.int64))
-        return (preds == self.y).astype(np.float64).sum(axis=1) / self.n
+        chunk = self.chunk_size
+        if not chunk or self.n <= chunk:
+            return (preds == self.y).astype(np.float64).sum(axis=1) / self.n
+        correct = np.zeros(preds.shape[0], dtype=np.float64)
+        for start in range(0, self.n, chunk):
+            stop = min(start + chunk, self.n)
+            correct += (
+                (preds[:, start:stop] == self.y[start:stop])
+                .astype(np.float64).sum(axis=1)
+            )
+        return correct / self.n
 
     def accuracy(self, predictions):
         return float(self.accuracies_batch(predictions)[0])
@@ -588,6 +636,91 @@ class CompiledEvaluator:
         disparities, accuracies = self.score_batch(predictions)
         return disparities[0], float(accuracies[0])
 
+    # -- streaming model scoring ---------------------------------------------
+
+    @staticmethod
+    def _batch_predictor(models):
+        """The shared ``predict_batch`` hook, when every model has it."""
+        cls = type(models[0])
+        batch_predict = getattr(cls, "predict_batch", None)
+        if batch_predict is not None and all(type(m) is cls for m in models):
+            return batch_predict
+        return None
+
+    def score_models_batch(self, models, X, chunk_size=None):
+        """Score fitted models on ``X`` without stacking ``(B, n)`` preds.
+
+        With chunking active (``chunk_size`` here or on the evaluator)
+        predictions are produced one row block at a time and reduced
+        straight into the count accumulators, so peak memory holds one
+        ``(B, block)`` prediction slab instead of the full stacked
+        matrix.  Disparities and accuracies equal
+        :meth:`score_batch` of the stacked predictions **bit for bit**
+        (integer-count accumulation), and the per-candidate SHA1 is
+        computed incrementally over the same bytes, so the score cache
+        stays coherent between the streaming and in-memory paths.
+
+        Falls back to the in-memory path when chunking is off, the
+        split is a single block, or any constraint needs the full
+        prediction vector (custom-metric fallback).
+        """
+        X = np.asarray(X, dtype=np.float64)
+        chunk = self.chunk_size if chunk_size is None else int(chunk_size)
+        B = len(models)
+        if B == 0:
+            raise ValueError("score_models_batch needs at least one model")
+        batch_predict = self._batch_predictor(models)
+
+        def stacked(X_block):
+            if batch_predict is not None:
+                return np.asarray(batch_predict(models, X_block)).astype(
+                    np.int64, copy=False
+                )
+            return np.stack(
+                [m.predict(X_block) for m in models]
+            ).astype(np.int64, copy=False)
+
+        if not chunk or self.n <= chunk or self._fallback:
+            return self.score_batch(stacked(X))
+
+        S = self._mask_matrix.shape[1]
+        pos_counts = np.zeros((B, S), dtype=np.float64)
+        correct = np.zeros(B, dtype=np.float64)
+        hashers = [hashlib.sha1() for _ in range(B)]
+        for start in range(0, self.n, chunk):
+            stop = min(start + chunk, self.n)
+            pb = stacked(X[start:stop])
+            for b in range(B):
+                hashers[b].update(np.ascontiguousarray(pb[b]).tobytes())
+            if S:
+                pos_counts += (
+                    (pb == 1).astype(np.float64)
+                    @ self._mask_matrix[start:stop]
+                )
+            correct += (
+                (pb == self.y[start:stop]).astype(np.float64).sum(axis=1)
+            )
+
+        disparities = np.empty((B, self.k), dtype=np.float64)
+        self._builtin_disparities(pos_counts, disparities)
+        accuracies = correct / self.n
+        # reconcile with the memoized-score cache: digests match the
+        # stacked-path keys byte for byte, so cached entries (from either
+        # path) serve identical values and fresh ones are stored for
+        # later in-memory lookups
+        cache = self._score_cache
+        self.stats["lookups"] += B
+        for b in range(B):
+            dig = hashers[b].digest()
+            cached = cache.pop(dig, None)
+            if cached is not None:
+                self.stats["hits"] += 1
+                disparities[b], accuracies[b] = cached
+            if len(cache) >= EVAL_CACHE_MAX:
+                cache.pop(next(iter(cache)))
+            cache[dig] = (disparities[b].copy(), float(accuracies[b]))
+        return disparities, accuracies
+
 
 # -- batched candidate evaluation --------------------------------------------
 
@@ -619,7 +752,7 @@ class BatchEvalResult:
 
 def evaluate_lambda_batch(
     fitter, val_constraints, X_val, y_val, lambdas,
-    n_jobs=None, evaluator=None,
+    n_jobs=None, evaluator=None, chunk_size=None,
 ):
     """Fit and score a whole grid/population of λ candidates in one pass.
 
@@ -640,6 +773,11 @@ def evaluate_lambda_batch(
     evaluator : CompiledEvaluator, optional
         Reuse a prebuilt validation evaluator across calls (CMA-ES calls
         once per generation).
+    chunk_size : int, optional
+        Row-block size for the chunked evaluation path; defaults to the
+        fitter's ``eval_chunk_size`` (``None`` = in-memory scoring).
+        Streaming is bit-identical to in-memory scoring — see
+        :meth:`CompiledEvaluator.score_models_batch`.
 
     Returns
     -------
@@ -648,20 +786,19 @@ def evaluate_lambda_batch(
     lambdas = np.atleast_2d(np.asarray(lambdas, dtype=np.float64))
     if lambdas.shape[0] == 0:
         raise ValueError("evaluate_lambda_batch needs at least one candidate")
+    if chunk_size is None:
+        chunk_size = getattr(fitter, "eval_chunk_size", None)
     models = fitter.fit_batch(lambdas, n_jobs=n_jobs)
     X_val = np.asarray(X_val, dtype=np.float64)
     if evaluator is None:
         evaluator = CompiledEvaluator(
             val_constraints, y_val,
             stats=getattr(fitter, "eval_stats", None),
+            chunk_size=chunk_size,
         )
-    cls = type(models[0])
-    batch_predict = getattr(cls, "predict_batch", None)
-    if batch_predict is not None and all(type(m) is cls for m in models):
-        preds = np.asarray(batch_predict(models, X_val))
-    else:
-        preds = np.stack([model.predict(X_val) for model in models])
-    disparities, accuracies = evaluator.score_batch(preds)
+    disparities, accuracies = evaluator.score_models_batch(
+        models, X_val, chunk_size=chunk_size,
+    )
     return BatchEvalResult(
         lambdas=lambdas,
         models=models,

@@ -42,12 +42,13 @@ class _MultiEvaluator:
     """Per-model validation scoring, optionally through compiled kernels."""
 
     def __init__(self, X_val, y_val, val_constraints, compiled=False,
-                 stats=None):
+                 stats=None, chunk_size=None):
         self.X_val = np.asarray(X_val, dtype=np.float64)
         self.y_val = np.asarray(y_val, dtype=np.int64)
         self.constraints = list(val_constraints)
         self._kernel = (
-            CompiledEvaluator(self.constraints, self.y_val, stats=stats)
+            CompiledEvaluator(self.constraints, self.y_val, stats=stats,
+                              chunk_size=chunk_size)
             if compiled else None
         )
 
@@ -217,6 +218,7 @@ def hill_climb(
         X_val, y_val, val_constraints,
         compiled=fitter.engine == "compiled",
         stats=getattr(fitter, "eval_stats", None),
+        chunk_size=getattr(fitter, "eval_chunk_size", None),
     )
 
     lambdas = np.zeros(k)
@@ -280,6 +282,7 @@ def grid_search_lambdas(
         X_val, y_val, val_constraints,
         compiled=fitter.engine == "compiled",
         stats=getattr(fitter, "eval_stats", None),
+        chunk_size=getattr(fitter, "eval_chunk_size", None),
     )
     axis = np.linspace(-grid_max, grid_max, grid_steps)
     best = (None, None, -np.inf)

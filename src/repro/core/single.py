@@ -51,19 +51,21 @@ class _Evaluator:
     """
 
     def __init__(self, X_val, y_val, val_constraint, compiled=False,
-                 stats=None):
+                 stats=None, chunk_size=None):
         self.X_val = np.asarray(X_val, dtype=np.float64)
         self.y_val = np.asarray(y_val, dtype=np.int64)
         self.constraint = val_constraint
         self.compiled = compiled
         self.stats = stats
+        self.chunk_size = chunk_size
         self._kernel = None
         self._kernel_constraint = None
 
     def kernel(self):
         if self._kernel is None or self._kernel_constraint is not self.constraint:
             self._kernel = CompiledEvaluator(
-                [self.constraint], self.y_val, stats=self.stats
+                [self.constraint], self.y_val, stats=self.stats,
+                chunk_size=self.chunk_size,
             )
             self._kernel_constraint = self.constraint
         return self._kernel
@@ -124,6 +126,7 @@ def tune_single_lambda(
         X_val, y_val, val_constraint,
         compiled=fitter.engine == "compiled",
         stats=getattr(fitter, "eval_stats", None),
+        chunk_size=getattr(fitter, "eval_chunk_size", None),
     )
     history = []
 
@@ -307,6 +310,7 @@ def lambda_grid_search(fitter, val_constraint, X_val, y_val, grid, n_jobs=None):
             X_val, y_val, val_constraint,
             compiled=fitter.engine == "compiled",
             stats=getattr(fitter, "eval_stats", None),
+            chunk_size=getattr(fitter, "eval_chunk_size", None),
         )
         prev = model0
         for lam in grid:

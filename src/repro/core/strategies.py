@@ -400,6 +400,7 @@ class CMAESStrategy(SearchStrategy):
             CompiledEvaluator(
                 val_constraints, y_val,
                 stats=getattr(fitter, "eval_stats", None),
+                chunk_size=getattr(fitter, "eval_chunk_size", None),
             )
             if compiled else None
         )

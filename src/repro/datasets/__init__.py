@@ -10,12 +10,26 @@ from .adult import ADULT_N_ROWS, load_adult
 from .bank import BANK_N_ROWS, load_bank
 from .compas import COMPAS_N_ROWS, load_compas, two_group_view
 from .lsac import LSAC_N_ROWS, load_lsac
+from .scenarios import (
+    SCENARIOS,
+    available_scenarios,
+    iter_scenario_chunks,
+    load_scenario,
+    register_scenario,
+    scenario_train_val,
+)
 from .schema import Dataset
 from .synthetic import make_biased_dataset
 
 __all__ = [
     "Dataset",
     "make_biased_dataset",
+    "SCENARIOS",
+    "available_scenarios",
+    "load_scenario",
+    "iter_scenario_chunks",
+    "register_scenario",
+    "scenario_train_val",
     "load_adult",
     "load_compas",
     "two_group_view",
@@ -36,11 +50,16 @@ LOADERS = {
 
 
 def load(name, n=None, seed=0):
-    """Load a benchmark dataset twin by name."""
+    """Load a benchmark twin by name, or a ``scenario:<family>`` entry."""
+    if name.startswith("scenario:"):
+        return load_scenario(name[len("scenario:"):], n=n, seed=seed)
     try:
         loader = LOADERS[name]
     except KeyError:
-        raise KeyError(f"unknown dataset {name!r}; known: {sorted(LOADERS)}") from None
+        raise KeyError(
+            f"unknown dataset {name!r}; known: {sorted(LOADERS)} plus "
+            f"scenario:<name> for {available_scenarios()}"
+        ) from None
     if n is None:
         return loader(seed=seed)
     return loader(n=n, seed=seed)

@@ -1,0 +1,431 @@
+"""Scenario registry: parameterized synthetic families at any scale.
+
+The four benchmark twins (:mod:`repro.datasets.adult` etc.) pin the
+paper's published shapes; the ROADMAP's "as many scenarios as you can
+imagine" needs *families* — generators parameterized along the axes that
+stress a fairness engine — behind the same :class:`Dataset` schema so
+every strategy, kernel, and report works unchanged.
+
+Families
+--------
+``group_sweep``
+    ``n_groups`` demographic groups with geometrically decaying sizes
+    and a base-rate gradient — stresses multi-constraint binding and the
+    pairwise-disparity explosion.
+``imbalance``
+    Rare-positive labels (configurable ``pos_rate_*``) — stresses
+    FOR/FDR denominators and small-group rate estimates.
+``label_noise``
+    A ``noise_rate`` fraction of labels flipped after generation —
+    stresses the accuracy/fairness frontier under irreducible error.
+``covariate_shift``
+    Row roles (``"train"``/``"val"``) with the validation rows' feature
+    means shifted by ``shift_delta`` — stresses the tune-on-validation
+    protocol when the splits disagree (see :func:`scenario_train_val`).
+``million_row``
+    A two-group family with ``n`` defaulting to 1,000,000 rows and a
+    deliberately narrow feature block — the chunked-evaluation scaling
+    workload.
+
+Chunked materialization
+-----------------------
+Generation is **blockwise deterministic**: rows are produced in
+canonical blocks of :data:`GENERATION_BLOCK` rows, each block from its
+own ``default_rng([seed, family_tag, block_index])`` stream.  Because no
+feature depends on global statistics of the draw, the materialized
+dataset is the exact concatenation of its blocks — so
+
+* ``load_scenario(name, n)`` (one in-memory :class:`Dataset`) and
+* ``iter_scenario_chunks(name, n, chunk_size=...)`` (a generator of
+  :class:`Dataset` chunks, any chunk size)
+
+yield identical rows in identical order, and a million-row scenario can
+be streamed without ever holding more than one chunk of features.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .schema import Dataset
+
+__all__ = [
+    "Scenario",
+    "SCENARIOS",
+    "register_scenario",
+    "available_scenarios",
+    "load_scenario",
+    "iter_scenario_chunks",
+    "scenario_train_val",
+    "GENERATION_BLOCK",
+]
+
+# canonical generation block: fixed so chunk_size never changes the rows
+GENERATION_BLOCK = 65_536
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One registered synthetic family.
+
+    ``generate(rng, n, params)`` returns ``(X, y, sensitive, extras)``
+    for ``n`` rows, where ``extras`` maps names to per-row arrays (may
+    be empty).  It must be row-wise independent given ``rng`` — no
+    global statistics — so blockwise generation is exact.
+    """
+
+    name: str
+    description: str
+    generate: callable
+    group_names: tuple
+    defaults: dict = field(default_factory=dict)
+    n_default: int = 20_000
+    sensitive_attribute: str = "group"
+    # column geometry of _feature_block, for feature naming
+    feature_spec: dict = field(default_factory=lambda: dict(
+        n_informative=2, n_proxy=1, n_noise=1,
+    ))
+
+    def params(self, overrides):
+        unknown = sorted(set(overrides) - set(self.defaults))
+        if unknown:
+            raise KeyError(
+                f"scenario {self.name!r} has no parameter(s) {unknown}; "
+                f"known: {sorted(self.defaults)}"
+            )
+        merged = dict(self.defaults)
+        merged.update(overrides)
+        return merged
+
+
+SCENARIOS = {}
+
+
+def register_scenario(scenario):
+    """Add a :class:`Scenario` to the registry (latest name wins)."""
+    if not isinstance(scenario, Scenario):
+        raise TypeError("register_scenario expects a Scenario")
+    SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+def available_scenarios():
+    """Sorted names of every registered scenario family."""
+    return sorted(SCENARIOS)
+
+
+# -- shared generation helpers ------------------------------------------------
+
+
+def _draw_groups(rng, n, proportions):
+    props = np.asarray(proportions, dtype=np.float64)
+    props = props / props.sum()
+    return rng.choice(len(props), size=n, p=props)
+
+
+def _feature_block(rng, n, y, sensitive, n_groups, n_informative=2,
+                   n_proxy=1, n_noise=1, separation=0.9, group_shift=0.6,
+                   noise_scale=1.0):
+    """Numeric features + group one-hot; no global statistics involved."""
+    y_signal = 2.0 * y - 1.0
+    cols = []
+    for j in range(n_informative):
+        strength = separation / (1.0 + 0.5 * j)
+        cols.append(y_signal * strength + rng.normal(scale=noise_scale, size=n))
+    centers = np.linspace(-1.0, 1.0, n_groups)
+    for _ in range(n_proxy):
+        cols.append(centers[sensitive] * group_shift
+                    + rng.normal(scale=noise_scale, size=n))
+    for _ in range(n_noise):
+        cols.append(rng.normal(scale=noise_scale, size=n))
+    onehot = np.zeros((n, n_groups))
+    onehot[np.arange(n), sensitive] = 1.0
+    return np.hstack([np.column_stack(cols), onehot])
+
+
+def _feature_names(n_groups, group_names, n_informative=2, n_proxy=1,
+                   n_noise=1):
+    names = [f"num_info_{j}" for j in range(n_informative)]
+    names += [f"num_proxy_{j}" for j in range(n_proxy)]
+    names += [f"num_noise_{j}" for j in range(n_noise)]
+    names += [f"group_{g}" for g in group_names]
+    return tuple(names)
+
+
+# -- families -----------------------------------------------------------------
+
+
+def _gen_group_sweep(rng, n, p):
+    k = int(p["n_groups"])
+    props = p["decay"] ** np.arange(k)
+    rates = np.linspace(p["rate_hi"], p["rate_lo"], k)
+    sensitive = _draw_groups(rng, n, props)
+    y = (rng.random(n) < rates[sensitive]).astype(np.int64)
+    X = _feature_block(rng, n, y, sensitive, k,
+                       separation=p["separation"])
+    return X, y, sensitive, {}
+
+
+def _gen_imbalance(rng, n, p):
+    rates = np.array([p["pos_rate_a"], p["pos_rate_b"]])
+    sensitive = _draw_groups(rng, n, (p["prop_a"], 1.0 - p["prop_a"]))
+    y = (rng.random(n) < rates[sensitive]).astype(np.int64)
+    X = _feature_block(rng, n, y, sensitive, 2, separation=p["separation"])
+    return X, y, sensitive, {}
+
+
+def _gen_label_noise(rng, n, p):
+    rates = np.array([0.55, 0.35])
+    sensitive = _draw_groups(rng, n, (0.6, 0.4))
+    y_clean = (rng.random(n) < rates[sensitive]).astype(np.int64)
+    X = _feature_block(rng, n, y_clean, sensitive, 2,
+                       separation=p["separation"])
+    flip = rng.random(n) < p["noise_rate"]
+    y = np.where(flip, 1 - y_clean, y_clean)
+    return X, y, sensitive, {"label_flipped": flip}
+
+
+def _gen_covariate_shift(rng, n, p):
+    rates = np.array([0.55, 0.35])
+    sensitive = _draw_groups(rng, n, (0.6, 0.4))
+    y = (rng.random(n) < rates[sensitive]).astype(np.int64)
+    X = _feature_block(rng, n, y, sensitive, 2, separation=p["separation"])
+    # role drawn per-row so blockwise generation stays exact; validation
+    # rows live in a mean-shifted region of feature space
+    is_val = rng.random(n) < p["val_fraction"]
+    X[is_val, 0] += p["shift_delta"]
+    return X, y, sensitive, {"is_val": is_val}
+
+
+def _gen_million_row(rng, n, p):
+    rates = np.array([p["rate_a"], p["rate_b"]])
+    sensitive = _draw_groups(rng, n, (0.55, 0.45))
+    y = (rng.random(n) < rates[sensitive]).astype(np.int64)
+    X = _feature_block(rng, n, y, sensitive, 2,
+                       n_informative=2, n_proxy=1, n_noise=0,
+                       separation=p["separation"])
+    return X, y, sensitive, {}
+
+
+register_scenario(Scenario(
+    name="group_sweep",
+    description="k groups, geometric sizes, base-rate gradient",
+    generate=_gen_group_sweep,
+    group_names=None,  # derived from n_groups at load time
+    defaults=dict(n_groups=4, decay=0.7, rate_hi=0.6, rate_lo=0.3,
+                  separation=0.8),
+    n_default=20_000,
+))
+
+register_scenario(Scenario(
+    name="imbalance",
+    description="rare positives; FOR/FDR denominator stress",
+    generate=_gen_imbalance,
+    group_names=("A", "B"),
+    defaults=dict(pos_rate_a=0.10, pos_rate_b=0.04, prop_a=0.6,
+                  separation=1.2),
+    n_default=20_000,
+))
+
+register_scenario(Scenario(
+    name="label_noise",
+    description="a noise_rate fraction of labels flipped",
+    generate=_gen_label_noise,
+    group_names=("A", "B"),
+    defaults=dict(noise_rate=0.15, separation=1.0),
+    n_default=20_000,
+))
+
+register_scenario(Scenario(
+    name="covariate_shift",
+    description="validation rows mean-shifted from training rows",
+    generate=_gen_covariate_shift,
+    group_names=("A", "B"),
+    defaults=dict(shift_delta=0.8, val_fraction=0.25, separation=0.9),
+    n_default=20_000,
+))
+
+register_scenario(Scenario(
+    name="million_row",
+    description="two groups, narrow features, 1e6 rows by default",
+    generate=_gen_million_row,
+    group_names=("A", "B"),
+    defaults=dict(rate_a=0.45, rate_b=0.30, separation=0.8),
+    n_default=1_000_000,
+    feature_spec=dict(n_informative=2, n_proxy=1, n_noise=0),
+))
+
+
+# -- materialization ----------------------------------------------------------
+
+
+def _get(name):
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {available_scenarios()}"
+        ) from None
+
+
+def _group_names(scenario, params):
+    if scenario.group_names is not None:
+        return tuple(scenario.group_names)
+    k = int(params["n_groups"])
+    return tuple(f"g{i}" for i in range(k))
+
+
+def _iter_raw_blocks(scenario, n, seed, params):
+    """Canonical blocks of (X, y, sensitive, extras) rows.
+
+    The per-block stream is keyed ``[seed, family_tag, block_index]``
+    so different families draw independent streams at the same seed.
+    """
+    family_tag = zlib.crc32(scenario.name.encode("utf-8"))
+    produced = 0
+    block_index = 0
+    while produced < n:
+        size = min(GENERATION_BLOCK, n - produced)
+        rng = np.random.default_rng([int(seed), family_tag, block_index])
+        yield scenario.generate(rng, size, params)
+        produced += size
+        block_index += 1
+
+
+def _as_dataset(scenario, params, group_names, X, y, sensitive, extras,
+                chunk_info=None):
+    info = {"scenario": scenario.name, "params": dict(params)}
+    if chunk_info:
+        info.update(chunk_info)
+    info.update({k: v for k, v in extras.items()})
+    return Dataset(
+        name=f"scenario:{scenario.name}",
+        X=X,
+        y=y,
+        sensitive=sensitive,
+        group_names=group_names,
+        sensitive_attribute=scenario.sensitive_attribute,
+        feature_names=_feature_names(
+            len(group_names), group_names, **scenario.feature_spec
+        ),
+        task=scenario.description,
+        extras=info,
+    )
+
+
+def load_scenario(name, n=None, seed=0, **overrides):
+    """Materialize a registered scenario as one in-memory :class:`Dataset`.
+
+    Rows are the exact concatenation of the canonical generation blocks,
+    so the result is identical to collecting
+    :func:`iter_scenario_chunks` at any chunk size.
+    """
+    scenario = _get(name)
+    params = scenario.params(overrides)
+    n = scenario.n_default if n is None else int(n)
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    group_names = _group_names(scenario, params)
+    Xs, ys, ss = [], [], []
+    extra_parts = {}
+    for X, y, s, extras in _iter_raw_blocks(scenario, n, seed, params):
+        Xs.append(X)
+        ys.append(y)
+        ss.append(s)
+        for key, arr in extras.items():
+            extra_parts.setdefault(key, []).append(arr)
+    extras = {k: np.concatenate(v) for k, v in extra_parts.items()}
+    return _as_dataset(
+        scenario, params, group_names,
+        np.vstack(Xs), np.concatenate(ys), np.concatenate(ss), extras,
+        chunk_info={"seed": int(seed)},
+    )
+
+
+def iter_scenario_chunks(name, n=None, seed=0, chunk_size=GENERATION_BLOCK,
+                         **overrides):
+    """Stream a scenario as :class:`Dataset` chunks of ``chunk_size`` rows.
+
+    Peak feature memory is one chunk plus one generation block.  The
+    concatenated stream equals :func:`load_scenario` row for row,
+    regardless of ``chunk_size`` (chunks are re-sliced from the fixed
+    canonical blocks).  Each chunk's ``extras`` carries
+    ``chunk_start``/``chunk_rows`` offsets into the materialized view.
+    """
+    scenario = _get(name)
+    params = scenario.params(overrides)
+    n = scenario.n_default if n is None else int(n)
+    chunk_size = int(chunk_size)
+    if n < 1 or chunk_size < 1:
+        raise ValueError("n and chunk_size must be >= 1")
+    group_names = _group_names(scenario, params)
+
+    buf = []          # list of (X, y, s, extras) pieces
+    buffered = 0
+    emitted = 0
+
+    def _emit(take):
+        nonlocal buf, buffered, emitted
+        Xs, ys, ss = [], [], []
+        extra_parts = {}
+        need = take
+        rest = []
+        for X, y, s, extras in buf:
+            if need <= 0:
+                rest.append((X, y, s, extras))
+                continue
+            use = min(need, len(y))
+            Xs.append(X[:use])
+            ys.append(y[:use])
+            ss.append(s[:use])
+            for key, arr in extras.items():
+                extra_parts.setdefault(key, []).append(arr[:use])
+            if use < len(y):
+                rest.append((
+                    X[use:], y[use:], s[use:],
+                    {k: a[use:] for k, a in extras.items()},
+                ))
+            need -= use
+        buf = rest
+        buffered -= take
+        chunk = _as_dataset(
+            scenario, params, group_names,
+            np.vstack(Xs), np.concatenate(ys), np.concatenate(ss),
+            {k: np.concatenate(v) for k, v in extra_parts.items()},
+            chunk_info={
+                "seed": int(seed),
+                "chunk_start": emitted,
+                "chunk_rows": take,
+                "total_rows": n,
+            },
+        )
+        emitted += take
+        return chunk
+
+    for block in _iter_raw_blocks(scenario, n, seed, params):
+        buf.append(block)
+        buffered += len(block[1])
+        while buffered >= chunk_size:
+            yield _emit(chunk_size)
+    if buffered:
+        yield _emit(buffered)
+
+
+def scenario_train_val(dataset):
+    """Split a ``covariate_shift`` scenario into its train/val datasets.
+
+    Uses the per-row ``is_val`` role recorded in ``extras``; raises for
+    datasets that don't carry one.
+    """
+    try:
+        is_val = np.asarray(dataset.extras["is_val"], dtype=bool)
+    except KeyError:
+        raise KeyError(
+            "dataset has no 'is_val' role in extras; only the "
+            "covariate_shift scenario records one"
+        ) from None
+    idx = np.arange(len(dataset))
+    return dataset.subset(idx[~is_val]), dataset.subset(idx[is_val])

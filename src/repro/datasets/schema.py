@@ -72,7 +72,21 @@ class Dataset:
         return int(self.sensitive.max()) + 1
 
     def subset(self, idx):
-        """Return a new Dataset restricted to the rows in ``idx``."""
+        """Return a new Dataset restricted to the rows in ``idx``.
+
+        Per-row arrays in ``extras`` (length-``n`` ndarrays, e.g. the
+        scenario registry's ``is_val`` / ``label_flipped`` roles) are
+        sliced along with the rows; scalar/metadata entries are copied
+        as-is.
+        """
+        n = len(self)
+        extras = {
+            key: (value[idx]
+                  if isinstance(value, np.ndarray)
+                  and value.ndim >= 1 and len(value) == n
+                  else value)
+            for key, value in self.extras.items()
+        }
         return Dataset(
             name=self.name,
             X=self.X[idx],
@@ -82,7 +96,7 @@ class Dataset:
             sensitive_attribute=self.sensitive_attribute,
             feature_names=self.feature_names,
             task=self.task,
-            extras=dict(self.extras),
+            extras=extras,
         )
 
     def group_mask(self, group):

@@ -5,6 +5,12 @@ Every classifier follows the protocol in :mod:`repro.ml.base`
 ``clone``), which is all OmniFair needs to stay model-agnostic.
 """
 
+from .adapters import (
+    ExternalEstimatorAdapter,
+    external_model_names,
+    register_external_model,
+    resolve_model,
+)
 from .base import BaseClassifier, clone
 from .boosting import GradientBoostedTrees
 from .forest import RandomForest
@@ -50,6 +56,10 @@ __all__ = [
     "ModelFormatError",
     "ReplicationWrapper",
     "replicate_by_weight",
+    "ExternalEstimatorAdapter",
+    "register_external_model",
+    "external_model_names",
+    "resolve_model",
     "StandardScaler",
     "OneHotEncoder",
     "TabularEncoder",

@@ -198,9 +198,14 @@ class BaseClassifier:
     #   ``PresortedDataset`` (``supports_batch_fit`` is False when
     #   ``presort=False``); stacked vectorized batch predict; trees are
     #   bit-for-bit identical to scalar fits.
+    # * ExternalEstimatorAdapter — a refit loop with exactly the serial
+    #   semantics, exposed through the protocol so adapted third-party
+    #   estimators ride the batch-native strategies unchanged (a
+    #   compatibility shim, not a speedup).
     #
-    # The conformance suite (tests/test_batch_protocol.py) runs every
-    # implementer against its serial path on random weighted problems.
+    # The conformance suites (tests/test_batch_protocol.py,
+    # tests/test_adapters.py) run every implementer against its serial
+    # path on random weighted problems.
 
     @property
     def supports_batch_fit(self):

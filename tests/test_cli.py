@@ -189,3 +189,91 @@ class TestCommands:
         assert code in (0, 1)
         if code == 1:
             assert "INFEASIBLE" in out.getvalue()
+
+
+class TestScenarioAndExternalModelCommands:
+    """CLI surface added with the scenario/adapter layer (ISSUE 4)."""
+
+    def test_list_shows_scenarios_and_ext_hint(self):
+        out = io.StringIO()
+        assert main(["list"], out=out) == 0
+        text = out.getvalue()
+        assert "scenario:imbalance" in text
+        assert "ext:<module:Class>" in text
+
+    def test_train_on_scenario_with_ext_model_and_chunking(self):
+        out = io.StringIO()
+        code = main(
+            [
+                "train", "--dataset", "scenario:label_noise",
+                "--rows", "1500", "--spec", "SP <= 0.05",
+                "--model", "ext:repro.ml:GaussianNaiveBayes",
+                "--chunk-size", "256",
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert "test accuracy:" in out.getvalue()
+
+    def test_unknown_scenario_fails_cleanly(self):
+        out = io.StringIO()
+        code = main(
+            ["train", "--dataset", "scenario:nope", "--rows", "500"],
+            out=out,
+        )
+        assert code == 2
+        assert "SPEC ERROR" in out.getvalue()
+
+    def test_unknown_model_name_fails_cleanly(self):
+        out = io.StringIO()
+        code = main(
+            ["train", "--dataset", "compas", "--rows", "800",
+             "--model", "NOTAMODEL"],
+            out=out,
+        )
+        assert code == 2
+        assert "MODEL ERROR" in out.getvalue()
+
+    def test_unparseable_ext_path_fails_cleanly(self):
+        # regression: the ValueError from a one-word ext: path used to
+        # escape the except tuple as a traceback
+        out = io.StringIO()
+        code = main(
+            ["train", "--dataset", "compas", "--rows", "800",
+             "--model", "ext:justoneword"],
+            out=out,
+        )
+        assert code == 2
+        assert "MODEL ERROR" in out.getvalue()
+
+    def test_unimportable_ext_module_fails_cleanly(self):
+        out = io.StringIO()
+        code = main(
+            ["train", "--dataset", "compas", "--rows", "800",
+             "--model", "ext:definitely_not_a_module:X"],
+            out=out,
+        )
+        assert code == 2
+        assert "MODEL ERROR" in out.getvalue()
+
+    def test_two_group_on_scenario_fails_cleanly(self):
+        # regression: two_group_view's COMPAS-specific group names used
+        # to raise an uncaught ValueError on scenario datasets
+        out = io.StringIO()
+        code = main(
+            ["train", "--dataset", "scenario:group_sweep",
+             "--rows", "800", "--two-group"],
+            out=out,
+        )
+        assert code == 2
+        assert "SPEC ERROR" in out.getvalue()
+
+    def test_bad_chunk_size_fails_cleanly(self):
+        out = io.StringIO()
+        code = main(
+            ["train", "--dataset", "compas", "--two-group",
+             "--rows", "800", "--chunk-size", "0"],
+            out=out,
+        )
+        assert code == 2
+        assert "chunk_size" in out.getvalue()

@@ -1,0 +1,122 @@
+"""Golden snapshot tests: semantic drift in the engine fails loudly.
+
+Each golden freezes the selected λ, validation accuracy, and max
+constraint violation of one small seeded end-to-end workload — one per
+(strategy × SP/FDR).  A behavior change anywhere in the weight kernels,
+fitters, evaluators, or strategies that moves a selected λ shows up here
+as a tier-1 failure with a readable diff, instead of silently shifting
+benchmark numbers.
+
+Regenerate after an *intentional* semantic change with::
+
+    PYTHONPATH=src python -m pytest tests/test_goldens.py --update-goldens
+
+and commit the refreshed ``tests/goldens/*.json`` alongside the change.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.api import Engine, Problem
+from repro.datasets import load_scenario
+from repro.ml import GaussianNaiveBayes
+from repro.ml.model_selection import train_val_test_split
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "goldens"
+
+# one workload per strategy × metric; options pin every solver knob that
+# affects the search trajectory
+WORKLOADS = {
+    "binary_search-sp": ("binary_search", "SP <= 0.05", {}),
+    "binary_search-fdr": ("binary_search", "FDR <= 0.05", {}),
+    "hill_climb-sp": ("hill_climb", "SP <= 0.05", {}),
+    "hill_climb-fdr": ("hill_climb", "FDR <= 0.05", {}),
+    "grid-sp": ("grid", "SP <= 0.05", dict(grid_steps=20, grid_max=0.5)),
+    "grid-fdr": ("grid", "FDR <= 0.05", dict(grid_steps=20, grid_max=0.5)),
+    "linear-sp": ("linear", "SP <= 0.05", dict(step=0.02)),
+    "linear-fdr": ("linear", "FDR <= 0.05", dict(step=0.02)),
+    "cmaes-sp": ("cmaes", "SP <= 0.05", dict(max_evals=32, seed=0)),
+    "cmaes-fdr": ("cmaes", "FDR <= 0.05", dict(max_evals=32, seed=0)),
+}
+
+
+@pytest.fixture(scope="module")
+def golden_splits():
+    data = load_scenario("label_noise", n=1600, seed=5)
+    strat = data.sensitive * 2 + data.y
+    tr, va, _ = train_val_test_split(len(data), seed=5, stratify=strat)
+    return data.subset(tr), data.subset(va)
+
+
+def _run_workload(name, train, val):
+    strategy, spec, options = WORKLOADS[name]
+    fair = Engine(strategy, **options).solve(
+        Problem(spec), GaussianNaiveBayes(), train, val
+    )
+    report = fair.report
+    epsilons = {
+        label: c.epsilon
+        for label, c in zip(
+            report.constraint_labels, report.val_constraints
+        )
+    }
+    max_violation = max(
+        abs(value) - epsilons[label]
+        for label, value in report.validation["disparities"].items()
+    )
+    return {
+        "strategy": report.strategy,
+        "spec": spec,
+        "lambdas": [round(float(v), 12) for v in report.lambdas],
+        "accuracy": round(float(report.validation["accuracy"]), 12),
+        "max_violation": round(float(max_violation), 12),
+        "feasible": bool(report.feasible),
+    }
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_golden(name, golden_splits, request):
+    train, val = golden_splits
+    got = _run_workload(name, train, val)
+    path = GOLDEN_DIR / f"{name}.json"
+
+    if request.config.getoption("--update-goldens"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(got, indent=2, sort_keys=True) + "\n")
+        return
+
+    assert path.exists(), (
+        f"golden {path.name} missing; run pytest tests/test_goldens.py "
+        f"--update-goldens to create it"
+    )
+    want = json.loads(path.read_text())
+    assert got["strategy"] == want["strategy"]
+    assert got["spec"] == want["spec"]
+    assert got["feasible"] == want["feasible"]
+    np.testing.assert_allclose(
+        got["lambdas"], want["lambdas"], rtol=0, atol=1e-9,
+        err_msg=f"{name}: selected λ drifted — if intentional, "
+                f"regenerate with --update-goldens",
+    )
+    np.testing.assert_allclose(
+        got["accuracy"], want["accuracy"], rtol=0, atol=1e-9,
+        err_msg=f"{name}: validation accuracy drifted",
+    )
+    np.testing.assert_allclose(
+        got["max_violation"], want["max_violation"], rtol=0, atol=1e-9,
+        err_msg=f"{name}: max constraint violation drifted",
+    )
+
+
+def test_goldens_directory_matches_workloads():
+    """No stale or orphaned golden files."""
+    files = {p.stem for p in GOLDEN_DIR.glob("*.json")}
+    assert files == set(WORKLOADS), (
+        f"goldens out of sync: extra={sorted(files - set(WORKLOADS))}, "
+        f"missing={sorted(set(WORKLOADS) - files)}"
+    )

@@ -1,0 +1,209 @@
+"""Scenario registry: families, parameterization, chunked generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    SCENARIOS,
+    Dataset,
+    available_scenarios,
+    iter_scenario_chunks,
+    load,
+    load_scenario,
+    make_biased_dataset,
+    register_scenario,
+    scenario_train_val,
+)
+from repro.datasets.scenarios import GENERATION_BLOCK, Scenario
+
+
+class TestRegistry:
+    def test_builtin_families_registered(self):
+        assert {"group_sweep", "imbalance", "label_noise",
+                "covariate_shift", "million_row"} <= set(SCENARIOS)
+        assert available_scenarios() == sorted(SCENARIOS)
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            load_scenario("nope", n=10)
+
+    def test_unknown_parameter_raises(self):
+        with pytest.raises(KeyError, match="no parameter"):
+            load_scenario("imbalance", n=100, frobnicate=3)
+
+    def test_register_scenario_rejects_non_scenario(self):
+        with pytest.raises(TypeError):
+            register_scenario(object())
+
+    def test_register_and_load_custom_family(self):
+        def gen(rng, n, p):
+            y = rng.integers(0, 2, size=n)
+            s = rng.integers(0, 2, size=n)
+            X = rng.normal(size=(n, 2))
+            return X, y, s, {}
+
+        scenario = Scenario(
+            name="_test_family",
+            description="registry round-trip",
+            generate=gen,
+            group_names=("u", "v"),
+            n_default=50,
+        )
+        register_scenario(scenario)
+        try:
+            data = load_scenario("_test_family")
+            assert len(data) == 50
+            assert data.group_names == ("u", "v")
+        finally:
+            SCENARIOS.pop("_test_family")
+
+    def test_million_row_default_size(self):
+        # the family defaults to 1e6 rows; unit tests sample it small
+        assert SCENARIOS["million_row"].n_default == 1_000_000
+        small = load_scenario("million_row", n=4000, seed=0)
+        assert len(small) == 4000
+        assert small.n_groups == 2
+
+    def test_load_dispatches_scenario_prefix(self):
+        via_load = load("scenario:imbalance", n=500, seed=2)
+        direct = load_scenario("imbalance", n=500, seed=2)
+        assert np.array_equal(via_load.X, direct.X)
+        assert np.array_equal(via_load.y, direct.y)
+        with pytest.raises(KeyError, match="scenario:"):
+            load("not-a-twin")
+
+
+class TestDeterminismAndChunking:
+    @pytest.mark.parametrize("name", sorted(
+        n for n in ("group_sweep", "imbalance", "label_noise",
+                    "covariate_shift", "million_row")
+    ))
+    def test_seed_determinism(self, name):
+        a = load_scenario(name, n=1500, seed=9)
+        b = load_scenario(name, n=1500, seed=9)
+        c = load_scenario(name, n=1500, seed=10)
+        assert np.array_equal(a.X, b.X)
+        assert np.array_equal(a.y, b.y)
+        assert np.array_equal(a.sensitive, b.sensitive)
+        assert not np.array_equal(a.X, c.X)
+
+    @pytest.mark.parametrize("chunk_size", [1_000, 777, GENERATION_BLOCK])
+    def test_chunks_concatenate_to_materialized(self, chunk_size):
+        n = 5_000
+        full = load_scenario("label_noise", n=n, seed=4)
+        chunks = list(iter_scenario_chunks(
+            "label_noise", n=n, seed=4, chunk_size=chunk_size
+        ))
+        assert all(isinstance(c, Dataset) for c in chunks)
+        sizes = [len(c) for c in chunks]
+        assert sum(sizes) == n
+        assert max(sizes) <= chunk_size
+        assert np.array_equal(np.vstack([c.X for c in chunks]), full.X)
+        assert np.array_equal(np.concatenate([c.y for c in chunks]), full.y)
+        assert np.array_equal(
+            np.concatenate([c.sensitive for c in chunks]), full.sensitive
+        )
+        # per-row extras stream with the rows
+        assert np.array_equal(
+            np.concatenate([c.extras["label_flipped"] for c in chunks]),
+            full.extras["label_flipped"],
+        )
+        # chunk offsets describe the materialized view
+        starts = [c.extras["chunk_start"] for c in chunks]
+        assert starts == list(np.cumsum([0] + sizes[:-1]))
+
+    def test_materialization_spans_generation_blocks(self):
+        # more rows than one canonical block: the block seam must be
+        # invisible to both the materialized and the chunked views
+        n = GENERATION_BLOCK + 321
+        full = load_scenario("million_row", n=n, seed=1)
+        assert len(full) == n
+        chunks = list(iter_scenario_chunks(
+            "million_row", n=n, seed=1, chunk_size=50_000
+        ))
+        assert np.array_equal(np.vstack([c.X for c in chunks]), full.X)
+
+    def test_invalid_sizes_raise(self):
+        with pytest.raises(ValueError):
+            load_scenario("imbalance", n=0)
+        with pytest.raises(ValueError):
+            list(iter_scenario_chunks("imbalance", n=100, chunk_size=0))
+
+
+class TestFamilySemantics:
+    def test_group_sweep_group_count_parameter(self):
+        data = load_scenario("group_sweep", n=4_000, seed=0, n_groups=6)
+        assert data.n_groups == 6
+        assert len(data.group_names) == 6
+        rates = list(data.base_rates().values())
+        # base-rate gradient: first group clearly above the last
+        assert rates[0] > rates[-1] + 0.1
+
+    def test_imbalance_rare_positives(self):
+        data = load_scenario("imbalance", n=20_000, seed=0)
+        assert data.y.mean() < 0.15
+        rates = data.base_rates()
+        assert rates["A"] > rates["B"]
+
+    def test_label_noise_flip_rate(self):
+        data = load_scenario("label_noise", n=20_000, seed=0,
+                             noise_rate=0.2)
+        flipped = data.extras["label_flipped"]
+        assert abs(flipped.mean() - 0.2) < 0.02
+
+    def test_covariate_shift_roles_and_split(self):
+        data = load_scenario("covariate_shift", n=20_000, seed=0,
+                             shift_delta=1.5, val_fraction=0.3)
+        train, val = scenario_train_val(data)
+        assert len(train) + len(val) == len(data)
+        assert abs(len(val) / len(data) - 0.3) < 0.03
+        # validation rows live in a shifted region of feature 0
+        assert val.X[:, 0].mean() - train.X[:, 0].mean() > 1.0
+
+    def test_subset_slices_per_row_extras(self):
+        # regression: Dataset.subset used to copy extras verbatim, so a
+        # subset carried the full-length role arrays and
+        # scenario_train_val crashed (or silently mis-split)
+        data = load_scenario("covariate_shift", n=4000, seed=0)
+        idx = np.arange(0, len(data), 2)
+        sub = data.subset(idx)
+        assert len(sub.extras["is_val"]) == len(sub)
+        assert np.array_equal(sub.extras["is_val"], data.extras["is_val"][idx])
+        train, val = scenario_train_val(sub)
+        assert len(train) + len(val) == len(sub)
+        # scalar metadata is preserved untouched
+        assert sub.extras["scenario"] == "covariate_shift"
+
+    def test_families_draw_independent_streams_at_same_seed(self):
+        # regression: the block RNG key used to omit the family tag, so
+        # every family consumed the identical stream per seed
+        a = load_scenario("imbalance", n=2000, seed=0)
+        b = load_scenario("label_noise", n=2000, seed=0)
+        assert not np.array_equal(a.sensitive, b.sensitive)
+
+    def test_feature_names_match_columns(self):
+        for name in ("group_sweep", "imbalance", "million_row"):
+            data = load_scenario(name, n=300, seed=0)
+            assert len(data.feature_names) == data.n_features
+            assert data.feature_names[0] == "num_info_0"
+
+    def test_scenario_train_val_requires_role(self):
+        plain = make_biased_dataset(
+            "t", n=100, group_names=("a", "b"),
+            group_proportions=(0.5, 0.5), group_base_rates=(0.4, 0.5),
+        )
+        with pytest.raises(KeyError, match="is_val"):
+            scenario_train_val(plain)
+
+    def test_scenarios_fit_dataset_schema(self):
+        for name in ("group_sweep", "imbalance", "label_noise",
+                     "covariate_shift", "million_row"):
+            data = load_scenario(name, n=800, seed=3)
+            assert isinstance(data, Dataset)
+            assert data.name == f"scenario:{name}"
+            assert set(np.unique(data.y)) <= {0, 1}
+            assert data.sensitive.max() < data.n_groups
+            assert data.extras["scenario"] == name
+            assert isinstance(data.extras["params"], dict)
