@@ -1,0 +1,260 @@
+"""Execution-backend harness: speculative ask/tell vs the serial path.
+
+ISSUE 5 split every solver into a candidate-*generating* plan
+(:mod:`repro.core.planner`) and a candidate-*executing* backend
+(:mod:`repro.core.executor`).  This harness times what that buys on the
+multi-constraint hill-climb (Algorithm 2), whose bracket expansions and
+bisection steps the serial loop must fit one at a time:
+
+* **serial** — the reference backend, identical to the PR 4 loop: one
+  ``fit()`` + one ``predict``/score per candidate, in walk order;
+* **speculative** — a :class:`~repro.core.executor.ThreadBackend` with
+  ``exact=False``: upcoming ladder rungs and bisection midpoints are
+  pre-fitted through the estimator's batched protocol (one closed-form
+  moments pass for the whole window) and pre-scored through one stacked
+  ``predict_batch`` + mask-product pass, so the walk itself is mostly
+  cache lookups.  Ramp-up windows (2, 4, 8) bound the waste when a stop
+  predicate fires early.
+
+Both sides must select the **identical Λ** (gated here and in CI); the
+committed ``BENCH_executor.json`` shows the ≥ 1.5x headline speedup.
+The ``backend_equivalence`` workload additionally replays one solve on
+every registered backend in bit-exact mode and asserts the full history
+λ-sequence matches the serial reference — the cross-backend invariant
+the planner refactor rests on.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/perf/bench_executor.py
+    PYTHONPATH=src python benchmarks/perf/bench_executor.py \
+        --workloads hillclimb_speculative --quick --fail-below 1.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.api import Engine, Problem  # noqa: E402
+from repro.core.executor import ThreadBackend  # noqa: E402
+from repro.datasets import load_scenario  # noqa: E402
+from repro.ml import GaussianNaiveBayes  # noqa: E402
+from repro.ml.model_selection import train_val_test_split  # noqa: E402
+
+DEFAULT_OUT = pathlib.Path(__file__).parent / "BENCH_executor.json"
+SCHEMA = "bench_executor/v1"
+
+PREFETCH = 8
+
+
+def workloads(quick=False):
+    """Workload registry: name -> scenario/solver/backend settings.
+
+    ``quick`` shrinks row counts for the CI smoke run; the committed
+    ``BENCH_executor.json`` is produced at full size.
+    """
+    scale = 0.3 if quick else 1.0
+
+    def rows(n):
+        return max(6000, int(n * scale))
+
+    return {
+        # headline: tight epsilon + small initial_step make the per-axis
+        # bracket ladders deep, which is exactly what speculative batch
+        # expansion accelerates
+        "hillclimb_speculative": dict(
+            kind="speculative",
+            scenario=("group_sweep", dict(n_groups=3)),
+            rows=rows(40000),
+            spec="SP <= 0.02",
+            options=dict(initial_step=0.005, tau=1e-4),
+            headline=True,
+        ),
+        "hillclimb_speculative_4g": dict(
+            kind="speculative",
+            scenario=("group_sweep", dict(n_groups=4)),
+            rows=rows(40000),
+            spec="SP <= 0.05",
+            options=dict(initial_step=0.005),
+            headline=False,
+        ),
+        # bit-exact mode across every backend: no speedup claimed, the
+        # gate is that selected Λ AND the history λ-sequence are
+        # identical to the serial reference
+        "backend_equivalence": dict(
+            kind="equivalence",
+            scenario=("group_sweep", dict(n_groups=3)),
+            rows=rows(12000),
+            spec="SP <= 0.03",
+            options=dict(initial_step=0.02),
+            headline=False,
+        ),
+    }
+
+
+def _splits(workload, seed=7):
+    name, overrides = workload["scenario"]
+    data = load_scenario(name, n=workload["rows"], seed=seed, **overrides)
+    strat = data.sensitive * 2 + data.y
+    tr, va, _ = train_val_test_split(len(data), seed=seed, stratify=strat)
+    return data.subset(tr), data.subset(va)
+
+
+def _solve(workload, train, val, backend):
+    engine = Engine("hill_climb", backend=backend, **workload["options"])
+    t0 = time.perf_counter()
+    fair = engine.solve(
+        Problem(workload["spec"]), GaussianNaiveBayes(), train, val,
+    )
+    elapsed = time.perf_counter() - t0
+    return elapsed, fair.report
+
+
+def _lam_seq(history):
+    return [np.atleast_1d(np.asarray(h.lam)).tolist() for h in history]
+
+
+def _run_speculative(name, workload, repeats):
+    train, val = _splits(workload)
+    spec_backend = ThreadBackend(n_workers=1, prefetch=PREFETCH,
+                                 exact=False)
+    timings, reports = {}, {}
+    for label, backend in (("serial", "serial"), ("speculative",
+                                                  spec_backend)):
+        best = np.inf
+        for _ in range(repeats):
+            elapsed, report = _solve(workload, train, val, backend)
+            best = min(best, elapsed)
+        timings[label] = best
+        reports[label] = report
+    serial, spec = reports["serial"], reports["speculative"]
+    speedup = timings["serial"] / timings["speculative"]
+    return {
+        "kind": "speculative",
+        "scenario": workload["scenario"][0],
+        "constraints": len(serial.lambdas),
+        "rows_train": len(train),
+        "rows_val": len(val),
+        "spec": workload["spec"],
+        "options": workload["options"],
+        "prefetch": PREFETCH,
+        "n_fits": serial.n_fits,
+        "serial_seconds": round(timings["serial"], 4),
+        "speculative_seconds": round(timings["speculative"], 4),
+        "speedup": round(speedup, 2),
+        "selected_lambdas": serial.lambdas.tolist(),
+        "selected_lambda_match": bool(
+            np.array_equal(serial.lambdas, spec.lambdas)
+        ),
+        "speculative_fit_paths": dict(spec.fit_paths),
+        "headline": workload["headline"],
+    }
+
+
+def _run_equivalence(name, workload, repeats):
+    train, val = _splits(workload)
+    reference = None
+    matches = {}
+    for backend in ("serial", "thread:2", "process:2"):
+        _, report = _solve(workload, train, val, backend)
+        record = (report.lambdas.tolist(), _lam_seq(report.history))
+        if backend == "serial":
+            reference = record
+        matches[backend] = record == reference
+    return {
+        "kind": "equivalence",
+        "scenario": workload["scenario"][0],
+        "constraints": len(reference[0]),
+        "rows_train": len(train),
+        "spec": workload["spec"],
+        "options": workload["options"],
+        "selected_lambdas": reference[0],
+        "history_points": len(reference[1]),
+        "backends_identical": matches,
+        "selected_lambda_match": all(matches.values()),
+        "speedup": None,
+        "headline": workload["headline"],
+    }
+
+
+def run_workload(name, workload, repeats):
+    if workload["kind"] == "speculative":
+        return _run_speculative(name, workload, repeats)
+    return _run_equivalence(name, workload, repeats)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workloads", default=None,
+                        help="comma-separated subset (default: all)")
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of-N timing per backend (default 3)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke sizes (~1/3 rows)")
+    parser.add_argument("--fail-below", type=float, default=None,
+                        metavar="X",
+                        help="exit non-zero if any speculative workload's "
+                             "speedup < X, selected Λ diverge, or a "
+                             "backend's history drifts")
+    args = parser.parse_args(argv)
+
+    registry = workloads(quick=args.quick)
+    selected = (
+        args.workloads.split(",") if args.workloads else list(registry)
+    )
+    unknown = sorted(set(selected) - set(registry))
+    if unknown:
+        parser.error(f"unknown workload(s) {unknown}; known: {list(registry)}")
+
+    results = {}
+    failures = []
+    for name in selected:
+        result = run_workload(name, registry[name], args.repeats)
+        results[name] = result
+        gate = ""
+        if not result["selected_lambda_match"]:
+            failures.append(f"{name}: selected lambdas diverged")
+            gate = "  [DIVERGED]"
+        if (args.fail_below is not None
+                and result["speedup"] is not None
+                and result["speedup"] < args.fail_below):
+            failures.append(
+                f"{name}: speedup {result['speedup']} < {args.fail_below}"
+            )
+            gate = f"  [< {args.fail_below}]"
+        speed = (
+            f"x{result['speedup']}" if result["speedup"] is not None
+            else "equivalence"
+        )
+        print(f"{name:32s} {speed:>12s}{gate}")
+
+    payload = {
+        "schema": SCHEMA,
+        "quick": args.quick,
+        "repeats": args.repeats,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "workloads": results,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    if failures:
+        print("FAIL: " + "; ".join(failures))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

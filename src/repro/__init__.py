@@ -44,7 +44,7 @@ from .core import (
 from .datasets import Dataset
 from .api import Engine, FairModel, Problem, fit_fair
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "OmniFair",

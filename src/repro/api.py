@@ -36,6 +36,7 @@ from .core.exceptions import SpecificationError
 from .core.report import FitReport
 from .core.single import SingleTuneResult
 from .core.spec import bind_specs
+from .core.executor import resolve_backend
 from .core.strategies import (
     available_strategies,
     get_strategy,
@@ -195,6 +196,13 @@ class Engine:
         of one stacked mask product, with bit-identical results — the
         knob that lets λ-search run on million-row scenarios.  ``None``
         (default) keeps in-memory evaluation.
+    backend : str or ExecutionBackend
+        Execution backend for the solver's candidate batches
+        (:mod:`repro.core.executor`): ``"serial"`` (default, the
+        reference semantics), ``"thread"``, or ``"process"`` — the
+        latter two speculatively pre-fit upcoming candidates through
+        the shared fit cache while selecting the identical λ.  Worker
+        counts spell as ``"process:4"``.
     strict : bool
         Whether unknown ``**options`` keys raise (the legacy shim sets
         ``False`` because it forwards the union of all old kwargs).
@@ -215,6 +223,7 @@ class Engine:
         n_jobs=None,
         fit_cache=True,
         chunk_size=None,
+        backend="serial",
         strict=True,
         **options,
     ):
@@ -232,6 +241,8 @@ class Engine:
             raise SpecificationError(
                 f"chunk_size must be >= 1 or None, got {chunk_size}"
             )
+        resolve_backend(backend)  # fail fast on unknown backend specs
+        self.backend = backend
         self.strategy = strategy
         self.model = None if model is None else resolve_model(model)
         self.negative_weights = negative_weights
@@ -325,7 +336,10 @@ class Engine:
         name = resolve_strategy_name(self.strategy, len(train_constraints))
         strategy = get_strategy(name)
         config = strategy.make_config(self.options, strict=self.strict)
-        raw = strategy.solve(fitter, val_constraints, val.X, val.y, config)
+        raw = strategy.run(
+            fitter, val_constraints, val.X, val.y, config,
+            backend=self.backend,
+        )
 
         if isinstance(raw, SingleTuneResult):
             lambdas = np.array([raw.lam], dtype=np.float64)

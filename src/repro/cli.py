@@ -35,6 +35,7 @@ import sys
 from .analysis.runner import ESTIMATOR_FACTORIES
 from .api import Engine, Problem
 from .core.exceptions import InfeasibleConstraintError, SpecificationError
+from .core.executor import available_backends
 from .core.fairness_metrics import METRIC_FACTORIES
 from .core.spec import FairnessSpec
 from .core.strategies import available_strategies
@@ -115,6 +116,14 @@ def build_parser():
     train.add_argument("--n-jobs", type=int, default=None,
                        help="process-pool width for batched candidate "
                             "fits (grid/cmaes under the compiled engine)")
+    train.add_argument("--backend", default="serial", metavar="NAME",
+                       help="execution backend for the solver's "
+                            "candidate batches "
+                            f"({', '.join(available_backends())}; "
+                            "append :N for workers, e.g. process:4). "
+                            "serial is the reference path; thread/"
+                            "process speculatively pre-fit upcoming "
+                            "candidates and select the identical λ")
     train.add_argument("--no-fit-cache", action="store_true",
                        help="disable memoization of model fits on their "
                             "resolved weight vectors")
@@ -138,6 +147,7 @@ def _cmd_list(out):
     out.write("models:     " + ", ".join(models)
               + ", ext:<module:Class>\n")
     out.write("strategies: auto, " + ", ".join(available_strategies()) + "\n")
+    out.write("backends:   " + ", ".join(available_backends()) + "\n")
     return 0
 
 
@@ -169,6 +179,7 @@ def _cmd_train(args, out):
         reserved = {
             "negative_weights", "warm_start", "subsample", "strict",
             "engine", "n_jobs", "fit_cache", "chunk_size", "model",
+            "backend",
         } & set(options)
         if reserved:
             raise SpecificationError(
@@ -180,7 +191,7 @@ def _cmd_train(args, out):
             args.search, subsample=args.subsample,
             engine=args.engine, n_jobs=args.n_jobs,
             fit_cache=not args.no_fit_cache,
-            chunk_size=args.chunk_size, **options,
+            chunk_size=args.chunk_size, backend=args.backend, **options,
         )
     except SpecificationError as exc:
         out.write(f"SPEC ERROR: {exc}\n")

@@ -29,11 +29,23 @@ from .grouping import (
     by_sensitive_attribute,
     intersectional,
 )
+from .executor import (
+    ExecutionBackend,
+    available_backends,
+    register_backend,
+    resolve_backend,
+)
 from .history import HistoryPoint
 from .kernels import (
     CompiledConstraints,
     CompiledEvaluator,
     evaluate_lambda_batch,
+)
+from .planner import (
+    CandidateBatch,
+    EvalResult,
+    PlanContext,
+    run_plan,
 )
 from .report import FitReport
 from .spec import (
@@ -97,6 +109,14 @@ __all__ = [
     "CompiledConstraints",
     "CompiledEvaluator",
     "evaluate_lambda_batch",
+    "CandidateBatch",
+    "EvalResult",
+    "PlanContext",
+    "run_plan",
+    "ExecutionBackend",
+    "register_backend",
+    "resolve_backend",
+    "available_backends",
     "evaluate_model",
     "max_violation",
     "disparity_vector",

@@ -42,7 +42,7 @@ from __future__ import annotations
 import copy
 import hashlib
 import warnings
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
 import numpy as np
 
@@ -52,6 +52,7 @@ from .weights import compute_weights, resolve_negative_weights
 __all__ = ["WeightedFitter"]
 
 WEIGHT_ENGINES = ("compiled", "naive")
+POOL_KINDS = (None, "process", "thread")
 
 # fit-cache size bound: peak memory must scale with the cache cap, not
 # with the total number of distinct candidates a long search visits
@@ -60,11 +61,28 @@ FIT_CACHE_MAX = 256
 # -- process-pool workers (module level so they pickle under spawn) ----------
 
 _POOL_X = None
+_POOL_SHM = None
 
 
 def _pool_init(X):
     global _POOL_X
     _POOL_X = X
+
+
+def _pool_init_shm(name, shape, dtype_str):
+    """Attach the training matrix from a shared-memory block.
+
+    One block serves every worker (created once per pool by the
+    parent), so per-task payloads carry only the resolved weight/label
+    vectors — the "shared-memory dataset shard" handoff the process
+    execution backend relies on.
+    """
+    global _POOL_X, _POOL_SHM
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(name=name)
+    _POOL_SHM = shm  # keep the mapping alive for the worker's lifetime
+    _POOL_X = np.ndarray(shape, dtype=np.dtype(dtype_str), buffer=shm.buf)
 
 
 def _pool_fit(task):
@@ -168,6 +186,7 @@ class WeightedFitter:
         self.constraints = list(constraints)
         self.negative_weights = negative_weights
         self.warm_start = warm_start
+        self.subsample_seed = subsample_seed
         self.engine = engine
         self.n_jobs = None if n_jobs is None else int(n_jobs)
         self.eval_chunk_size = (
@@ -189,6 +208,7 @@ class WeightedFitter:
         self._kernel_constraints = None
         self._pool = None
         self._pool_key = None
+        self._shm = None
         if warm_start:
             self._shared = estimator.clone()
             if "warm_start" in self._shared.get_params():
@@ -396,7 +416,9 @@ class WeightedFitter:
             f"use 'flip' or 'clip'"
         )
 
-    def fit_batch(self, lambdas_matrix, use_subsample=False, n_jobs=None):
+    def fit_batch(self, lambdas_matrix, use_subsample=False, n_jobs=None,
+                  pool=None, exact_only=False, count_fits=True,
+                  use_cache=True):
         """Fit one model per row of a ``(B, k)`` Λ matrix.
 
         Requires the compiled engine and constant-coefficient metrics
@@ -405,9 +427,26 @@ class WeightedFitter:
         come from a single vectorized pass, negative-weight resolution is
         broadcast over the batch, and the per-candidate model fits run
         through the estimator's batch protocol, serially, or on an
-        ``n_jobs``-wide process pool.  The fit cache dedupes candidates
-        whose resolved weight vectors collide — within the batch and
-        against every earlier fit.
+        ``n_jobs``-wide pool.  The fit cache dedupes candidates whose
+        resolved weight vectors collide — within the batch and against
+        every earlier fit.
+
+        ``pool`` selects the pool flavor when ``n_jobs > 1``:
+        ``"process"`` (default; workers share the training matrix
+        through one shared-memory block) or ``"thread"`` (in-process
+        clone fits — numpy releases the GIL inside the heavy kernels).
+        ``exact_only=True`` restricts dispatch to paths bit-identical
+        to a direct :meth:`fit` — the estimator's batch protocol only
+        when it declares ``batch_fit_exact``, plain clone fits
+        otherwise; the execution backends use this for speculative
+        pre-fits whose results later cache-hit the reference walk.
+        ``count_fits=False`` leaves :attr:`n_fits` untouched
+        (speculative work is visible in :attr:`fit_paths`, not in the
+        logical-fit budget).  ``use_cache=False`` bypasses the fit
+        memoization cache entirely — no SHA1 keying of the resolved
+        vectors, no lookup, no store; inexact speculative pre-fits use
+        it both to shed the hashing cost and to keep round-off-level
+        batch models out of the cache that bit-exact paths later hit.
 
         Returns the fitted models in candidate order.
         """
@@ -433,7 +472,7 @@ class WeightedFitter:
         # deduping identical resolved vectors inside the batch as well
         models = [None] * B
         keys = None
-        if self.fit_cache:
+        if self.fit_cache and use_cache:
             keys = [
                 self._cache_key(W_res[b], Y_res[b], use_subsample)
                 for b in range(B)
@@ -463,21 +502,29 @@ class WeightedFitter:
                 Y_todo, W_todo = Y_res, W_res
             else:
                 Y_todo, W_todo = Y_res[todo], W_res[todo]
-            fitted = self._fit_batch_resolved(X, Y_todo, W_todo, n_jobs)
+            fitted = self._fit_batch_resolved(
+                X, Y_todo, W_todo, n_jobs, pool=pool, exact_only=exact_only,
+            )
             for b, model in zip(todo, fitted):
                 models[b] = model
-            if self.fit_cache:
+            if self.fit_cache and use_cache:
                 by_key = {keys[b]: models[b] for b in todo}
                 for b in todo:
                     self._cache_store(keys[b], models[b])
                 for b in range(B):
                     if models[b] is None:  # in-batch duplicate key
                         models[b] = by_key[keys[b]]
-        self.n_fits += B
+        if count_fits:
+            self.n_fits += B
         return models
 
-    def _fit_batch_resolved(self, X, Y_res, W_res, n_jobs):
+    def _fit_batch_resolved(self, X, Y_res, W_res, n_jobs, pool=None,
+                            exact_only=False):
         """Dispatch resolved candidates to the fastest available path."""
+        if pool not in POOL_KINDS:
+            raise ValueError(
+                f"unknown pool kind {pool!r}; use one of {POOL_KINDS}"
+            )
         B = len(Y_res)
         # closed-form / vectorized batch fit when the estimator opts in
         # (see the optional batch protocol note in repro.ml.base)
@@ -486,6 +533,21 @@ class WeightedFitter:
             self.estimator, "supports_batch_fit", True
         ):
             batch_fit = None
+        if batch_fit is not None and exact_only:
+            n_jobs_eff = self.n_jobs if n_jobs is None else n_jobs
+            pooled = (
+                n_jobs_eff is not None and n_jobs_eff > 1
+                and not self.warm_start and B > 1
+            )
+            if not getattr(self.estimator, "batch_fit_exact", False):
+                # speculative pre-fits must be bit-identical to fit();
+                # an estimator whose batch fits only agree to round-off
+                # (e.g. batched IRLS) falls through to plain clone fits
+                batch_fit = None
+            elif pooled:
+                # speculation optimizes wall-clock, not CPU: concurrent
+                # clone fits on the pool beat a single-core batch pass
+                batch_fit = None
         if batch_fit is not None:
             if not self.warm_start:
                 self._record_path("batch_protocol", B)
@@ -508,12 +570,21 @@ class WeightedFitter:
             n_jobs is not None and n_jobs > 1
             and not self.warm_start and B > 1
         )
+        if use_pool and pool == "thread":
+            def _thread_fit(b):
+                model = self.estimator.clone()
+                model.fit(X, Y_res[b], sample_weight=W_res[b])
+                return model
+
+            self._record_path("thread_pool", B)
+            with ThreadPoolExecutor(max_workers=n_jobs) as tp:
+                return list(tp.map(_thread_fit, range(B)))
         if use_pool:
             tasks = [(self.estimator, Y_res[b], W_res[b]) for b in range(B)]
-            pool = self._get_pool(n_jobs, X)
+            executor = self._get_pool(n_jobs, X)
             chunk = max(1, B // (4 * n_jobs))
             self._record_path("pool", B)
-            return list(pool.map(_pool_fit, tasks, chunksize=chunk))
+            return list(executor.map(_pool_fit, tasks, chunksize=chunk))
         self._record_path("serial", B)
         models = []
         for b in range(B):
@@ -542,8 +613,23 @@ class WeightedFitter:
         if self._pool is not None and self._pool_key == key:
             return self._pool
         self.close()
+        initializer, initargs = _pool_init, (X,)
+        try:
+            # ship X once through one shared-memory block: every worker
+            # maps the same pages instead of holding a pickled copy
+            from multiprocessing import shared_memory
+
+            X = np.ascontiguousarray(X)
+            shm = shared_memory.SharedMemory(create=True, size=X.nbytes)
+            np.ndarray(X.shape, dtype=X.dtype, buffer=shm.buf)[:] = X
+            self._shm = shm
+            initializer, initargs = (
+                _pool_init_shm, (shm.name, X.shape, X.dtype.str),
+            )
+        except Exception:
+            self._shm = None  # fall back to pickling X into each worker
         self._pool = ProcessPoolExecutor(
-            max_workers=n_jobs, initializer=_pool_init, initargs=(X,),
+            max_workers=n_jobs, initializer=initializer, initargs=initargs,
         )
         self._pool_key = key
         return self._pool
@@ -554,6 +640,13 @@ class WeightedFitter:
             self._pool.shutdown()
             self._pool = None
             self._pool_key = None
+        if self._shm is not None:
+            try:
+                self._shm.close()
+                self._shm.unlink()
+            except Exception:
+                pass
+            self._shm = None
 
     def __del__(self):  # best-effort cleanup
         try:
@@ -564,3 +657,31 @@ class WeightedFitter:
     def fit_unweighted(self):
         """Fit with Λ = 0 — the unconstrained accuracy-maximizing model."""
         return self.fit(np.zeros(len(self.constraints)))
+
+    def spawn(self):
+        """A sibling fitter sharing this one's memoization state.
+
+        The sibling binds the same training data and an independent
+        *copy* of the constraint list (so Algorithm 1's in-place
+        reorientation cannot leak across siblings), but shares the fit
+        cache dict and the eval-stats sink — any model one sibling
+        trains is a cache hit for every other.  This is what the
+        ``race`` meta-strategy runs its components on.
+        """
+        sibling = WeightedFitter(
+            self.estimator,
+            self.X_train,
+            self.y_train,
+            list(self.constraints),
+            negative_weights=self.negative_weights,
+            warm_start=self.warm_start,
+            subsample=self.subsample,
+            subsample_seed=self.subsample_seed,
+            engine=self.engine,
+            n_jobs=self.n_jobs,
+            fit_cache=self.fit_cache,
+            eval_chunk_size=self.eval_chunk_size,
+        )
+        sibling._fit_cache = self._fit_cache
+        sibling.eval_stats = self.eval_stats
+        return sibling

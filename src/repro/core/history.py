@@ -29,8 +29,20 @@ class HistoryPoint(NamedTuple):
         single-constraint tuning, the per-constraint vector otherwise.
     accuracy : float
         Validation accuracy of the fitted model.
+    wall_time_s : float or None
+        This point's share of its evaluation round's fit+score wall
+        time, populated by the execution backend (``None`` on records
+        produced outside the planner, and on pickles predating it —
+        the defaults keep old histories loadable).
+    batch_id : int or None
+        Monotone id of the executor round (ask/tell batch) that
+        produced this point; points sharing a ``batch_id`` were
+        evaluated in the same round.  ``analysis/timing.py`` uses it to
+        attribute time per round.
     """
 
     lam: object
     disparity: object
     accuracy: float
+    wall_time_s: object = None
+    batch_id: object = None

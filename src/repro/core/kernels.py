@@ -752,7 +752,7 @@ class BatchEvalResult:
 
 def evaluate_lambda_batch(
     fitter, val_constraints, X_val, y_val, lambdas,
-    n_jobs=None, evaluator=None, chunk_size=None,
+    n_jobs=None, evaluator=None, chunk_size=None, pool=None,
 ):
     """Fit and score a whole grid/population of λ candidates in one pass.
 
@@ -768,8 +768,11 @@ def evaluate_lambda_batch(
     lambdas : array-like (B, k)
         Candidate multiplier vectors.
     n_jobs : int, optional
-        Process-pool width for the model fits; defaults to the fitter's
-        own ``n_jobs`` (``None`` = in-process serial fits).
+        Pool width for the model fits; defaults to the fitter's own
+        ``n_jobs`` (``None`` = in-process serial fits).
+    pool : {None, "process", "thread"}, optional
+        Pool flavor for the fits (see :meth:`WeightedFitter.fit_batch`);
+        ``None`` keeps the process-pool default.
     evaluator : CompiledEvaluator, optional
         Reuse a prebuilt validation evaluator across calls (CMA-ES calls
         once per generation).
@@ -788,7 +791,7 @@ def evaluate_lambda_batch(
         raise ValueError("evaluate_lambda_batch needs at least one candidate")
     if chunk_size is None:
         chunk_size = getattr(fitter, "eval_chunk_size", None)
-    models = fitter.fit_batch(lambdas, n_jobs=n_jobs)
+    models = fitter.fit_batch(lambdas, n_jobs=n_jobs, pool=pool)
     X_val = np.asarray(X_val, dtype=np.float64)
     if evaluator is None:
         evaluator = CompiledEvaluator(

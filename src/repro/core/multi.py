@@ -8,20 +8,24 @@ algorithm repeatedly picks the most violated constraint (line 4) and tunes
 only that dimension until either all constraints hold or the iteration
 budget (``5k`` for ``k`` constraints) is exhausted.
 
-:func:`grid_search_lambdas` is the baseline Table 8 compares against.
+Since ISSUE 5 the loop itself lives in the ask/tell planner
+(:func:`repro.core.strategies._plan_hill_climb` driven through
+:mod:`repro.core.planner` / :mod:`repro.core.executor`); this module
+keeps the paper-faithful :func:`hill_climb` entry point — a thin shim
+with the historical signature — plus the :class:`MultiTuneResult`
+record.  The Λ trajectory is identical to the pre-planner loop (pinned
+by ``tests/goldens/trajectories.json``).
+
+:func:`grid_search_lambdas` is the baseline Table 8 compares against,
+now a deprecated alias for the one planner-backed grid implementation.
 """
 
 from __future__ import annotations
 
-import itertools
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
-
-from ..ml.metrics import accuracy_score
-from .exceptions import InfeasibleConstraintError
-from .history import HistoryPoint
-from .kernels import CompiledEvaluator, evaluate_lambda_batch
 
 __all__ = ["hill_climb", "grid_search_lambdas", "MultiTuneResult"]
 
@@ -38,145 +42,6 @@ class MultiTuneResult:
     history: list = field(default_factory=list)  # list of HistoryPoint
 
 
-class _MultiEvaluator:
-    """Per-model validation scoring, optionally through compiled kernels."""
-
-    def __init__(self, X_val, y_val, val_constraints, compiled=False,
-                 stats=None, chunk_size=None):
-        self.X_val = np.asarray(X_val, dtype=np.float64)
-        self.y_val = np.asarray(y_val, dtype=np.int64)
-        self.constraints = list(val_constraints)
-        self._kernel = (
-            CompiledEvaluator(self.constraints, self.y_val, stats=stats,
-                              chunk_size=chunk_size)
-            if compiled else None
-        )
-
-    def __call__(self, model):
-        pred = model.predict(self.X_val)
-        if self._kernel is not None:
-            disparities, acc = self._kernel.score(pred)
-            return disparities, acc
-        disparities = np.array(
-            [c.disparity(self.y_val, pred) for c in self.constraints]
-        )
-        return disparities, accuracy_score(self.y_val, pred)
-
-    def violations(self, disparities):
-        eps = np.array([c.epsilon for c in self.constraints])
-        return np.abs(disparities) - eps
-
-
-def _tune_dimension(
-    fitter, evaluate, lambdas, j, model, disparities,
-    initial_step=0.1, tau=1e-3, max_expansions=40,
-):
-    """Move ``Λ[j]`` until constraint ``j`` holds, all else fixed.
-
-    Uses marginal monotonicity: FP_j increases with Λ[j].  Brackets the
-    satisfactory interval by doubling steps in the needed direction, then
-    binary-searches for the boundary — satisfying the constraint "to the
-    minimum degree" (§6.2), which empirically minimizes accuracy impact.
-
-    Every candidate fit is also checked for *global* feasibility: the
-    whole point of the outer loop is the intersection of satisfactory
-    regions, so if the 1-D search passes through a Λ that satisfies every
-    constraint we return it immediately rather than cycling (tuning one
-    dimension at a time can otherwise oscillate between two constraints
-    whose bands are narrower than the step granularity).
-
-    Returns ``(lambdas, model, disparities, acc)`` for the new setting
-    (unchanged if bracketing failed, e.g. a non-monotone blip).
-    """
-    eps_j = evaluate.constraints[j].epsilon
-    fp_j = disparities[j]
-    # Lemma 4 direction: FP_j non-decreasing in Λ[j].  As in Algorithm 1 we
-    # verify the empirically productive direction and flip once if the
-    # observed disparity moves away from the band (see the direction-probe
-    # note in repro.core.single).
-    direction = 1.0 if fp_j < -eps_j else -1.0
-    start_side = 1.0 if fp_j > eps_j else -1.0  # which side of the band
-    prev_model = model
-
-    def fit_with(lam_j):
-        lams = lambdas.copy()
-        lams[j] = lam_j
-        new_model = fitter.fit(lams, prev_model=prev_model)
-        d, acc = evaluate(new_model)
-        return lams, new_model, d, acc
-
-    def side(fp):
-        if fp > eps_j:
-            return 1.0
-        if fp < -eps_j:
-            return -1.0
-        return 0.0
-
-    # bracket: expand from the current value until FP_j crosses the band
-    def globally_feasible(cand):
-        return float(evaluate.violations(cand[2]).max()) <= 1e-12
-
-    t_start = lambdas[j]
-    t_near = t_start  # last point still on the starting side
-    step = initial_step
-    t_far = t_start
-    crossed = None
-    flipped = False
-    best_outside = None  # least-violating candidate seen, as fallback
-    for _ in range(max_expansions):
-        t_far = t_far + direction * step
-        step *= 2.0
-        cand = fit_with(t_far)
-        prev_model = cand[1]
-        fp_new = cand[2][j]
-        if globally_feasible(cand):
-            return cand
-        if best_outside is None or abs(fp_new) < abs(best_outside[2][j]):
-            best_outside = cand
-        if side(fp_new) == 0.0:
-            return cand  # constraint j holds; let the outer loop continue
-        if side(fp_new) != start_side:
-            crossed = cand
-            break
-        if not flipped and abs(fp_new) > abs(fp_j) + 1e-12:
-            # first step made the violation worse: search the other way
-            flipped = True
-            direction = -direction
-            step = initial_step
-            t_far = t_start
-            continue
-        t_near = t_far  # still on the original side; keep expanding
-    if crossed is None:
-        # FP_j never crossed: the satisfactory region is unreachable along
-        # this axis from here — return the least-violating attempt and let
-        # the outer loop try other dimensions
-        return best_outside
-
-    # binary search between t_near (starting side) and t_far (far side);
-    # side(fp) is monotone along the segment by marginal monotonicity.
-    # Track the candidate with the smallest *global* max violation so a
-    # near-feasible interior point is preferred over the crossing endpoint.
-    best = crossed
-    best_viol = float(evaluate.violations(crossed[2]).max())
-    while abs(t_far - t_near) >= tau:
-        mid = 0.5 * (t_near + t_far)
-        cand = fit_with(mid)
-        prev_model = cand[1]
-        fp_mid = cand[2][j]
-        if globally_feasible(cand):
-            return cand
-        viol = float(evaluate.violations(cand[2]).max())
-        if viol < best_viol:
-            best, best_viol = cand, viol
-        if side(fp_mid) == 0.0:
-            return cand if viol <= best_viol else best
-        if side(fp_mid) == start_side:
-            t_near = mid
-        else:
-            t_far = mid
-    return best
-
-
 def hill_climb(
     fitter,
     val_constraints,
@@ -186,6 +51,7 @@ def hill_climb(
     initial_step=0.1,
     tau=1e-3,
     dimension_order="most_violated",
+    backend="serial",
 ):
     """Run Algorithm 2 (marginal hill climbing) over the Λ vector.
 
@@ -201,6 +67,10 @@ def hill_climb(
         Which violated dimension to tune each round.  The paper picks the
         most violated (line 4) "for faster convergence"; round-robin is
         the naive alternative kept for the ablation benchmark.
+    backend : str or ExecutionBackend
+        Execution backend for the candidate fits (default ``"serial"``,
+        the reference semantics; ``"thread"``/``"process"`` additionally
+        pre-fit upcoming bracket rungs and bisection midpoints).
 
     Raises
     ------
@@ -212,53 +82,18 @@ def hill_climb(
     k = len(fitter.constraints)
     if len(val_constraints) != k:
         raise ValueError("train/val constraint lists differ in length")
-    if max_rounds is None:
-        max_rounds = 5 * k
-    evaluate = _MultiEvaluator(
-        X_val, y_val, val_constraints,
-        compiled=fitter.engine == "compiled",
-        stats=getattr(fitter, "eval_stats", None),
-        chunk_size=getattr(fitter, "eval_chunk_size", None),
+    from .planner import run_plan
+    from .strategies import _GeneratorStrategy, _plan_hill_climb
+
+    strategy = _GeneratorStrategy(
+        lambda ctx: _plan_hill_climb(
+            ctx, max_rounds=max_rounds, initial_step=initial_step,
+            tau=tau, dimension_order=dimension_order,
+        )
     )
-
-    lambdas = np.zeros(k)
-    model = fitter.fit_unweighted()
-    disparities, acc = evaluate(model)
-    history = [HistoryPoint(lambdas.copy(), disparities.copy(), acc)]
-
-    best_model, best_lams, best_viol = model, lambdas.copy(), np.inf
-    for round_idx in range(max_rounds):
-        violations = evaluate.violations(disparities)
-        worst = float(violations.max())
-        if worst < best_viol:
-            best_model, best_lams, best_viol = model, lambdas.copy(), worst
-        if worst <= 1e-12:
-            return MultiTuneResult(
-                model=model, lambdas=lambdas, feasible=True,
-                n_fits=fitter.n_fits, n_rounds=round_idx, history=history,
-            )
-        if dimension_order == "round_robin":
-            violated = np.nonzero(violations > 1e-12)[0]
-            j = int(violated[round_idx % len(violated)])
-        else:
-            j = int(np.argmax(violations))  # most violated first (line 4)
-        lambdas, model, disparities, acc = _tune_dimension(
-            fitter, evaluate, lambdas, j, model, disparities,
-            initial_step=initial_step, tau=tau,
-        )
-        history.append(HistoryPoint(lambdas.copy(), disparities.copy(), acc))
-
-    violations = evaluate.violations(disparities)
-    if float(violations.max()) <= 1e-12:
-        return MultiTuneResult(
-            model=model, lambdas=lambdas, feasible=True,
-            n_fits=fitter.n_fits, n_rounds=max_rounds, history=history,
-        )
-    raise InfeasibleConstraintError(
-        f"hill climbing did not satisfy all constraints after "
-        f"{max_rounds} rounds (max violation {violations.max():.4f})",
-        best_model=best_model,
-        best_disparities=disparities,
+    return run_plan(
+        strategy, fitter, list(val_constraints), X_val, y_val, None,
+        backend=backend,
     )
 
 
@@ -268,62 +103,40 @@ def grid_search_lambdas(
 ):
     """Baseline: exhaustive grid over Λ ∈ ``[-grid_max, grid_max]^k``.
 
+    .. deprecated::
+        This multi-constraint entry point and
+        :func:`repro.core.single.lambda_grid_search` were duplicate grid
+        implementations; both now delegate to the one planner-backed
+        grid (:class:`repro.core.strategies.GridStrategy`).  Use
+        ``Engine("grid")`` or the strategy registry directly.
+
     Costs ``grid_steps ** k`` fits; Table 8 contrasts this with hill
     climbing, which typically needs an order of magnitude fewer fits and
-    finds feasible points the coarse grid misses.
-
-    With the compiled engine and constant-coefficient metrics the whole
-    grid is batch-native: every candidate's weights come from one
-    vectorized pass and the fits optionally run on an ``n_jobs`` process
-    pool (:func:`~repro.core.kernels.evaluate_lambda_batch`).
+    finds feasible points the coarse grid misses.  With the compiled
+    engine and constant-coefficient metrics the whole grid is
+    batch-native; ``n_jobs`` widens the fit pool for that pass.
     """
-    k = len(fitter.constraints)
-    evaluate = _MultiEvaluator(
-        X_val, y_val, val_constraints,
-        compiled=fitter.engine == "compiled",
-        stats=getattr(fitter, "eval_stats", None),
-        chunk_size=getattr(fitter, "eval_chunk_size", None),
+    warnings.warn(
+        "grid_search_lambdas is deprecated; use Engine('grid') or "
+        "repro.core.strategies.GridStrategy (both grid entry points now "
+        "share one planner-backed implementation)",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    axis = np.linspace(-grid_max, grid_max, grid_steps)
-    best = (None, None, -np.inf)
-    # the Λ=0 fit seeds the sequential branch's continuation and serves
-    # as the best-effort model on infeasible grids; the batch branch
-    # keeps it too so n_fits (and FitReport) match across engines
-    model0 = fitter.fit_unweighted()
-    prev_model = model0
-    history = []
-    if fitter.engine == "compiled" and not fitter.parameterized:
-        combos = np.array(list(itertools.product(axis, repeat=k)))
-        batch = evaluate_lambda_batch(
-            fitter, val_constraints, X_val, y_val, combos, n_jobs=n_jobs,
+    from .planner import run_plan
+    from .strategies import _GeneratorStrategy, _plan_grid_multi
+
+    strategy = _GeneratorStrategy(
+        lambda ctx: _plan_grid_multi(
+            ctx, grid_max=grid_max, grid_steps=grid_steps,
         )
-        eps = np.array([c.epsilon for c in val_constraints])
-        feasible = np.all(
-            np.abs(batch.disparities) - eps[None, :] <= 1e-12, axis=1
-        )
-        for b in range(len(batch)):
-            lams = combos[b]
-            acc = float(batch.accuracies[b])
-            history.append(HistoryPoint(lams, batch.disparities[b], acc))
-            if feasible[b] and acc > best[2]:
-                best = (batch.models[b], lams, acc)
-    else:
-        for combo in itertools.product(axis, repeat=k):
-            lams = np.asarray(combo)
-            model = fitter.fit(lams, prev_model=prev_model)
-            prev_model = model
-            disparities, acc = evaluate(model)
-            history.append(HistoryPoint(lams, disparities, acc))
-            if (np.all(evaluate.violations(disparities) <= 1e-12)
-                    and acc > best[2]):
-                best = (model, lams, acc)
-    if best[0] is None:
-        raise InfeasibleConstraintError(
-            f"no grid point in [-{grid_max}, {grid_max}]^{k} "
-            f"({grid_steps} steps/axis) satisfies all constraints",
-            best_model=model0,
-        )
-    return MultiTuneResult(
-        model=best[0], lambdas=best[1], feasible=True,
-        n_fits=fitter.n_fits, n_rounds=len(history), history=history,
     )
+    saved_jobs = fitter.n_jobs
+    if n_jobs is not None:
+        fitter.n_jobs = n_jobs  # historical knob: widen the batch pool
+    try:
+        return run_plan(
+            strategy, fitter, list(val_constraints), X_val, y_val, None,
+        )
+    finally:
+        fitter.n_jobs = saved_jobs

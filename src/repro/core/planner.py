@@ -1,0 +1,345 @@
+"""Ask/tell strategy kernel: candidate *generation* behind a narrow IR.
+
+Before ISSUE 5 every solver owned its own fit/evaluate/history loop
+(``core/single.py``, ``core/multi.py``, ``optim/cmaes.py``), so each
+engine capability — compiled batching, fit/eval caches, chunked
+evaluation, process pools — had to be threaded through three loops by
+hand.  This module factors the loops into two layers:
+
+* a **Strategy** *asks* for candidates by yielding
+  :class:`CandidateBatch` objects from its :meth:`~repro.core.strategies.
+  SearchStrategy.plan` generator, and is *told* the outcomes as a list
+  of :class:`EvalResult` (the value sent back into the generator);
+* an :class:`~repro.core.executor.ExecutionBackend` consumes the batches
+  and drives the existing fit/score machinery — serially, on a thread
+  pool, or on a process pool with shared-memory dataset handoff.
+
+The contract that makes backends interchangeable: a strategy's reported
+result sequence (and therefore its history and selected λ) depends only
+on the batches it yields, never on how a backend schedules the fits.
+Backends may *speculate* — pre-fit candidates the strategy is likely to
+ask for next, through the shared fit-memoization cache — but the fits a
+strategy observes are bit-identical to the serial backend's (speculative
+pre-fits use only fit paths proven bit-exact; see
+``ExecutionBackend._prefit``).
+
+A batch is one of two kinds:
+
+``kind="fit"``
+    Candidates are evaluated one at a time, in order, exactly like the
+    legacy loops: one :meth:`WeightedFitter.fit` per candidate, scored
+    against the validation split.  ``chain=True`` feeds each fitted
+    model to the next candidate as ``prev_model`` (the §5.2 continuation
+    approximation for θ-parameterized weights); ``stop`` is a predicate
+    over the last :class:`EvalResult` that ends the batch early (a
+    doubling ladder stops at the first candidate past the constraint
+    band).  ``lookahead`` is a speculation *hint*: λ rows a non-serial
+    backend may pre-fit into the shared cache because the strategy will
+    plausibly ask for them next (e.g. both possible next bisection
+    midpoints).
+
+``kind="population"``
+    The whole batch is fitted and scored in one vectorized pass through
+    :func:`~repro.core.kernels.evaluate_lambda_batch` (grid and CMA-ES
+    generations under the compiled engine).  All candidates are always
+    evaluated and reported in order.
+
+Strategies record their search history through
+:meth:`PlanContext.record` / the executor (``record=True`` batches);
+every :class:`~repro.core.history.HistoryPoint` carries the executing
+batch's ``batch_id`` and its share of the round's wall-clock time, which
+``analysis/timing.py`` aggregates per evaluation round.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ml.metrics import accuracy_score
+from .history import HistoryPoint
+from .kernels import CompiledEvaluator
+
+__all__ = [
+    "CandidateBatch",
+    "EvalResult",
+    "PlanContext",
+    "run_plan",
+]
+
+BATCH_KINDS = ("fit", "population")
+
+
+class CandidateBatch:
+    """One *ask*: a matrix of λ candidates plus execution directives.
+
+    Parameters
+    ----------
+    lambdas : array-like (B, k) or (B,) for k = 1
+        Candidate multiplier vectors, in evaluation order.
+    kind : {"fit", "population"}
+        Sequential per-candidate fits vs one vectorized batch pass.
+    purpose : str
+        Free-form tag (``"bracket"``, ``"refine"``, ``"population"``,
+        ...) used by conformance tests, tracing, and benchmarks.
+    prev_model : fitted estimator, optional
+        ``prev_model`` for the first (``chain=True``) or every
+        (``chain=False``) candidate's fit — the predictions source for
+        θ-parameterized weights.
+    chain : bool
+        Update ``prev_model`` to each candidate's fitted model before
+        fitting the next (a sequential recurrence; disables speculation
+        for θ-parameterized constraints).
+    record : bool
+        Append one history point per reported candidate.
+    use_subsample : bool
+        Fit on the fitter's prepared subsample (§8 cheap bounding fits).
+    stop : callable(EvalResult) -> bool, optional
+        Evaluated after each candidate of a ``"fit"`` batch; truthy ends
+        the batch (the triggering candidate is still reported).
+    lookahead : array-like (M, k), optional
+        Speculation hint: candidates likely asked next.  Serial backends
+        ignore it; speculative backends may pre-fit these rows into the
+        fit cache alongside the batch's own candidates.
+    """
+
+    __slots__ = ("lambdas", "kind", "purpose", "prev_model", "chain",
+                 "record", "use_subsample", "stop", "lookahead")
+
+    def __init__(self, lambdas, kind="fit", purpose="", prev_model=None,
+                 chain=False, record=True, use_subsample=False, stop=None,
+                 lookahead=None):
+        self.lambdas = np.atleast_2d(np.asarray(lambdas, dtype=np.float64))
+        if self.lambdas.ndim != 2 or self.lambdas.shape[0] == 0:
+            raise ValueError(
+                f"CandidateBatch needs a non-empty (B, k) matrix, got "
+                f"shape {self.lambdas.shape}"
+            )
+        if kind not in BATCH_KINDS:
+            raise ValueError(
+                f"unknown batch kind {kind!r}; use one of {BATCH_KINDS}"
+            )
+        self.kind = kind
+        self.purpose = purpose
+        self.prev_model = prev_model
+        self.chain = bool(chain)
+        self.record = bool(record)
+        self.use_subsample = bool(use_subsample)
+        self.stop = stop
+        self.lookahead = (
+            None if lookahead is None
+            else np.atleast_2d(np.asarray(lookahead, dtype=np.float64))
+        )
+
+    def __len__(self):
+        return self.lambdas.shape[0]
+
+    def __repr__(self):
+        return (
+            f"CandidateBatch(n={len(self)}, kind={self.kind!r}, "
+            f"purpose={self.purpose!r}, chain={self.chain})"
+        )
+
+
+class EvalResult:
+    """One *tell*: a fitted, scored candidate.
+
+    Attributes
+    ----------
+    lam : ndarray (k,)
+        The candidate's multiplier vector.
+    model : fitted estimator
+    disparities : ndarray (k,)
+        Validation disparity per bound constraint.
+    accuracy : float
+        Validation accuracy.
+    index : int
+        Position within the asking batch.
+    batch_id : int
+        Monotone id of the executed batch (shared by all its
+        candidates; stamped onto history points).
+    wall_time_s : float
+        This candidate's share of the batch's fit+score wall time.
+    """
+
+    __slots__ = ("lam", "model", "disparities", "accuracy", "index",
+                 "batch_id", "wall_time_s")
+
+    def __init__(self, lam, model, disparities, accuracy, index=0,
+                 batch_id=None, wall_time_s=None):
+        self.lam = np.atleast_1d(np.asarray(lam, dtype=np.float64))
+        self.model = model
+        self.disparities = np.atleast_1d(
+            np.asarray(disparities, dtype=np.float64)
+        )
+        self.accuracy = float(accuracy)
+        self.index = index
+        self.batch_id = batch_id
+        self.wall_time_s = wall_time_s
+
+    @property
+    def fp(self):
+        """First (or only) constraint's disparity as a scalar."""
+        return float(self.disparities[0])
+
+    def history_point(self, style="vector"):
+        """This result as a :class:`HistoryPoint` (scalar or vector λ)."""
+        if style == "scalar":
+            return HistoryPoint(
+                float(self.lam[0]), float(self.disparities[0]),
+                self.accuracy, wall_time_s=self.wall_time_s,
+                batch_id=self.batch_id,
+            )
+        return HistoryPoint(
+            self.lam.copy(), self.disparities.copy(), self.accuracy,
+            wall_time_s=self.wall_time_s, batch_id=self.batch_id,
+        )
+
+    def __repr__(self):
+        return (
+            f"EvalResult(lam={self.lam.tolist()}, "
+            f"disparities={self.disparities.tolist()}, "
+            f"accuracy={self.accuracy:.4f})"
+        )
+
+
+class PlanContext:
+    """Everything a strategy's ``plan`` generator can see and touch.
+
+    Owns the validation-side scoring (one memoized
+    :class:`~repro.core.kernels.CompiledEvaluator` per constraint
+    binding under the compiled engine, the reference Python path under
+    the naive engine — value-identical by the kernel equivalence
+    guarantees), the shared history list, and the constraint
+    reorientation hook Algorithm 1's swap step needs.
+    """
+
+    def __init__(self, fitter, val_constraints, X_val, y_val,
+                 record_style="vector"):
+        self.fitter = fitter
+        self.val_constraints = list(val_constraints)
+        self.X_val = np.asarray(X_val, dtype=np.float64)
+        self.y_val = np.asarray(y_val, dtype=np.int64)
+        self.record_style = record_style
+        self.history = []
+        self.next_batch_id = 0
+        self._kernel = None
+        self._kernel_key = None
+        # speculative pre-scores: id(model) -> (model, disparities, acc)
+        # filled by inexact-speculation backends (holding the model ref
+        # keeps the id stable); bounded FIFO so memory tracks the
+        # speculation window, not the whole search
+        self.speculative_scores = {}
+        # speculative pre-fits: (λ bytes, use_subsample) -> model, so a
+        # lookahead hint pre-fitted during one batch serves the next
+        # batch's demanded candidate without re-deriving weights/keys
+        self.prefit_models = {}
+
+    # -- problem shape --------------------------------------------------------
+
+    @property
+    def k(self):
+        """Number of bound constraints."""
+        return len(self.fitter.constraints)
+
+    @property
+    def epsilons(self):
+        """Per-constraint allowance vector (validation binding)."""
+        return np.array([c.epsilon for c in self.val_constraints])
+
+    @property
+    def parameterized(self):
+        """True when any constraint's weights need model predictions."""
+        return self.fitter.parameterized
+
+    @property
+    def compiled(self):
+        """True when the fitter runs the compiled weight engine."""
+        return self.fitter.engine == "compiled"
+
+    # -- constraint reorientation (Algorithm 1 lines 4-5) ---------------------
+
+    def swap_constraint(self, j=0):
+        """Swap constraint ``j``'s group pair on both bindings."""
+        self.fitter.constraints[j] = self.fitter.constraints[j].swapped()
+        self.val_constraints[j] = self.val_constraints[j].swapped()
+        self._kernel = None
+        self._kernel_key = None
+        # λ now means the opposite orientation: speculative state from
+        # the old binding must not serve the new one
+        self.speculative_scores.clear()
+        self.prefit_models.clear()
+
+    # -- scoring --------------------------------------------------------------
+
+    def compiled_scorer(self):
+        """The shared memoized evaluator for the current binding."""
+        key = tuple(id(c) for c in self.val_constraints)
+        if self._kernel is None or self._kernel_key != key:
+            self._kernel = CompiledEvaluator(
+                self.val_constraints, self.y_val,
+                stats=getattr(self.fitter, "eval_stats", None),
+                chunk_size=getattr(self.fitter, "eval_chunk_size", None),
+            )
+            self._kernel_key = key
+        return self._kernel
+
+    def score(self, model):
+        """``(disparities (k,), accuracy)`` of ``model`` on validation."""
+        cached = self.speculative_scores.get(id(model))
+        if cached is not None and cached[0] is model:
+            return cached[1], cached[2]
+        pred = model.predict(self.X_val)
+        if self.compiled:
+            disparities, acc = self.compiled_scorer().score(pred)
+            return disparities, acc
+        disparities = np.array(
+            [c.disparity(self.y_val, pred) for c in self.val_constraints]
+        )
+        return disparities, accuracy_score(self.y_val, pred)
+
+    def violations(self, disparities):
+        """``|FP| − ε`` per constraint (positive = violated)."""
+        return np.abs(np.atleast_1d(disparities)) - self.epsilons
+
+    # -- history --------------------------------------------------------------
+
+    def record(self, point):
+        """Append a result (converted per ``record_style``) or a point."""
+        if isinstance(point, EvalResult):
+            point = point.history_point(self.record_style)
+        self.history.append(point)
+
+
+def run_plan(strategy, fitter, val_constraints, X_val, y_val, config,
+             backend="serial"):
+    """Drive a strategy's ask/tell generator through an execution backend.
+
+    The generator protocol: ``plan(ctx, config)`` yields
+    :class:`CandidateBatch` objects and receives ``list[EvalResult]``
+    for each; its return value (a ``SingleTuneResult`` or
+    ``MultiTuneResult``) becomes this function's return value.
+    ``backend`` is anything :func:`~repro.core.executor.resolve_backend`
+    accepts — a registered name, ``"name:workers"``, or an
+    :class:`~repro.core.executor.ExecutionBackend` instance.
+    """
+    from .executor import resolve_backend  # runtime dep, not import-time
+
+    backend = resolve_backend(backend)
+    ctx = PlanContext(fitter, val_constraints, X_val, y_val)
+    gen = strategy.plan(ctx, config)
+    backend.bind(ctx)
+    try:
+        results = None
+        while True:
+            try:
+                batch = gen.send(results)
+            except StopIteration as stop:
+                return stop.value
+            if not isinstance(batch, CandidateBatch):
+                raise TypeError(
+                    f"strategy {strategy.name!r} yielded "
+                    f"{type(batch).__name__}, expected CandidateBatch"
+                )
+            results = backend.run(batch, ctx)
+    finally:
+        backend.release(ctx)

@@ -13,18 +13,20 @@ Three stages, driven by the monotonicity of ``FP(θ*(λ))`` in λ (Lemma 2):
 
 ``FP`` and ``AP`` are evaluated on the *validation* split, following the
 paper's generalizability protocol (§5.3 "Use of Validation Set").
+
+Since ISSUE 5 the loop itself lives in the ask/tell planner
+(:func:`repro.core.strategies._plan_single_lambda` driven through
+:mod:`repro.core.planner` / :mod:`repro.core.executor`); this module
+keeps the paper-faithful entry point — a thin shim with the historical
+signature — plus the :class:`SingleTuneResult` record.  The λ
+trajectory is identical to the pre-planner loop (pinned by
+``tests/goldens/trajectories.json``).
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-
-import numpy as np
-
-from ..ml.metrics import accuracy_score
-from .exceptions import InfeasibleConstraintError
-from .history import HistoryPoint
-from .kernels import CompiledEvaluator, evaluate_lambda_batch
 
 __all__ = ["tune_single_lambda", "SingleTuneResult", "lambda_grid_search"]
 
@@ -41,46 +43,6 @@ class SingleTuneResult:
     history: list = field(default_factory=list)  # list of HistoryPoint
 
 
-class _Evaluator:
-    """Caches validation predictions → (FP, accuracy) per fitted model.
-
-    With ``compiled=True`` the disparity/accuracy come from a
-    :class:`~repro.core.kernels.CompiledEvaluator` built once per
-    constraint orientation (bitwise identical to the Python path, minus
-    the per-call group slicing).
-    """
-
-    def __init__(self, X_val, y_val, val_constraint, compiled=False,
-                 stats=None, chunk_size=None):
-        self.X_val = np.asarray(X_val, dtype=np.float64)
-        self.y_val = np.asarray(y_val, dtype=np.int64)
-        self.constraint = val_constraint
-        self.compiled = compiled
-        self.stats = stats
-        self.chunk_size = chunk_size
-        self._kernel = None
-        self._kernel_constraint = None
-
-    def kernel(self):
-        if self._kernel is None or self._kernel_constraint is not self.constraint:
-            self._kernel = CompiledEvaluator(
-                [self.constraint], self.y_val, stats=self.stats,
-                chunk_size=self.chunk_size,
-            )
-            self._kernel_constraint = self.constraint
-        return self._kernel
-
-    def __call__(self, model):
-        pred = model.predict(self.X_val)
-        if self.compiled:
-            disparities, acc = self.kernel().score(pred)
-            return float(disparities[0]), acc
-        return (
-            self.constraint.disparity(self.y_val, pred),
-            accuracy_score(self.y_val, pred),
-        )
-
-
 def tune_single_lambda(
     fitter,
     val_constraint,
@@ -90,6 +52,7 @@ def tune_single_lambda(
     tau=1e-3,
     lambda_max=1e5,
     max_linear_steps=2000,
+    backend="serial",
 ):
     """Run Algorithm 1 for the (single) constraint held by ``fitter``.
 
@@ -111,6 +74,9 @@ def tune_single_lambda(
         constraint infeasible.
     max_linear_steps : int
         Cap on linear-search iterations.
+    backend : str or ExecutionBackend
+        Execution backend for the candidate fits (default ``"serial"``,
+        the reference semantics; see :mod:`repro.core.executor`).
 
     Raises
     ------
@@ -120,213 +86,58 @@ def tune_single_lambda(
     """
     if len(fitter.constraints) != 1:
         raise ValueError("tune_single_lambda expects exactly one constraint")
-    train_constraint = fitter.constraints[0]
-    epsilon = train_constraint.epsilon
-    evaluate = _Evaluator(
-        X_val, y_val, val_constraint,
-        compiled=fitter.engine == "compiled",
-        stats=getattr(fitter, "eval_stats", None),
-        chunk_size=getattr(fitter, "eval_chunk_size", None),
+    from .planner import run_plan
+    from .strategies import _GeneratorStrategy, _plan_single_lambda
+
+    strategy = _GeneratorStrategy(
+        lambda ctx: _plan_single_lambda(
+            ctx, delta=delta, tau=tau, lambda_max=lambda_max,
+            max_linear_steps=max_linear_steps,
+        )
     )
-    history = []
-
-    # -- stage 1: λ = 0 ------------------------------------------------------
-    model0 = fitter.fit_unweighted()
-    fp0, acc0 = evaluate(model0)
-    history.append(HistoryPoint(0.0, fp0, acc0))
-    if abs(fp0) <= epsilon:
-        return SingleTuneResult(
-            model=model0, lam=0.0, feasible=True, swapped=False,
-            n_fits=fitter.n_fits, history=history,
-        )
-
-    # orientation (Algorithm 1 lines 4-5): ensure FP(θ0) < −ε so the
-    # search runs over positive λ
-    swapped = fp0 > 0
-    if swapped:
-        fitter.constraints[0] = train_constraint.swapped()
-        evaluate.constraint = val_constraint.swapped()
-        fp0 = -fp0
-
-    parameterized = fitter.parameterized
-    best = (model0, 0.0, -np.inf)  # (model, λ, acc) among feasible
-
-    # future-work optimization (§8): when the fitter has a prepared
-    # subsample, the cheap bounding-stage fits (probe, exponential/linear
-    # search) run on it; the binary-search refinement always uses the full
-    # training set
-    prune = fitter.subsample is not None
-
-    def fit_at(lam, prev, cheap=False):
-        model = fitter.fit(
-            np.array([lam]), prev_model=prev,
-            use_subsample=cheap and prune,
-        )
-        fp, acc = evaluate(model)
-        history.append(HistoryPoint(lam, fp, acc))
-        return model, fp, acc
-
-    # Direction probe.  Lemma 2 guarantees FP(θ*(λ)) non-decreasing in λ for
-    # exact optima of the surrogate; with approximate weights (notably the
-    # FOR/FDR continuation, where down-weighting a group's positives shrinks
-    # its predicted-positive set toward high-confidence rows and *lowers*
-    # its FDR) the empirically observed disparity can be monotone in the
-    # opposite direction, and can also be locally flat around λ=0.  We probe
-    # both signs, escalating the step until FP moves, then search over
-    # t ≥ 0 with λ = direction·t, which matches Algorithm 1's structure.
-    probe_step = delta if parameterized else min(1.0, lambda_max)
-    direction = 1.0
-    probe = None
-    # the probe always uses full-data fits: the search direction must be
-    # reliable, and a subsample can flip the sign of a small disparity
-    for _ in range(6):
-        pos = fit_at(probe_step, model0)
-        neg = fit_at(-probe_step, model0)
-        moved = max(pos[1], neg[1]) > fp0 + 1e-12
-        if moved:
-            direction, probe = (1.0, pos) if pos[1] >= neg[1] else (-1.0, neg)
-            break
-        if probe_step * 4 > lambda_max:
-            break
-        probe_step *= 4.0
-    if probe is None:
-        raise InfeasibleConstraintError(
-            f"disparity does not respond to λ for {val_constraint.label}",
-            best_model=model0,
-        )
-
-    # -- stage 2: bounding t (λ = direction · t) ------------------------------
-    t_u, (model_u, fp_u, acc_u) = probe_step, probe
-    t_l, model_l = 0.0, model0
-
-    if not parameterized:
-        # exponential search (lines 21-27)
-        while fp_u < -epsilon:
-            t_l, model_l = t_u, model_u
-            t_u *= 2.0
-            if t_u > lambda_max:
-                raise InfeasibleConstraintError(
-                    f"exponential search exceeded lambda_max={lambda_max} "
-                    f"without satisfying {val_constraint.label}",
-                    best_model=model0,
-                )
-            model_u, fp_u, acc_u = fit_at(direction * t_u, model_l, cheap=True)
-    else:
-        # linear search (lines 29-37): the continuation approximation needs
-        # adjacent λ values so that w(λ_{t+1}, h_{θ_t}) is accurate.  The
-        # step is the (possibly escalated) probe step so flat regions are
-        # crossed in a bounded number of fits.
-        step = max(delta, probe_step)
-        steps = 0
-        while fp_u < -epsilon:
-            steps += 1
-            if steps > max_linear_steps:
-                raise InfeasibleConstraintError(
-                    f"linear search exhausted {max_linear_steps} steps "
-                    f"without satisfying {val_constraint.label}",
-                    best_model=model_u,
-                )
-            t_l, model_l = t_u, model_u
-            t_u = t_l + step
-            model_u, fp_u, acc_u = fit_at(direction * t_u, model_l, cheap=True)
-
-    if prune:
-        # the subsample bracket is a hint: re-verify the upper bound with
-        # full-data fits (and keep expanding if the subsample undershot),
-        # and reset the lower bound to 0, which is always on the −ε side
-        t_l, model_l = 0.0, model0
-        model_u, fp_u, acc_u = fit_at(direction * t_u, model_l)
-        while fp_u < -epsilon:
-            t_u *= 2.0
-            if t_u > lambda_max:
-                raise InfeasibleConstraintError(
-                    f"full-data verification exceeded lambda_max="
-                    f"{lambda_max} for {val_constraint.label}",
-                    best_model=model0,
-                )
-            model_u, fp_u, acc_u = fit_at(direction * t_u, model_u)
-
-    if abs(fp_u) <= epsilon and acc_u > best[2]:
-        best = (model_u, direction * t_u, acc_u)
-
-    # -- stage 3: binary search (lines 11-19) --------------------------------
-    while t_u - t_l >= tau:
-        t_m = 0.5 * (t_l + t_u)
-        prev = model_l if parameterized else model0
-        model_m, fp_m, acc_m = fit_at(direction * t_m, prev)
-        if abs(fp_m) <= epsilon and acc_m > best[2]:
-            best = (model_m, direction * t_m, acc_m)
-        if fp_m < -epsilon:
-            t_l, model_l = t_m, model_m
-        else:
-            t_u = t_m
-
-    if not np.isfinite(best[2]):
-        raise InfeasibleConstraintError(
-            f"binary search found no feasible λ for {val_constraint.label}",
-            best_model=model_u,
-        )
-    model_best, lam_best, _ = best
-    return SingleTuneResult(
-        model=model_best, lam=lam_best, feasible=True, swapped=swapped,
-        n_fits=fitter.n_fits, history=history,
+    return run_plan(
+        strategy, fitter, [val_constraint], X_val, y_val, None,
+        backend=backend,
     )
 
 
-def lambda_grid_search(fitter, val_constraint, X_val, y_val, grid, n_jobs=None):
+def lambda_grid_search(fitter, val_constraint, X_val, y_val, grid,
+                       n_jobs=None):
     """Ablation baseline: plain grid search over λ (DESIGN.md §5.2).
+
+    .. deprecated::
+        This single-constraint entry point and
+        :func:`repro.core.multi.grid_search_lambdas` were duplicate grid
+        implementations; both now delegate to the one planner-backed
+        grid (:class:`repro.core.strategies.GridStrategy`).  Use
+        ``Engine("grid")`` or the strategy registry directly.
 
     Fits every λ in ``grid`` and returns the feasible model with the best
     validation accuracy.  Unlike Algorithm 1 this needs no monotonicity,
     but costs ``len(grid)`` fits regardless of where the boundary lies.
-
     With the compiled engine and constant-coefficient metrics the whole
-    grid is scored batch-natively: all candidate weights in one
-    vectorized pass (:func:`~repro.core.kernels.evaluate_lambda_batch`),
-    with the per-candidate fits optionally on an ``n_jobs`` process
-    pool.  Model-parameterized metrics (FOR/FDR) keep the sequential
-    loop, whose weights chain each candidate's predictions.
+    grid is scored batch-natively; ``n_jobs`` widens the fit pool for
+    that pass.
     """
+    warnings.warn(
+        "lambda_grid_search is deprecated; use Engine('grid') or "
+        "repro.core.strategies.GridStrategy (both grid entry points now "
+        "share one planner-backed implementation)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if len(fitter.constraints) != 1:
         raise ValueError("lambda_grid_search expects exactly one constraint")
-    epsilon = val_constraint.epsilon
-    model0 = fitter.fit_unweighted()
-    history = []
-    best = (None, np.nan, -np.inf)
-    grid = sorted(np.asarray(grid, dtype=np.float64))
+    from .planner import run_plan
+    from .strategies import _GeneratorStrategy, _plan_grid_single
 
-    if fitter.engine == "compiled" and not fitter.parameterized:
-        batch = evaluate_lambda_batch(
-            fitter, [val_constraint], X_val, y_val,
-            np.asarray(grid)[:, None], n_jobs=n_jobs,
+    strategy = _GeneratorStrategy(lambda ctx: _plan_grid_single(ctx, grid))
+    saved_jobs = fitter.n_jobs
+    if n_jobs is not None:
+        fitter.n_jobs = n_jobs  # historical knob: widen the batch pool
+    try:
+        return run_plan(
+            strategy, fitter, [val_constraint], X_val, y_val, None,
         )
-        for b, lam in enumerate(grid):
-            fp, acc = float(batch.disparities[b, 0]), float(batch.accuracies[b])
-            history.append(HistoryPoint(float(lam), fp, acc))
-            if abs(fp) <= epsilon and acc > best[2]:
-                best = (batch.models[b], float(lam), acc)
-    else:
-        evaluate = _Evaluator(
-            X_val, y_val, val_constraint,
-            compiled=fitter.engine == "compiled",
-            stats=getattr(fitter, "eval_stats", None),
-            chunk_size=getattr(fitter, "eval_chunk_size", None),
-        )
-        prev = model0
-        for lam in grid:
-            model = fitter.fit(np.array([lam]), prev_model=prev)
-            prev = model
-            fp, acc = evaluate(model)
-            history.append(HistoryPoint(float(lam), fp, acc))
-            if abs(fp) <= epsilon and acc > best[2]:
-                best = (model, float(lam), acc)
-
-    if best[0] is None:
-        raise InfeasibleConstraintError(
-            f"no grid point satisfies {val_constraint.label}",
-            best_model=model0,
-        )
-    return SingleTuneResult(
-        model=best[0], lam=best[1], feasible=True, swapped=False,
-        n_fits=fitter.n_fits, history=history,
-    )
+    finally:
+        fitter.n_jobs = saved_jobs

@@ -1,8 +1,16 @@
 """Pluggable λ/Λ search strategies behind a registry (the solver layer).
 
-The trainer used to hard-code ``if search == "grid"`` branches; this
-module replaces them with a :class:`SearchStrategy` protocol plus a
-registry so third parties can ship solvers without touching the engine::
+Since ISSUE 5 every built-in strategy is an **ask/tell plan generator**
+(:mod:`repro.core.planner`): instead of owning a fit/evaluate/history
+loop, a strategy *asks* for candidate λ batches by yielding
+:class:`~repro.core.planner.CandidateBatch` objects and is *told* the
+outcomes as :class:`~repro.core.planner.EvalResult` lists.  An
+:class:`~repro.core.executor.ExecutionBackend` (serial / thread /
+process) consumes the batches and drives the compiled kernels, batched
+fits, fit/eval caches, and chunked evaluation uniformly — so those
+capabilities compose once, in one place, for every strategy.
+
+Third parties can still ship solvers without touching the engine::
 
     from repro.core.strategies import SearchStrategy, register_strategy
 
@@ -10,26 +18,41 @@ registry so third parties can ship solvers without touching the engine::
     class MySolver(SearchStrategy):
         name = "my_solver"
         config_cls = MyConfig
-        def solve(self, fitter, val_constraints, X_val, y_val, config):
+
+        def plan(self, ctx, config):          # ask/tell generator
+            result = yield CandidateBatch([[0.0]])
             ...
+
+Legacy strategies that override ``solve()`` instead of ``plan()`` keep
+working unchanged, but only on the serial backend (see the README
+migration note).
 
 Built-ins:
 
 ``binary_search``
     Algorithm 1 (§5.3): exponential/linear bounding + binary search.
     Single-constraint only — the paper's monotonicity argument (Lemma 2)
-    is one-dimensional.
+    is one-dimensional.  The doubling ladder is asked as one batch with
+    a stop predicate, so speculative backends pre-fit upcoming rungs.
 ``hill_climb``
     Algorithm 2 (§6) marginal hill climbing for k constraints; for k = 1
-    it reduces to Algorithm 1 and delegates to it.
+    it reduces to Algorithm 1 and delegates to it.  Per-axis bracket
+    expansions are ladder asks; bisection steps carry lookahead hints
+    (both possible next midpoints).
 ``grid``
-    The Table 8 exhaustive-grid baseline, single- or multi-constraint.
+    The Table 8 exhaustive-grid baseline, single- or multi-constraint —
+    one planner-backed implementation behind both legacy entry points.
 ``linear``
     Symmetric δ-sweep outward from λ = 0 until the first feasible λ —
     the naive ablation that needs no monotonicity assumption at all.
 ``cmaes``
     Penalty-method CMA-ES over Λ (:mod:`repro.optim.cmaes`), useful when
     marginal monotonicity is too badly violated for hill climbing.
+    Each generation is one population ask.
+``race``
+    Meta-strategy: interleaves several strategies against one shared
+    fit cache and returns the first feasible result
+    (:func:`repro.core.executor.run_race`).
 
 Each strategy declares a config dataclass; solver knobs live there
 instead of on the trainer.  ``Config.build(options)`` constructs one
@@ -39,17 +62,17 @@ legacy ``OmniFair`` shim passes the union of its old kwargs that way).
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, fields
 
 import numpy as np
 
-from ..ml.metrics import accuracy_score
-from ..optim.cmaes import cmaes_minimize
+from ..optim.cmaes import cmaes_generations
 from .exceptions import InfeasibleConstraintError, SpecificationError
 from .history import HistoryPoint
-from .kernels import CompiledEvaluator, evaluate_lambda_batch
-from .multi import MultiTuneResult, grid_search_lambdas, hill_climb
-from .single import SingleTuneResult, lambda_grid_search, tune_single_lambda
+from .multi import MultiTuneResult
+from .planner import CandidateBatch, run_plan
+from .single import SingleTuneResult
 
 __all__ = [
     "SearchStrategy",
@@ -59,6 +82,7 @@ __all__ = [
     "GridConfig",
     "LinearConfig",
     "CMAESConfig",
+    "RaceConfig",
     "register_strategy",
     "unregister_strategy",
     "get_strategy",
@@ -137,6 +161,20 @@ class CMAESConfig(StrategyConfig):
     penalty: float = 10.0
 
 
+@dataclass
+class RaceConfig(StrategyConfig):
+    """Component list and turn length for the ``race`` meta-strategy.
+
+    ``strategies`` names the racers (empty = an arity-appropriate
+    default: binary_search/grid/linear for one constraint,
+    hill_climb/cmaes/grid otherwise); ``interleave`` is how many ask
+    batches each component executes per turn.
+    """
+
+    strategies: tuple = ()
+    interleave: int = 1
+
+
 class SearchStrategy:
     """Protocol every registered solver implements.
 
@@ -147,19 +185,51 @@ class SearchStrategy:
     config_cls : type[StrategyConfig]
         The dataclass holding this solver's knobs.
 
-    ``solve`` receives the :class:`~repro.core.fitter.WeightedFitter`
-    (training data + train-bound constraints), the validation-bound
-    constraints and validation arrays, and a ``config_cls`` instance; it
-    returns a :class:`~repro.core.single.SingleTuneResult` or
-    :class:`~repro.core.multi.MultiTuneResult`, or raises
-    :class:`InfeasibleConstraintError`.
+    A modern strategy implements :meth:`plan` — an ask/tell generator
+    yielding :class:`~repro.core.planner.CandidateBatch` objects and
+    receiving ``list[EvalResult]``, whose return value is a
+    :class:`~repro.core.single.SingleTuneResult` or
+    :class:`~repro.core.multi.MultiTuneResult` (or it raises
+    :class:`InfeasibleConstraintError`).  Such strategies run on every
+    registered execution backend.
+
+    A legacy strategy may instead override :meth:`solve` with the old
+    single-call signature; it keeps working, but only on the serial
+    backend.
     """
 
     name = None
     config_cls = StrategyConfig
 
-    def solve(self, fitter, val_constraints, X_val, y_val, config):
+    def plan(self, ctx, config):
+        """Ask/tell generator (see :mod:`repro.core.planner`)."""
         raise NotImplementedError
+
+    def run(self, fitter, val_constraints, X_val, y_val, config,
+            backend="serial"):
+        """Engine entry point: dispatch to the planner or legacy solve."""
+        if type(self).plan is not SearchStrategy.plan:
+            return run_plan(
+                self, fitter, val_constraints, X_val, y_val, config,
+                backend=backend,
+            )
+        name = getattr(backend, "name", backend)
+        if name is not None and str(name).partition(":")[0] != "serial":
+            raise SpecificationError(
+                f"strategy {self.name!r} predates the ask/tell planner "
+                f"(no plan()); only the serial backend can run it"
+            )
+        return self.solve(fitter, val_constraints, X_val, y_val, config)
+
+    def solve(self, fitter, val_constraints, X_val, y_val, config):
+        """Single-call entry point (serial backend semantics)."""
+        if type(self).plan is not SearchStrategy.plan:
+            return run_plan(
+                self, fitter, val_constraints, X_val, y_val, config,
+            )
+        raise NotImplementedError(
+            "implement plan() (preferred) or override solve()"
+        )
 
     def make_config(self, options, strict=True):
         return self.config_cls.build(options, strict=strict)
@@ -230,6 +300,598 @@ def resolve_strategy_name(name, n_constraints):
     return name
 
 
+# -- plan generators (the ported solver loops) --------------------------------
+
+
+def _plan_single_lambda(ctx, delta=0.01, tau=1e-3, lambda_max=1e5,
+                        max_linear_steps=2000):
+    """Algorithm 1 as an ask/tell generator — λ-trajectory identical to
+    the pre-planner ``tune_single_lambda`` loop (goldens in
+    ``tests/goldens/trajectories.json``)."""
+    ctx.record_style = "scalar"
+    fitter = ctx.fitter
+    if len(fitter.constraints) != 1:
+        raise ValueError("tune_single_lambda expects exactly one constraint")
+    label = ctx.val_constraints[0].label
+    epsilon = fitter.constraints[0].epsilon
+
+    # -- stage 1: λ = 0 ------------------------------------------------------
+    (r0,) = yield CandidateBatch([[0.0]], purpose="init")
+    model0 = r0.model
+    fp0 = r0.fp
+    if abs(fp0) <= epsilon:
+        return SingleTuneResult(
+            model=model0, lam=0.0, feasible=True, swapped=False,
+            n_fits=fitter.n_fits, history=ctx.history,
+        )
+
+    # orientation (Algorithm 1 lines 4-5): ensure FP(θ0) < −ε so the
+    # search runs over positive λ
+    swapped = fp0 > 0
+    if swapped:
+        ctx.swap_constraint(0)
+        fp0 = -fp0
+
+    parameterized = fitter.parameterized
+    best = (model0, 0.0, -np.inf)  # (model, λ, acc) among feasible
+
+    # future-work optimization (§8): when the fitter has a prepared
+    # subsample, the cheap bounding-stage fits run on it; the
+    # binary-search refinement always uses the full training set
+    prune = fitter.subsample is not None
+
+    # Direction probe.  Lemma 2 guarantees FP(θ*(λ)) non-decreasing in λ
+    # for exact optima of the surrogate; with approximate weights the
+    # observed disparity can move the other way or sit flat near λ=0, so
+    # both signs are probed with escalating steps (see the pre-planner
+    # loop's derivation note).  Always full-data fits: the search
+    # direction must be reliable.
+    probe_step = delta if parameterized else min(1.0, lambda_max)
+    direction = 1.0
+    probe = None
+    for _ in range(6):
+        pos, neg = yield CandidateBatch(
+            [[probe_step], [-probe_step]], purpose="probe",
+            prev_model=model0,
+        )
+        moved = max(pos.fp, neg.fp) > fp0 + 1e-12
+        if moved:
+            direction, probe = (1.0, pos) if pos.fp >= neg.fp else (-1.0, neg)
+            break
+        if probe_step * 4 > lambda_max:
+            break
+        probe_step *= 4.0
+    if probe is None:
+        raise InfeasibleConstraintError(
+            f"disparity does not respond to λ for {label}",
+            best_model=model0,
+        )
+
+    # -- stage 2: bounding t (λ = direction · t) ------------------------------
+    t_u, fp_u, acc_u, model_u = (
+        probe_step, probe.fp, probe.accuracy, probe.model,
+    )
+    t_l, model_l = 0.0, model0
+
+    def crossed_band(res):
+        return res.fp >= -epsilon
+
+    if not parameterized:
+        # exponential ladder (lines 21-27): rungs t·2^j up to lambda_max,
+        # asked as one batch that stops at the first rung past the band
+        if fp_u < -epsilon:
+            rungs = []
+            t = t_u
+            while True:
+                t = t * 2.0
+                if t > lambda_max:
+                    break
+                rungs.append(t)
+            if not rungs:
+                raise InfeasibleConstraintError(
+                    f"exponential search exceeded lambda_max={lambda_max} "
+                    f"without satisfying {label}",
+                    best_model=model0,
+                )
+            reported = yield CandidateBatch(
+                direction * np.asarray(rungs)[:, None], purpose="bracket",
+                prev_model=model_u, chain=True, use_subsample=prune,
+                stop=crossed_band,
+            )
+            for i, r in enumerate(reported):
+                t_l, model_l = t_u, model_u
+                t_u, fp_u, acc_u, model_u = (
+                    rungs[i], r.fp, r.accuracy, r.model,
+                )
+            if fp_u < -epsilon:
+                raise InfeasibleConstraintError(
+                    f"exponential search exceeded lambda_max={lambda_max} "
+                    f"without satisfying {label}",
+                    best_model=model0,
+                )
+    else:
+        # linear ladder (lines 29-37): the continuation approximation
+        # needs adjacent λ so each rung chains the previous rung's model
+        step = max(delta, probe_step)
+        if fp_u < -epsilon:
+            rungs = []
+            t = t_u
+            for _ in range(max_linear_steps):
+                t = t + step
+                rungs.append(t)
+            reported = yield CandidateBatch(
+                direction * np.asarray(rungs)[:, None], purpose="bracket",
+                prev_model=model_u, chain=True, use_subsample=prune,
+                stop=crossed_band,
+            )
+            for i, r in enumerate(reported):
+                t_l, model_l = t_u, model_u
+                t_u, fp_u, acc_u, model_u = (
+                    rungs[i], r.fp, r.accuracy, r.model,
+                )
+            if fp_u < -epsilon:
+                raise InfeasibleConstraintError(
+                    f"linear search exhausted {max_linear_steps} steps "
+                    f"without satisfying {label}",
+                    best_model=model_u,
+                )
+
+    if prune:
+        # the subsample bracket is a hint: re-verify the upper bound with
+        # full-data fits (and keep doubling if the subsample undershot),
+        # and reset the lower bound to 0, always on the −ε side
+        t_l, model_l = 0.0, model0
+        rungs = [t_u]
+        t = t_u
+        while True:
+            t = t * 2.0
+            if t > lambda_max:
+                break
+            rungs.append(t)
+        reported = yield CandidateBatch(
+            direction * np.asarray(rungs)[:, None], purpose="verify",
+            prev_model=model0, chain=True, stop=crossed_band,
+        )
+        last = reported[-1]
+        t_u, fp_u, acc_u, model_u = (
+            rungs[len(reported) - 1], last.fp, last.accuracy, last.model,
+        )
+        if fp_u < -epsilon:
+            raise InfeasibleConstraintError(
+                f"full-data verification exceeded lambda_max="
+                f"{lambda_max} for {label}",
+                best_model=model0,
+            )
+
+    if abs(fp_u) <= epsilon and acc_u > best[2]:
+        best = (model_u, direction * t_u, acc_u)
+
+    # -- stage 3: binary search (lines 11-19) --------------------------------
+    while t_u - t_l >= tau:
+        t_m = 0.5 * (t_l + t_u)
+        prev = model_l if parameterized else model0
+        lookahead = None
+        if not parameterized:
+            # both possible next midpoints — speculation hint only
+            lookahead = [
+                [direction * (0.5 * (t_m + t_u))],
+                [direction * (0.5 * (t_l + t_m))],
+            ]
+        (rm,) = yield CandidateBatch(
+            [[direction * t_m]], purpose="refine", prev_model=prev,
+            lookahead=lookahead,
+        )
+        model_m, fp_m, acc_m = rm.model, rm.fp, rm.accuracy
+        if abs(fp_m) <= epsilon and acc_m > best[2]:
+            best = (model_m, direction * t_m, acc_m)
+        if fp_m < -epsilon:
+            t_l, model_l = t_m, model_m
+        else:
+            t_u = t_m
+
+    if not np.isfinite(best[2]):
+        raise InfeasibleConstraintError(
+            f"binary search found no feasible λ for {label}",
+            best_model=model_u,
+        )
+    model_best, lam_best, _ = best
+    return SingleTuneResult(
+        model=model_best, lam=lam_best, feasible=True, swapped=swapped,
+        n_fits=fitter.n_fits, history=ctx.history,
+    )
+
+
+def _plan_tune_dimension(ctx, lambdas, j, model, disparities,
+                         initial_step=0.1, tau=1e-3, max_expansions=40):
+    """Algorithm 2's per-axis tuner as a sub-generator.
+
+    Moves ``Λ[j]`` until constraint ``j`` holds (marginal monotonicity,
+    Lemma 4): a doubling bracket expansion asked as ladder batches with
+    a stop predicate, then a 1-D bisection with lookahead hints.  Every
+    decision replays the pre-planner ``_tune_dimension`` loop body, so
+    the fitted λ sequence is identical; the ladder/lookahead structure
+    only tells speculative backends what to pre-fit.
+
+    Returns ``(lambdas, model, disparities, acc, result)`` for the new
+    setting, where ``result`` is the chosen :class:`EvalResult`.
+    """
+    eps_j = ctx.val_constraints[j].epsilon
+    fp_j = disparities[j]
+    direction = 1.0 if fp_j < -eps_j else -1.0
+    start_side = 1.0 if fp_j > eps_j else -1.0  # which side of the band
+    prev_model = model
+
+    def side(fp):
+        if fp > eps_j:
+            return 1.0
+        if fp < -eps_j:
+            return -1.0
+        return 0.0
+
+    def globally_feasible(res):
+        return float(ctx.violations(res.disparities).max()) <= 1e-12
+
+    def chosen(res):
+        return res.lam.copy(), res.model, res.disparities, res.accuracy, res
+
+    def row(lam_j):
+        lams = lambdas.copy()
+        lams[j] = lam_j
+        return lams
+
+    # bracket: expand from the current value until FP_j crosses the band
+    t_start = lambdas[j]
+    t_near = t_start  # last point still on the starting side
+    t_far = t_start
+    step = initial_step
+    budget = max_expansions
+    flipped = False
+    best_outside = None  # least-violating candidate seen, as fallback
+    crossed = None
+    while budget > 0 and crossed is None:
+        # this direction's remaining ladder: t += dir·step, step *= 2
+        rungs = []
+        t, s = t_far, step
+        for _ in range(budget):
+            t = t + direction * s
+            s *= 2.0
+            rungs.append(t)
+        ladder_flipped = flipped
+
+        def expansion_stop(res):
+            fp_new = float(res.disparities[j])
+            return (
+                globally_feasible(res)
+                or side(fp_new) == 0.0
+                or side(fp_new) != start_side
+                or (not ladder_flipped
+                    and abs(fp_new) > abs(fp_j) + 1e-12)
+            )
+
+        reported = yield CandidateBatch(
+            np.stack([row(t) for t in rungs]), purpose="bracket",
+            prev_model=prev_model, chain=True, record=False,
+            stop=expansion_stop,
+        )
+        do_flip = False
+        for i, res in enumerate(reported):
+            budget -= 1
+            prev_model = res.model
+            fp_new = float(res.disparities[j])
+            if globally_feasible(res):
+                return chosen(res)
+            if best_outside is None or abs(fp_new) < abs(
+                float(best_outside.disparities[j])
+            ):
+                best_outside = res
+            if side(fp_new) == 0.0:
+                return chosen(res)  # constraint j holds; outer loop goes on
+            if side(fp_new) != start_side:
+                crossed = res
+                t_far = rungs[i]
+                break
+            if not flipped and abs(fp_new) > abs(fp_j) + 1e-12:
+                # first worsening step: search the other way
+                do_flip = True
+                break
+            t_near = rungs[i]
+            t_far = rungs[i]
+            step = step * 2.0
+        if do_flip:
+            flipped = True
+            direction = -direction
+            step = initial_step
+            t_far = t_start
+    if crossed is None:
+        # FP_j never crossed: the satisfactory region is unreachable
+        # along this axis from here — return the least-violating attempt
+        return chosen(best_outside)
+
+    # binary search between t_near (starting side) and t_far (far side);
+    # side(fp) is monotone along the segment by marginal monotonicity.
+    # Track the candidate with the smallest *global* max violation so a
+    # near-feasible interior point beats the crossing endpoint.
+    best = crossed
+    best_viol = float(ctx.violations(crossed.disparities).max())
+    while abs(t_far - t_near) >= tau:
+        mid = 0.5 * (t_near + t_far)
+        lookahead = None
+        if not ctx.parameterized:
+            lookahead = np.stack([
+                row(0.5 * (mid + t_far)), row(0.5 * (t_near + mid)),
+            ])
+        (res,) = yield CandidateBatch(
+            [row(mid)], purpose="refine", prev_model=prev_model,
+            record=False, lookahead=lookahead,
+        )
+        prev_model = res.model
+        fp_mid = float(res.disparities[j])
+        if globally_feasible(res):
+            return chosen(res)
+        viol = float(ctx.violations(res.disparities).max())
+        if viol < best_viol:
+            best, best_viol = res, viol
+        if side(fp_mid) == 0.0:
+            return chosen(res) if viol <= best_viol else chosen(best)
+        if side(fp_mid) == start_side:
+            t_near = mid
+        else:
+            t_far = mid
+    return chosen(best)
+
+
+def _plan_hill_climb(ctx, max_rounds=None, initial_step=0.1, tau=1e-3,
+                     dimension_order="most_violated"):
+    """Algorithm 2 as an ask/tell generator (trajectory-identical to the
+    pre-planner ``hill_climb`` loop)."""
+    ctx.record_style = "vector"
+    fitter = ctx.fitter
+    k = len(fitter.constraints)
+    if len(ctx.val_constraints) != k:
+        raise ValueError("train/val constraint lists differ in length")
+    if max_rounds is None:
+        max_rounds = 5 * k
+
+    lambdas = np.zeros(k)
+    (r0,) = yield CandidateBatch([np.zeros(k)], purpose="init", record=False)
+    model, disparities, acc = r0.model, r0.disparities, r0.accuracy
+    ctx.record(HistoryPoint(
+        lambdas.copy(), disparities.copy(), acc,
+        wall_time_s=r0.wall_time_s, batch_id=r0.batch_id,
+    ))
+
+    best_model, best_lams, best_viol = model, lambdas.copy(), np.inf
+    for round_idx in range(max_rounds):
+        violations = ctx.violations(disparities)
+        worst = float(violations.max())
+        if worst < best_viol:
+            best_model, best_lams, best_viol = model, lambdas.copy(), worst
+        if worst <= 1e-12:
+            return MultiTuneResult(
+                model=model, lambdas=lambdas, feasible=True,
+                n_fits=fitter.n_fits, n_rounds=round_idx,
+                history=ctx.history,
+            )
+        if dimension_order == "round_robin":
+            violated = np.nonzero(violations > 1e-12)[0]
+            j = int(violated[round_idx % len(violated)])
+        else:
+            j = int(np.argmax(violations))  # most violated first (line 4)
+        lambdas, model, disparities, acc, res = yield from (
+            _plan_tune_dimension(
+                ctx, lambdas, j, model, disparities,
+                initial_step=initial_step, tau=tau,
+            )
+        )
+        ctx.record(HistoryPoint(
+            lambdas.copy(), disparities.copy(), acc,
+            wall_time_s=res.wall_time_s, batch_id=res.batch_id,
+        ))
+
+    violations = ctx.violations(disparities)
+    if float(violations.max()) <= 1e-12:
+        return MultiTuneResult(
+            model=model, lambdas=lambdas, feasible=True,
+            n_fits=fitter.n_fits, n_rounds=max_rounds, history=ctx.history,
+        )
+    raise InfeasibleConstraintError(
+        f"hill climbing did not satisfy all constraints after "
+        f"{max_rounds} rounds (max violation {violations.max():.4f})",
+        best_model=best_model,
+        best_disparities=disparities,
+    )
+
+
+def _plan_grid_single(ctx, grid):
+    """Single-λ grid sweep (the pre-planner ``lambda_grid_search``)."""
+    ctx.record_style = "scalar"
+    fitter = ctx.fitter
+    if len(fitter.constraints) != 1:
+        raise ValueError("lambda_grid_search expects exactly one constraint")
+    epsilon = ctx.val_constraints[0].epsilon
+    label = ctx.val_constraints[0].label
+    grid = sorted(np.asarray(grid, dtype=np.float64))
+    (r0,) = yield CandidateBatch([[0.0]], purpose="init", record=False)
+    model0 = r0.model
+    best = (None, np.nan, -np.inf)
+
+    if ctx.compiled and not fitter.parameterized:
+        reported = yield CandidateBatch(
+            np.asarray(grid)[:, None], kind="population",
+            purpose="population",
+        )
+    else:
+        reported = yield CandidateBatch(
+            np.asarray(grid)[:, None], purpose="sweep",
+            prev_model=model0, chain=True,
+        )
+    for res in reported:
+        if abs(res.fp) <= epsilon and res.accuracy > best[2]:
+            best = (res.model, float(res.lam[0]), res.accuracy)
+
+    if best[0] is None:
+        raise InfeasibleConstraintError(
+            f"no grid point satisfies {label}",
+            best_model=model0,
+        )
+    return SingleTuneResult(
+        model=best[0], lam=best[1], feasible=True, swapped=False,
+        n_fits=fitter.n_fits, history=ctx.history,
+    )
+
+
+def _plan_grid_multi(ctx, grid_max=1.0, grid_steps=5):
+    """Λ-grid sweep (the pre-planner ``grid_search_lambdas``)."""
+    ctx.record_style = "vector"
+    fitter = ctx.fitter
+    k = len(fitter.constraints)
+    axis = np.linspace(-grid_max, grid_max, grid_steps)
+    eps = ctx.epsilons
+    best = (None, None, -np.inf)
+    # the Λ=0 fit seeds the sequential branch's continuation and serves
+    # as the best-effort model on infeasible grids
+    (r0,) = yield CandidateBatch([np.zeros(k)], purpose="init", record=False)
+    model0 = r0.model
+    combos = np.array(list(itertools.product(axis, repeat=k)))
+    if ctx.compiled and not fitter.parameterized:
+        reported = yield CandidateBatch(
+            combos, kind="population", purpose="population",
+        )
+        for res in reported:
+            feasible = bool(np.all(np.abs(res.disparities) - eps <= 1e-12))
+            if feasible and res.accuracy > best[2]:
+                best = (res.model, res.lam, res.accuracy)
+    else:
+        reported = yield CandidateBatch(
+            combos, purpose="sweep", prev_model=model0, chain=True,
+        )
+        for res in reported:
+            if (np.all(ctx.violations(res.disparities) <= 1e-12)
+                    and res.accuracy > best[2]):
+                best = (res.model, res.lam, res.accuracy)
+    if best[0] is None:
+        raise InfeasibleConstraintError(
+            f"no grid point in [-{grid_max}, {grid_max}]^{k} "
+            f"({grid_steps} steps/axis) satisfies all constraints",
+            best_model=model0,
+        )
+    return MultiTuneResult(
+        model=best[0], lambdas=best[1], feasible=True,
+        n_fits=fitter.n_fits, n_rounds=len(ctx.history),
+        history=ctx.history,
+    )
+
+
+def _plan_linear(ctx, step=0.05, max_steps=400):
+    """Symmetric outward δ-sweep from λ = 0; first feasible |λ| wins."""
+    ctx.record_style = "scalar"
+    fitter = ctx.fitter
+    constraint = ctx.val_constraints[0]
+    epsilon = constraint.epsilon
+
+    (r0,) = yield CandidateBatch([[0.0]], purpose="init")
+    if abs(r0.fp) <= epsilon:
+        return SingleTuneResult(
+            model=r0.model, lam=0.0, feasible=True, swapped=False,
+            n_fits=fitter.n_fits, history=ctx.history,
+        )
+
+    prev_pos = prev_neg = r0.model
+    for i in range(1, max_steps + 1):
+        t = i * step
+        if fitter.parameterized:
+            # each sign chains its own continuation models
+            (rp,) = yield CandidateBatch(
+                [[t]], purpose="sweep", prev_model=prev_pos,
+            )
+            (rn,) = yield CandidateBatch(
+                [[-t]], purpose="sweep", prev_model=prev_neg,
+            )
+        else:
+            nxt = (i + 1) * step
+            rp, rn = yield CandidateBatch(
+                [[t], [-t]], purpose="sweep",
+                lookahead=[[nxt], [-nxt]] if i < max_steps else None,
+            )
+        prev_pos, prev_neg = rp.model, rn.model
+        feasible = [
+            (res.accuracy, float(res.lam[0]), res.model)
+            for res in (rp, rn)
+            if abs(res.fp) <= epsilon
+        ]
+        if feasible:
+            acc, lam, model = max(feasible, key=lambda t: t[0])
+            return SingleTuneResult(
+                model=model, lam=lam, feasible=True, swapped=False,
+                n_fits=fitter.n_fits, history=ctx.history,
+            )
+    raise InfeasibleConstraintError(
+        f"linear sweep found no feasible lambda within "
+        f"±{max_steps * step:g} for {constraint.label}",
+        best_model=r0.model,
+    )
+
+
+def _plan_cmaes(ctx, config):
+    """Penalty-method CMA-ES: one population ask per generation."""
+    ctx.record_style = "vector"
+    fitter = ctx.fitter
+    k = len(fitter.constraints)
+    eps = np.array([c.epsilon for c in ctx.val_constraints])
+
+    (r0,) = yield CandidateBatch([np.zeros(k)], purpose="init")
+    if float((np.abs(r0.disparities) - eps).max()) <= 1e-12:
+        return MultiTuneResult(
+            model=r0.model, lambdas=np.zeros(k), feasible=True,
+            n_fits=fitter.n_fits, n_rounds=0, history=ctx.history,
+        )
+
+    prev = r0.model
+    best = [None]
+    batch_native = ctx.compiled and not fitter.parameterized
+
+    def fitness(res):
+        viol = float((np.abs(res.disparities) - eps).max())
+        if viol <= 1e-12:
+            if best[0] is None or res.accuracy > best[0][0]:
+                best[0] = (res.accuracy, res.lam.copy(), res.model)
+        return config.penalty * max(viol, 0.0) + (1.0 - res.accuracy)
+
+    gen = cmaes_generations(
+        np.zeros(k), sigma0=config.sigma0, max_evals=config.max_evals,
+        popsize=config.popsize, seed=config.seed,
+    )
+    fs = None
+    while True:
+        try:
+            xs = gen.send(fs) if fs is not None else next(gen)
+        except StopIteration:
+            break
+        if batch_native:
+            reported = yield CandidateBatch(
+                xs, kind="population", purpose="population",
+            )
+        else:
+            reported = yield CandidateBatch(
+                xs, purpose="population", prev_model=prev, chain=True,
+            )
+            prev = reported[-1].model
+        fs = np.array([fitness(res) for res in reported])
+
+    if best[0] is None:
+        raise InfeasibleConstraintError(
+            f"CMA-ES found no feasible Lambda in {config.max_evals} "
+            f"evaluations",
+            best_model=prev,
+        )
+    acc, lams, model = best[0]
+    return MultiTuneResult(
+        model=model, lambdas=lams, feasible=True,
+        n_fits=fitter.n_fits, n_rounds=len(ctx.history) - 1,
+        history=ctx.history,
+    )
+
+
 # -- built-in strategies ------------------------------------------------------
 
 
@@ -240,16 +902,15 @@ class BinarySearchStrategy(SearchStrategy):
     name = "binary_search"
     config_cls = BinarySearchConfig
 
-    def solve(self, fitter, val_constraints, X_val, y_val, config):
-        if len(fitter.constraints) != 1:
+    def plan(self, ctx, config):
+        if ctx.k != 1:
             raise SpecificationError(
                 "binary_search handles exactly one constraint; use "
                 "'hill_climb', 'grid', or 'cmaes' for multi-constraint "
                 "problems (or 'auto' to dispatch)"
             )
-        return tune_single_lambda(
-            fitter, val_constraints[0], X_val, y_val,
-            delta=config.delta, tau=config.tau,
+        return _plan_single_lambda(
+            ctx, delta=config.delta, tau=config.tau,
             lambda_max=config.lambda_max,
             max_linear_steps=config.max_linear_steps,
         )
@@ -262,41 +923,40 @@ class HillClimbStrategy(SearchStrategy):
     name = "hill_climb"
     config_cls = HillClimbConfig
 
-    def solve(self, fitter, val_constraints, X_val, y_val, config):
-        if len(fitter.constraints) == 1:
+    def plan(self, ctx, config):
+        if ctx.k == 1:
             # one dimension: marginal bracketing + binary search *is*
-            # Algorithm 1, so run the specialized single-λ tuner
-            return tune_single_lambda(
-                fitter, val_constraints[0], X_val, y_val,
-                delta=config.delta, tau=config.tau,
+            # Algorithm 1, so run the specialized single-λ plan
+            return _plan_single_lambda(
+                ctx, delta=config.delta, tau=config.tau,
                 lambda_max=config.lambda_max,
             )
-        return hill_climb(
-            fitter, val_constraints, X_val, y_val,
-            max_rounds=config.max_rounds,
-            initial_step=config.initial_step,
-            tau=config.tau,
+        return _plan_hill_climb(
+            ctx, max_rounds=config.max_rounds,
+            initial_step=config.initial_step, tau=config.tau,
         )
 
 
 @register_strategy
 class GridStrategy(SearchStrategy):
-    """Exhaustive grid over λ (or Λ) — the Table 8 ablation baseline."""
+    """Exhaustive grid over λ (or Λ) — the Table 8 ablation baseline.
+
+    One planner-backed implementation behind both legacy entry points
+    (``lambda_grid_search`` / ``grid_search_lambdas``), dispatched on
+    the constraint count.
+    """
 
     name = "grid"
     config_cls = GridConfig
 
-    def solve(self, fitter, val_constraints, X_val, y_val, config):
-        if len(fitter.constraints) == 1:
+    def plan(self, ctx, config):
+        if ctx.k == 1:
             grid = np.linspace(
                 -config.grid_max, config.grid_max, config.grid_steps * 2 + 1
             )
-            return lambda_grid_search(
-                fitter, val_constraints[0], X_val, y_val, grid
-            )
-        return grid_search_lambdas(
-            fitter, val_constraints, X_val, y_val,
-            grid_max=config.grid_max, grid_steps=config.grid_steps,
+            return _plan_grid_single(ctx, grid)
+        return _plan_grid_multi(
+            ctx, grid_max=config.grid_max, grid_steps=config.grid_steps,
         )
 
 
@@ -315,58 +975,13 @@ class LinearStrategy(SearchStrategy):
     name = "linear"
     config_cls = LinearConfig
 
-    def solve(self, fitter, val_constraints, X_val, y_val, config):
-        if len(fitter.constraints) != 1:
+    def plan(self, ctx, config):
+        if ctx.k != 1:
             raise SpecificationError(
                 "linear handles exactly one constraint; use 'hill_climb', "
                 "'grid', or 'cmaes' for multi-constraint problems"
             )
-        constraint = val_constraints[0]
-        epsilon = constraint.epsilon
-        y_val = np.asarray(y_val, dtype=np.int64)
-
-        def evaluate(model):
-            pred = model.predict(X_val)
-            return (
-                constraint.disparity(y_val, pred),
-                accuracy_score(y_val, pred),
-            )
-
-        model0 = fitter.fit_unweighted()
-        fp0, acc0 = evaluate(model0)
-        history = [HistoryPoint(0.0, fp0, acc0)]
-        if abs(fp0) <= epsilon:
-            return SingleTuneResult(
-                model=model0, lam=0.0, feasible=True, swapped=False,
-                n_fits=fitter.n_fits, history=history,
-            )
-
-        prev_pos = prev_neg = model0
-        for i in range(1, config.max_steps + 1):
-            t = i * config.step
-            feasible = []
-            for sign, prev in ((1.0, prev_pos), (-1.0, prev_neg)):
-                lam = sign * t
-                model = fitter.fit(np.array([lam]), prev_model=prev)
-                fp, acc = evaluate(model)
-                history.append(HistoryPoint(lam, fp, acc))
-                if sign > 0:
-                    prev_pos = model
-                else:
-                    prev_neg = model
-                if abs(fp) <= epsilon:
-                    feasible.append((acc, lam, model))
-            if feasible:
-                acc, lam, model = max(feasible, key=lambda t: t[0])
-                return SingleTuneResult(
-                    model=model, lam=lam, feasible=True, swapped=False,
-                    n_fits=fitter.n_fits, history=history,
-                )
-        raise InfeasibleConstraintError(
-            f"linear sweep found no feasible lambda within "
-            f"±{config.max_steps * config.step:g} for {constraint.label}",
-            best_model=model0,
-        )
+        return _plan_linear(ctx, step=config.step, max_steps=config.max_steps)
 
 
 @register_strategy
@@ -376,101 +991,67 @@ class CMAESStrategy(SearchStrategy):
     Minimizes ``penalty · max(0, max_violation) + (1 − accuracy)`` on the
     validation split.  Derivative-free and assumption-free: it does not
     rely on Lemma 2/4 monotonicity, at the cost of ``max_evals`` model
-    fits.  For θ-parameterized metrics (FOR/FDR) each fit's weights use
-    the previous candidate's predictions, the same continuation
-    approximation Algorithm 1's linear search uses (§5.2).
-
-    With the compiled engine and constant-coefficient metrics the solver
-    is batch-native: every CMA-ES generation's population is fitted and
-    scored in one vectorized pass through
-    :func:`~repro.core.kernels.evaluate_lambda_batch` (with the fits
-    optionally on the fitter's ``n_jobs`` process pool), yielding the
-    exact same search trajectory as the scalar path.
+    fits.  Each CMA-ES generation is one ask — a population batch under
+    the compiled engine with constant-coefficient metrics (fitted and
+    scored in one vectorized pass), a chained sequential batch otherwise
+    (each fit's weights use the previous candidate's predictions, the
+    same continuation approximation Algorithm 1's linear search uses).
     """
 
     name = "cmaes"
     config_cls = CMAESConfig
 
+    def plan(self, ctx, config):
+        return _plan_cmaes(ctx, config)
+
+
+@register_strategy
+class RaceStrategy(SearchStrategy):
+    """Meta-strategy: several solvers race against one shared fit cache.
+
+    Components (``config.strategies``, or an arity-appropriate default)
+    run their plan generators on sibling fitters that share the fit
+    memoization cache and eval-stats sink, interleaving one turn at a
+    time; the first feasible result wins.  See
+    :func:`repro.core.executor.run_race`.
+    """
+
+    name = "race"
+    config_cls = RaceConfig
+
+    def run(self, fitter, val_constraints, X_val, y_val, config,
+            backend="serial"):
+        from .executor import run_race
+
+        names = tuple(config.strategies)
+        if not names:
+            names = (
+                ("binary_search", "grid", "linear")
+                if len(fitter.constraints) == 1
+                else ("hill_climb", "cmaes", "grid")
+            )
+        return run_race(
+            names, fitter, val_constraints, X_val, y_val,
+            backend=backend, interleave=config.interleave,
+        )
+
     def solve(self, fitter, val_constraints, X_val, y_val, config):
-        k = len(fitter.constraints)
-        y_val = np.asarray(y_val, dtype=np.int64)
-        eps = np.array([c.epsilon for c in val_constraints])
-        compiled = fitter.engine == "compiled"
-        evaluator = (
-            CompiledEvaluator(
-                val_constraints, y_val,
-                stats=getattr(fitter, "eval_stats", None),
-                chunk_size=getattr(fitter, "eval_chunk_size", None),
-            )
-            if compiled else None
-        )
+        return self.run(fitter, val_constraints, X_val, y_val, config)
 
-        def evaluate(model):
-            pred = model.predict(X_val)
-            if evaluator is not None:
-                disparities, acc = evaluator.score(pred)
-                return disparities, acc
-            d = np.array(
-                [c.disparity(y_val, pred) for c in val_constraints]
-            )
-            return d, accuracy_score(y_val, pred)
 
-        model0 = fitter.fit_unweighted()
-        d0, acc0 = evaluate(model0)
-        history = [HistoryPoint(np.zeros(k), d0, acc0)]
-        if float((np.abs(d0) - eps).max()) <= 1e-12:
-            return MultiTuneResult(
-                model=model0, lambdas=np.zeros(k), feasible=True,
-                n_fits=fitter.n_fits, n_rounds=0, history=history,
-            )
+class _GeneratorStrategy(SearchStrategy):
+    """Ad-hoc unregistered wrapper: run one plan-generator factory.
 
-        state = {"prev": model0, "best": None}
+    The deprecated ``lambda_grid_search`` / ``grid_search_lambdas``
+    shims (and the paper-faithful ``tune_single_lambda`` /
+    ``hill_climb`` entry points) use this to run their historical
+    signatures through the planner.
+    """
 
-        def score(lams, model, d, acc):
-            history.append(HistoryPoint(lams.copy(), d, acc))
-            viol = float((np.abs(d) - eps).max())
-            if viol <= 1e-12:
-                best = state["best"]
-                if best is None or acc > best[0]:
-                    state["best"] = (acc, lams.copy(), model)
-            return config.penalty * max(viol, 0.0) + (1.0 - acc)
+    name = "_adhoc"
 
-        def objective(lams):
-            lams = np.asarray(lams, dtype=np.float64)
-            model = fitter.fit(lams, prev_model=state["prev"])
-            state["prev"] = model
-            d, acc = evaluate(model)
-            return score(lams, model, d, acc)
+    def __init__(self, factory):
+        self._factory = factory
 
-        objective_batch = None
-        if compiled and not fitter.parameterized:
-            def objective_batch(population):
-                batch = evaluate_lambda_batch(
-                    fitter, val_constraints, X_val, y_val, population,
-                    evaluator=evaluator,
-                )
-                return np.array([
-                    score(
-                        batch.lambdas[i], batch.models[i],
-                        batch.disparities[i], float(batch.accuracies[i]),
-                    )
-                    for i in range(len(batch))
-                ])
-
-        cmaes_minimize(
-            objective, np.zeros(k), sigma0=config.sigma0,
-            max_evals=config.max_evals, popsize=config.popsize,
-            seed=config.seed, objective_batch=objective_batch,
-        )
-        if state["best"] is None:
-            raise InfeasibleConstraintError(
-                f"CMA-ES found no feasible Lambda in {config.max_evals} "
-                f"evaluations",
-                best_model=state["prev"],
-            )
-        acc, lams, model = state["best"]
-        return MultiTuneResult(
-            model=model, lambdas=lams, feasible=True,
-            n_fits=fitter.n_fits, n_rounds=len(history) - 1,
-            history=history,
-        )
+    def plan(self, ctx, config):
+        return self._factory(ctx)

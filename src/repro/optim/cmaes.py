@@ -5,6 +5,17 @@ their Seldonian classifiers.  Standard Hansen formulation: rank-μ weighted
 recombination, cumulative step-size adaptation, rank-one + rank-μ
 covariance updates.
 
+Two entry points share one update core:
+
+* :func:`cmaes_minimize` — the classic closure-driven interface
+  (``objective``/``objective_batch`` callables);
+* :func:`cmaes_generations` — the **ask/tell generator** the solver
+  planner consumes: it yields each generation's ``(λ, d)`` population
+  matrix and receives the fitness vector back via ``send``.  The
+  sampling, update math, and termination are byte-for-byte the loop
+  :func:`cmaes_minimize` runs (the wrapper *is* this generator driven
+  by the objective), so trajectories are identical across interfaces.
+
 Usage::
 
     result = cmaes_minimize(f, x0, sigma0=0.5, max_evals=2000, seed=0)
@@ -17,7 +28,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["cmaes_minimize", "CMAESResult"]
+__all__ = ["cmaes_minimize", "cmaes_generations", "CMAESResult"]
 
 
 @dataclass
@@ -30,40 +41,22 @@ class CMAESResult:
     converged: bool
 
 
-def cmaes_minimize(
-    objective,
+def cmaes_generations(
     x0,
     sigma0=0.5,
     max_evals=2000,
     popsize=None,
     tol=1e-10,
     seed=0,
-    objective_batch=None,
 ):
-    """Minimize ``objective`` over R^d with CMA-ES.
+    """Ask/tell generator over CMA-ES generations.
 
-    Parameters
-    ----------
-    objective : callable
-        ``x -> float``.
-    x0 : array-like
-        Initial mean.
-    sigma0 : float
-        Initial step size.
-    max_evals : int
-        Budget of objective evaluations.
-    popsize : int, optional
-        Offspring per generation (default ``4 + ⌊3 ln d⌋``).
-    tol : float
-        Stop when the generation's objective spread falls below this.
-    seed : int
-        RNG seed.
-    objective_batch : callable, optional
-        ``(λ, d) population matrix -> (λ,) objective values``.  When
-        given, each generation is evaluated through one call instead of
-        λ scalar calls — the hook the compiled constraint kernels use to
-        fit and score a whole population per pass.  Must agree with
-        ``objective`` pointwise; the search trajectory is then identical.
+    Yields the ``(λ, d)`` matrix of offspring for each generation and
+    expects the caller to ``send`` back the ``(λ,)`` fitness vector.
+    Returns (as the generator's ``StopIteration`` value) the
+    :class:`CMAESResult` for the best point seen.
+
+    Parameters mirror :func:`cmaes_minimize`.
     """
     rng = np.random.default_rng(seed)
     mean = np.asarray(x0, dtype=np.float64).copy()
@@ -104,15 +97,11 @@ def cmaes_minimize(
         zs = rng.standard_normal((lam, d))
         ys = zs @ np.diag(D) @ B.T
         xs = mean + sigma * ys
-        if objective_batch is not None:
-            fs = np.asarray(objective_batch(xs), dtype=np.float64)
-            if fs.shape != (lam,):
-                raise ValueError(
-                    f"objective_batch returned shape {fs.shape}, "
-                    f"expected ({lam},)"
-                )
-        else:
-            fs = np.array([objective(x) for x in xs])
+        fs = np.asarray((yield xs), dtype=np.float64)
+        if fs.shape != (lam,):
+            raise ValueError(
+                f"fitness vector has shape {fs.shape}, expected ({lam},)"
+            )
         n_evals += lam
 
         order = np.argsort(fs)
@@ -150,3 +139,59 @@ def cmaes_minimize(
 
     return CMAESResult(x=best_x, fun=best_f, n_evals=n_evals,
                        converged=converged)
+
+
+def cmaes_minimize(
+    objective,
+    x0,
+    sigma0=0.5,
+    max_evals=2000,
+    popsize=None,
+    tol=1e-10,
+    seed=0,
+    objective_batch=None,
+):
+    """Minimize ``objective`` over R^d with CMA-ES.
+
+    Parameters
+    ----------
+    objective : callable
+        ``x -> float``.
+    x0 : array-like
+        Initial mean.
+    sigma0 : float
+        Initial step size.
+    max_evals : int
+        Budget of objective evaluations.
+    popsize : int, optional
+        Offspring per generation (default ``4 + ⌊3 ln d⌋``).
+    tol : float
+        Stop when the generation's objective spread falls below this.
+    seed : int
+        RNG seed.
+    objective_batch : callable, optional
+        ``(λ, d) population matrix -> (λ,) objective values``.  When
+        given, each generation is evaluated through one call instead of
+        λ scalar calls — the hook the compiled constraint kernels use to
+        fit and score a whole population per pass.  Must agree with
+        ``objective`` pointwise; the search trajectory is then identical.
+    """
+    gen = cmaes_generations(
+        x0, sigma0=sigma0, max_evals=max_evals, popsize=popsize,
+        tol=tol, seed=seed,
+    )
+    fs = None
+    while True:
+        try:
+            xs = gen.send(fs) if fs is not None else next(gen)
+        except StopIteration as stop:
+            return stop.value
+        if objective_batch is not None:
+            fs = np.asarray(objective_batch(xs), dtype=np.float64)
+            if fs.shape != (len(xs),):
+                raise ValueError(
+                    f"objective_batch returned shape {fs.shape}, "
+                    f"expected ({len(xs)},)"
+                )
+        else:
+            fs = np.array([objective(x) for x in xs])

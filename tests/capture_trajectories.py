@@ -1,0 +1,134 @@
+"""Capture λ-search trajectories into ``tests/goldens/trajectories.json``.
+
+Run once against the pre-refactor loops to freeze the oracle, and again
+with ``--check`` after a refactor to prove the ask/tell planner replays
+the exact same trajectories::
+
+    PYTHONPATH=src python tests/capture_trajectories.py            # freeze
+    PYTHONPATH=src python tests/capture_trajectories.py --check    # verify
+
+The stored record per workload is the selected λ vector plus the full
+ordered λ-sequence of the search history — the two things the ISSUE 5
+acceptance criteria pin across the planner refactor and across execution
+backends.  ``tests/test_planner_equivalence.py`` consumes the same file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.api import Engine, Problem  # noqa: E402
+from repro.datasets import load_scenario  # noqa: E402
+from repro.ml import GaussianNaiveBayes  # noqa: E402
+from repro.ml.model_selection import train_val_test_split  # noqa: E402
+
+OUT = pathlib.Path(__file__).parent / "goldens" / "trajectories.json"
+
+# strategy × SP/FDR × scenario; multi-constraint workloads run the
+# 3-group sweep scenario (3 induced pairwise constraints), single ones
+# the two-group label-noise scenario
+WORKLOADS = {
+    "binary_search-sp-label_noise": (
+        "binary_search", "SP <= 0.05", "label_noise", {}),
+    "binary_search-fdr-label_noise": (
+        "binary_search", "FDR <= 0.05", "label_noise", {}),
+    "hill_climb-sp-label_noise": (
+        "hill_climb", "SP <= 0.05", "label_noise", {}),
+    "hill_climb-fdr-label_noise": (
+        "hill_climb", "FDR <= 0.05", "label_noise", {}),
+    "hill_climb-sp-group_sweep": (
+        "hill_climb", "SP <= 0.08", "group_sweep", {}),
+    "hill_climb-fdr-group_sweep": (
+        "hill_climb", "FDR <= 0.04", "group_sweep", {}),
+    "grid-sp-label_noise": (
+        "grid", "SP <= 0.05", "label_noise",
+        dict(grid_steps=20, grid_max=0.5)),
+    "grid-fdr-label_noise": (
+        "grid", "FDR <= 0.05", "label_noise",
+        dict(grid_steps=20, grid_max=0.5)),
+    "grid-sp-group_sweep": (
+        "grid", "SP <= 0.12", "group_sweep",
+        dict(grid_steps=5, grid_max=0.2)),
+    "linear-sp-label_noise": (
+        "linear", "SP <= 0.05", "label_noise", dict(step=0.02)),
+    "linear-fdr-label_noise": (
+        "linear", "FDR <= 0.05", "label_noise", dict(step=0.02)),
+    "cmaes-sp-label_noise": (
+        "cmaes", "SP <= 0.05", "label_noise", dict(max_evals=32, seed=0)),
+    "cmaes-fdr-label_noise": (
+        "cmaes", "FDR <= 0.05", "label_noise", dict(max_evals=32, seed=0)),
+    "cmaes-sp-group_sweep": (
+        "cmaes", "SP <= 0.10", "group_sweep", dict(max_evals=64, seed=0)),
+}
+
+
+SCENARIO_OVERRIDES = {"group_sweep": dict(n_groups=3)}
+
+
+def splits_for(scenario):
+    data = load_scenario(scenario, n=1600, seed=5,
+                         **SCENARIO_OVERRIDES.get(scenario, {}))
+    strat = data.sensitive * 2 + data.y
+    tr, va, _ = train_val_test_split(len(data), seed=5, stratify=strat)
+    return data.subset(tr), data.subset(va)
+
+
+def lam_seq(history):
+    return [np.atleast_1d(np.asarray(h.lam, dtype=np.float64)).tolist()
+            for h in history]
+
+
+def run_workload(name, splits_cache, **engine_kwargs):
+    strategy, spec, scenario, options = WORKLOADS[name]
+    if scenario not in splits_cache:
+        splits_cache[scenario] = splits_for(scenario)
+    train, val = splits_cache[scenario]
+    fair = Engine(strategy, **options, **engine_kwargs).solve(
+        Problem(spec), GaussianNaiveBayes(), train, val
+    )
+    report = fair.report
+    return {
+        "strategy": report.strategy,
+        "spec": spec,
+        "scenario": scenario,
+        "lambdas": [float(v) for v in report.lambdas],
+        "history_lambdas": lam_seq(report.history),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the stored file instead of "
+                             "rewriting it")
+    args = parser.parse_args(argv)
+    splits_cache = {}
+    got = {name: run_workload(name, splits_cache) for name in sorted(WORKLOADS)}
+    if args.check:
+        want = json.loads(OUT.read_text())
+        failures = []
+        for name in sorted(WORKLOADS):
+            if got[name] != want.get(name):
+                failures.append(name)
+        if failures:
+            print(f"MISMATCH: {failures}")
+            return 1
+        print(f"OK: {len(got)} trajectories identical")
+        return 0
+    OUT.parent.mkdir(exist_ok=True)
+    OUT.write_text(json.dumps(got, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {OUT} ({len(got)} workloads)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

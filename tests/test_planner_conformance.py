@@ -1,0 +1,268 @@
+"""Ask/tell conformance suite: protocol invariants for every strategy.
+
+Two layers of checks:
+
+* **Plan protocol** — every registered strategy that implements
+  ``plan()`` must yield well-formed :class:`CandidateBatch` objects
+  (2-D float64 λ matrix with the bound constraint count as trailing
+  dimension, valid kind, string purpose) and must produce the same
+  result through ``run()`` as through the legacy ``solve()`` surface.
+* **Executor contract** — stop predicates end a ``"fit"`` batch at the
+  triggering candidate on *every* backend (nothing past it is
+  reported; the serial backend does not even fit it), chained batches
+  thread ``prev_model`` candidate to candidate, population batches
+  report every candidate in order, and speculative pre-fits never
+  change ``n_fits`` accounting.
+"""
+
+import pickle
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.dsl import parse_spec
+from repro.core.executor import (
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    available_backends,
+    resolve_backend,
+)
+from repro.core.fitter import WeightedFitter
+from repro.core.planner import CandidateBatch, EvalResult, PlanContext
+from repro.core.spec import bind_specs
+from repro.core.strategies import (
+    SearchStrategy,
+    available_strategies,
+    get_strategy,
+)
+from repro.core.exceptions import SpecificationError
+from repro.ml import GaussianNaiveBayes
+
+ALL_BACKENDS = ("serial", "thread:2", "process:2")
+
+
+def _make_fitter(splits, spec="SP <= 0.05", **kwargs):
+    train, val, _ = splits
+    tc = bind_specs(parse_spec(spec), train)
+    vc = bind_specs(parse_spec(spec), val)
+    fitter = WeightedFitter(
+        GaussianNaiveBayes(), train.X, train.y, tc, **kwargs
+    )
+    return fitter, vc, val
+
+
+class _RecordingSerial(SerialBackend):
+    """Serial backend that audits every batch it executes."""
+
+    def __init__(self):
+        super().__init__()
+        self.batches = []
+
+    def run(self, batch, ctx):
+        assert isinstance(batch, CandidateBatch)
+        assert batch.lambdas.ndim == 2
+        assert batch.lambdas.dtype == np.float64
+        assert batch.lambdas.shape[0] >= 1
+        assert batch.lambdas.shape[1] == ctx.k
+        assert batch.kind in ("fit", "population")
+        assert isinstance(batch.purpose, str)
+        if batch.lookahead is not None:
+            assert batch.lookahead.shape[1] == ctx.k
+        results = super().run(batch, ctx)
+        assert 1 <= len(results) <= len(batch)
+        for i, res in enumerate(results):
+            assert isinstance(res, EvalResult)
+            assert res.lam.shape == (ctx.k,)
+            assert res.disparities.shape == (ctx.k,)
+            np.testing.assert_array_equal(res.lam, batch.lambdas[i])
+            assert res.wall_time_s is not None and res.wall_time_s >= 0
+            assert res.batch_id == ctx.next_batch_id
+        if batch.stop is not None:
+            # nothing may be reported past the stop-triggering candidate
+            for res in results[:-1]:
+                assert not batch.stop(res)
+        self.batches.append(batch)
+        return results
+
+
+PLANNED = [
+    name for name in available_strategies()
+    if type(get_strategy(name)).plan is not SearchStrategy.plan
+]
+
+
+class TestPlanProtocol:
+    def test_every_builtin_is_planner_capable(self):
+        for expected in ("binary_search", "linear", "grid", "hill_climb",
+                         "cmaes"):
+            assert expected in PLANNED
+
+    @pytest.mark.parametrize("name", PLANNED)
+    def test_plan_yields_wellformed_batches(self, name, two_group_splits,
+                                            three_group_splits):
+        strategy = get_strategy(name)
+        config = strategy.make_config({})
+        splits = two_group_splits
+        fitter, vc, val = _make_fitter(splits, "SP <= 0.1")
+        backend = _RecordingSerial()
+        result = strategy.run(
+            fitter, vc, val.X, val.y, config, backend=backend,
+        )
+        assert backend.batches, "strategy never asked for candidates"
+        assert result.feasible
+        assert len(result.history) >= 1
+
+    @pytest.mark.parametrize("name", PLANNED)
+    def test_run_matches_solve(self, name, two_group_splits):
+        strategy = get_strategy(name)
+        config = strategy.make_config({})
+        f1, vc1, val = _make_fitter(two_group_splits, "SP <= 0.1")
+        via_run = strategy.run(f1, vc1, val.X, val.y, config)
+        f2, vc2, val = _make_fitter(two_group_splits, "SP <= 0.1")
+        via_solve = get_strategy(name).solve(f2, vc2, val.X, val.y, config)
+        lam1 = np.atleast_1d(getattr(via_run, "lam", None)
+                             if hasattr(via_run, "lam")
+                             else via_run.lambdas)
+        lam2 = np.atleast_1d(getattr(via_solve, "lam", None)
+                             if hasattr(via_solve, "lam")
+                             else via_solve.lambdas)
+        np.testing.assert_array_equal(lam1, lam2)
+
+    def test_legacy_solve_strategy_rejected_off_serial(self,
+                                                       two_group_splits):
+        class Legacy(SearchStrategy):
+            name = "legacy_tmp"
+
+            def solve(self, fitter, val_constraints, X_val, y_val, config):
+                raise AssertionError("should not be reached")
+
+        fitter, vc, val = _make_fitter(two_group_splits)
+        with pytest.raises(SpecificationError, match="serial backend"):
+            Legacy().run(fitter, vc, val.X, val.y, None, backend="thread")
+
+
+class TestExecutorContract:
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_stop_predicate_honored(self, backend, two_group_splits):
+        fitter, vc, val = _make_fitter(two_group_splits)
+        ctx = PlanContext(fitter, vc, val.X, val.y)
+        backend = resolve_backend(backend)
+        backend.bind(ctx)
+        grid = np.linspace(0.05, 0.45, 5)[:, None]
+        batch = CandidateBatch(
+            grid, purpose="ladder",
+            stop=lambda res: res.index >= 2,
+        )
+        results = backend.run(batch, ctx)
+        backend.release(ctx)
+        assert len(results) == 3
+        assert [res.index for res in results] == [0, 1, 2]
+        # stop also bounds history: one record per reported candidate
+        assert len(ctx.history) == 3
+
+    def test_serial_stop_bounds_fits(self, two_group_splits):
+        fitter, vc, val = _make_fitter(two_group_splits)
+        ctx = PlanContext(fitter, vc, val.X, val.y)
+        batch = CandidateBatch(
+            np.linspace(0.05, 0.45, 5)[:, None],
+            stop=lambda res: res.index >= 2,
+        )
+        SerialBackend().run(batch, ctx)
+        assert fitter.n_fits == 3  # candidates past the stop never fit
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_population_reports_all(self, backend, two_group_splits):
+        fitter, vc, val = _make_fitter(two_group_splits)
+        ctx = PlanContext(fitter, vc, val.X, val.y)
+        backend = resolve_backend(backend)
+        backend.bind(ctx)
+        grid = np.linspace(-0.3, 0.3, 7)[:, None]
+        results = backend.run(
+            CandidateBatch(grid, kind="population"), ctx,
+        )
+        backend.release(ctx)
+        assert len(results) == 7
+        np.testing.assert_array_equal(
+            np.concatenate([res.lam for res in results]), grid[:, 0],
+        )
+
+    def test_speculation_preserves_n_fits(self, two_group_splits):
+        lam_serial, lam_spec = [], []
+        for backend, sink in (("serial", lam_serial),
+                              ("thread:2", lam_spec)):
+            fitter, vc, val = _make_fitter(two_group_splits)
+            ctx = PlanContext(fitter, vc, val.X, val.y)
+            be = resolve_backend(backend)
+            be.bind(ctx)
+            batch = CandidateBatch(
+                np.linspace(0.05, 0.45, 6)[:, None],
+                stop=lambda res: res.index >= 3,
+            )
+            results = be.run(batch, ctx)
+            be.release(ctx)
+            sink.extend(res.fp for res in results)
+            # speculative pre-fits use count_fits=False: the logical
+            # budget is identical across backends
+            assert fitter.n_fits == 4
+        assert lam_serial == lam_spec
+
+    def test_chained_batch_threads_prev_model(self, two_group_splits):
+        calls = []
+        fitter, vc, val = _make_fitter(two_group_splits)
+        original = fitter.fit
+
+        def spy(lambdas, prev_model=None, use_subsample=False):
+            model = original(lambdas, prev_model=prev_model,
+                             use_subsample=use_subsample)
+            calls.append((prev_model, model))
+            return model
+
+        fitter.fit = spy
+        ctx = PlanContext(fitter, vc, val.X, val.y)
+        seed_model = original(np.zeros(1))
+        calls.clear()
+        SerialBackend().run(
+            CandidateBatch([[0.1], [0.2], [0.3]], chain=True,
+                           prev_model=seed_model),
+            ctx,
+        )
+        assert calls[0][0] is seed_model
+        assert calls[1][0] is calls[0][1]
+        assert calls[2][0] is calls[1][1]
+
+    def test_process_unpicklable_falls_back_with_one_warning(
+            self, two_group_splits):
+        class LocalNB(GaussianNaiveBayes):  # local class: not picklable
+            pass
+
+        train, val, _ = two_group_splits
+        tc = bind_specs(parse_spec("SP <= 0.1"), train)
+        vc = bind_specs(parse_spec("SP <= 0.1"), val)
+        fitter = WeightedFitter(LocalNB(), train.X, train.y, tc)
+        with pytest.raises(Exception):
+            pickle.dumps(fitter.estimator)
+        ctx = PlanContext(fitter, vc, val.X, val.y)
+        backend = ProcessBackend(n_workers=2)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            backend.bind(ctx)
+            batch = CandidateBatch(np.linspace(0.05, 0.45, 6)[:, None])
+            results = backend.run(batch, ctx)
+            backend.release(ctx)
+        runtime = [w for w in caught
+                   if issubclass(w.category, RuntimeWarning)
+                   and "not picklable" in str(w.message)]
+        assert len(runtime) == 1  # one consolidated warning, not per fit
+        assert backend.pool_kind is None
+        assert len(results) == 6
+
+    def test_backend_registry(self):
+        assert {"serial", "thread", "process"} <= set(available_backends())
+        assert isinstance(resolve_backend("thread:3"), ThreadBackend)
+        assert resolve_backend("thread:3").n_workers == 3
+        with pytest.raises(SpecificationError, match="unknown execution"):
+            resolve_backend("gpu")
+        with pytest.raises(SpecificationError, match="worker count"):
+            resolve_backend("process:lots")

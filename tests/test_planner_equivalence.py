@@ -1,0 +1,72 @@
+"""Equivalence goldens: the planner replays the pre-refactor solver loops.
+
+``tests/goldens/trajectories.json`` was frozen from the PR 4 solver
+loops (``tune_single_lambda`` / ``hill_climb`` / the grid sweeps /
+CMA-ES) *before* they were ported onto the ask/tell planner: for every
+strategy × SP/FDR × scenario workload it stores the selected λ vector
+and the full ordered λ-sequence of the search history.
+
+These tests assert that every workload, run through the planner on
+**each registered execution backend**, reproduces both bit-for-bit —
+the ISSUE 5 acceptance criterion.  Speculative backends may fit more
+candidates, but what the strategy observes (and therefore selects and
+records) must be indistinguishable from the serial reference.
+
+Regenerate after an *intentional* trajectory change with::
+
+    PYTHONPATH=src python tests/capture_trajectories.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from capture_trajectories import (  # noqa: E402
+    OUT as TRAJECTORY_FILE,
+    WORKLOADS,
+    run_workload,
+)
+
+BACKENDS = ("serial", "thread:2", "process:2")
+
+
+@pytest.fixture(scope="module")
+def golden():
+    assert TRAJECTORY_FILE.exists(), (
+        "trajectory goldens missing; run "
+        "PYTHONPATH=src python tests/capture_trajectories.py"
+    )
+    return json.loads(TRAJECTORY_FILE.read_text())
+
+
+@pytest.fixture(scope="module")
+def splits_cache():
+    return {}
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_trajectory_identical(name, backend, golden, splits_cache):
+    got = run_workload(name, splits_cache, backend=backend)
+    want = golden[name]
+    assert got["lambdas"] == want["lambdas"], (
+        f"{name} on {backend}: selected λ drifted from the pre-planner "
+        f"loop"
+    )
+    assert got["history_lambdas"] == want["history_lambdas"], (
+        f"{name} on {backend}: history λ-sequence drifted from the "
+        f"pre-planner loop"
+    )
+
+
+def test_goldens_cover_every_registered_builtin(golden):
+    from repro.core.strategies import available_strategies
+
+    covered = {record["strategy"] for record in golden.values()}
+    # race is a meta-strategy over the covered components
+    assert covered >= set(available_strategies()) - {"race"}
