@@ -18,6 +18,7 @@ from ..baselines.base import NotSupportedError
 from ..core.exceptions import InfeasibleConstraintError
 from ..core.spec import FairnessSpec, bind_specs
 from ..ml import (
+    GaussianNaiveBayes,
     GradientBoostedTrees,
     LogisticRegression,
     NeuralNetwork,
@@ -58,6 +59,8 @@ ESTIMATOR_FACTORIES = {
     "RF": _small_rf,
     "XGB": _small_xgb,
     "NN": _small_nn,
+    # closed-form generative paradigm; the serving benchmark's default
+    "NB": GaussianNaiveBayes,
 }
 
 

@@ -28,6 +28,8 @@ The legacy ``OmniFair`` class remains as a thin shim over this facade.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from .core.dsl import SpecSet, parse_spec
@@ -50,6 +52,14 @@ from .ml.model_selection import train_test_split
 from .ml.persistence import load_model, save_model
 
 __all__ = ["Problem", "Engine", "FairModel", "fit_fair"]
+
+#: version of the FairModel-specific payload inside the persistence
+#: envelope (distinct from the envelope's own format_version): bump when
+#: the artifact's attribute layout changes incompatibly
+FAIRMODEL_FORMAT_VERSION = 1
+
+#: ``extra`` keys FairModel.load understands; unknown ones warn, not crash
+_KNOWN_EXTRA_KEYS = frozenset({"fairmodel_format_version", "spec_canonical"})
 
 
 class Problem:
@@ -114,6 +124,34 @@ class FairModel:
         """Class probabilities from the tuned fair model."""
         return self.model.predict_proba(X)
 
+    def predict_batch(self, chunks):
+        """Coalesced prediction over several row blocks in one pass.
+
+        The serving layer's micro-batcher stacks the row blocks of all
+        concurrent ``/predict`` requests for this model, runs **one**
+        :meth:`predict` over the stacked matrix, and splits the labels
+        back per block.  Predictions are per-row for every in-repo
+        estimator, so the split results are bit-identical to calling
+        :meth:`predict` once per block.
+        """
+        chunks = [np.asarray(c, dtype=np.float64) for c in chunks]
+        if not chunks:
+            return []
+        sizes = [len(c) for c in chunks]
+        preds = self.predict(np.vstack(chunks))
+        out, offset = [], 0
+        for size in sizes:
+            out.append(preds[offset:offset + size])
+            offset += size
+        return out
+
+    def spec_canonical(self):
+        """Canonical spec string, or None for non-DSL metrics/groupings."""
+        try:
+            return self.specs.canonical()
+        except SpecificationError:
+            return None
+
     def audit(self, dataset):
         """Re-evaluate the model's fairness on any :class:`Dataset`.
 
@@ -121,6 +159,11 @@ class FairModel:
         :func:`~repro.core.evaluation.evaluate_model` dict (accuracy,
         per-constraint disparities/violations, feasibility).
         """
+        if len(dataset) == 0:
+            raise SpecificationError(
+                "cannot audit on an empty dataset: it has zero rows, so "
+                "no group statistic is defined"
+            )
         constraints = bind_specs(self.specs, dataset)
         return evaluate_model(self.model, dataset.X, dataset.y, constraints)
 
@@ -130,16 +173,49 @@ class FairModel:
         return None if self.report is None else self.report.lambdas
 
     def save(self, path):
-        """Serialize this artifact with the versioned model envelope."""
-        save_model(self, path)
+        """Serialize this artifact with the versioned model envelope.
+
+        Beyond the generic envelope, the payload embeds the FairModel
+        format version and the spec's canonical string, so a registry
+        reload can key the artifact without unpickling-then-reparsing
+        and a future revision can migrate old files deliberately.
+        """
+        save_model(self, path, extra={
+            "fairmodel_format_version": FAIRMODEL_FORMAT_VERSION,
+            "spec_canonical": self.spec_canonical(),
+        })
 
     @classmethod
     def load(cls, path):
-        """Load a saved artifact; rejects files holding other objects."""
-        obj = load_model(path)
+        """Load a saved artifact; rejects files holding other objects.
+
+        Unknown ``extra`` keys in the envelope (written by a newer
+        revision) warn instead of crashing, so registry evict/reload
+        round-trips stay future-proof.
+        """
+        obj, envelope = load_model(path, with_envelope=True)
         if not isinstance(obj, cls):
             raise SpecificationError(
                 f"{path!r} holds a {type(obj).__name__}, not a FairModel"
+            )
+        extra = envelope.get("extra") or {}
+        unknown = sorted(set(extra) - _KNOWN_EXTRA_KEYS)
+        if unknown:
+            warnings.warn(
+                f"FairModel payload in {path!r} carries unknown extra "
+                f"key(s) {unknown} (written by a newer revision?); "
+                f"ignoring them",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        version = extra.get("fairmodel_format_version")
+        if version is not None and version > FAIRMODEL_FORMAT_VERSION:
+            warnings.warn(
+                f"FairModel payload in {path!r} is format "
+                f"v{version}; this revision writes "
+                f"v{FAIRMODEL_FORMAT_VERSION} — loading anyway",
+                RuntimeWarning,
+                stacklevel=2,
             )
         return obj
 
@@ -305,6 +381,16 @@ class Engine:
             raise SpecificationError(
                 "train must be a repro.datasets.Dataset; wrap raw arrays "
                 "with Dataset(name=..., X=..., y=..., sensitive=...)"
+            )
+        if len(train) == 0:
+            raise SpecificationError(
+                "training dataset has zero rows; solve() needs at least "
+                "one row per demographic group to fit and weight a model"
+            )
+        if val is not None and len(val) == 0:
+            raise SpecificationError(
+                "validation dataset has zero rows; pass val=None to split "
+                "one off the training data instead"
             )
         if val is None:
             train, val = self._split_validation(train, val_fraction, seed)

@@ -24,12 +24,20 @@ knob, and a saved deployable artifact::
         --spec "FPR <= 0.05 and FNR <= 0.05" \
         --search hill_climb --strategy-opt tau=1e-4 \
         --save fair_model.pkl
+
+Serve saved models over HTTP (micro-batched prediction, background
+retune jobs), then load-test the running server::
+
+    python -m repro serve --port 8000 --load prod=fair_model.pkl
+    python -m repro bench-serve --port 8000 --model prod \
+        --dataset adult --clients 8
 """
 
 from __future__ import annotations
 
 import argparse
 import ast
+import asyncio
 import sys
 
 from .analysis.runner import ESTIMATOR_FACTORIES
@@ -43,7 +51,27 @@ from .datasets import LOADERS, available_scenarios, load, two_group_view
 from .ml.adapters import external_model_names, resolve_model
 from .ml.model_selection import train_val_test_split
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "inventory"]
+
+
+def inventory():
+    """Every registry the CLI exposes, enumerated in one place.
+
+    ``repro list`` renders exactly this dict, and the ``train`` help
+    strings draw from it, so the listing cannot drift between the two
+    code paths.
+    """
+    return {
+        "datasets": sorted(LOADERS),
+        "scenarios": [f"scenario:{name}" for name in available_scenarios()],
+        "metrics": sorted(METRIC_FACTORIES),
+        "models": (
+            sorted(ESTIMATOR_FACTORIES) + external_model_names()
+            + ["ext:<module:Class>"]
+        ),
+        "strategies": ["auto"] + available_strategies(),
+        "backends": available_backends(),
+    }
 
 
 def _strategy_opt(text):
@@ -61,6 +89,7 @@ def _strategy_opt(text):
 
 
 def build_parser():
+    known = inventory()
     parser = argparse.ArgumentParser(
         prog="repro",
         description="OmniFair reproduction — declarative group-fair training",
@@ -68,14 +97,16 @@ def build_parser():
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser(
-        "list", help="list datasets, metrics, models and search strategies"
+        "list",
+        help="list datasets, scenarios, metrics, models, strategies "
+             "and backends",
     )
 
     train = sub.add_parser("train", help="train a fair model on a twin")
     train.add_argument("--dataset", required=True,
                        metavar="NAME",
                        help="benchmark twin "
-                            f"({', '.join(sorted(LOADERS))}) or a "
+                            f"({', '.join(known['datasets'])}) or a "
                             "registered scenario family as "
                             "scenario:<name> (see 'list')")
     train.add_argument("--spec", action="append", default=None,
@@ -135,19 +166,70 @@ def build_parser():
                             "stacked mask product)")
     train.add_argument("--save", metavar="PATH", default=None,
                        help="save the deployable FairModel artifact")
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve registered FairModels over HTTP (micro-batched "
+             "prediction, audits, background retune jobs)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8000,
+                       help="listening port (0 picks a free one; the "
+                            "bound address is printed on startup)")
+    serve.add_argument("--load", action="append", default=None,
+                       metavar="NAME=PATH",
+                       help="register a saved FairModel artifact under "
+                            "NAME; repeatable")
+    serve.add_argument("--store-dir", default=None, metavar="DIR",
+                       help="spool directory for the registry's "
+                            "evict/reload lifecycle")
+    serve.add_argument("--max-models", type=int, default=None,
+                       help="resident-model bound (LRU eviction beyond it)")
+    serve.add_argument("--no-batching", action="store_true",
+                       help="disable request coalescing (every /predict "
+                            "runs its own pass; the benchmark's off arm)")
+    serve.add_argument("--max-batch-size", type=int, default=32,
+                       help="requests coalesced per predict pass "
+                            "(default 32)")
+    serve.add_argument("--max-wait-us", type=int, default=2000,
+                       help="how long an open batch waits for "
+                            "stragglers, in microseconds (default 2000)")
+    serve.add_argument("--n-workers", type=int, default=1,
+                       help="per-model batch workers (default 1)")
+    serve.add_argument("--backend", default="serial", metavar="NAME",
+                       help="default execution backend for retune jobs "
+                            f"({', '.join(known['backends'])})")
+
+    bench = sub.add_parser(
+        "bench-serve",
+        help="closed-loop load generator against a running server",
+    )
+    bench.add_argument("--host", default="127.0.0.1")
+    bench.add_argument("--port", type=int, required=True)
+    bench.add_argument("--model", required=True, metavar="NAME",
+                       help="registered model name to target")
+    bench.add_argument("--dataset", default="adult", metavar="NAME",
+                       help="dataset/scenario the request rows are "
+                            "drawn from (default adult)")
+    bench.add_argument("--rows-n", type=int, default=2000,
+                       help="row-pool size loaded from --dataset")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--clients", type=int, default=8,
+                       help="concurrent closed-loop clients (default 8)")
+    bench.add_argument("--requests", type=int, default=25,
+                       help="requests per client (default 25)")
+    bench.add_argument("--rows", type=int, default=4,
+                       help="rows per request (default 4)")
+    bench.add_argument("--expect", default=None, metavar="PATH",
+                       help="saved FairModel to verify responses against "
+                            "bit-for-bit (default: one warm-up bulk "
+                            "/predict defines the expectation)")
     return parser
 
 
 def _cmd_list(out):
-    out.write("datasets:   " + ", ".join(sorted(LOADERS)) + "\n")
-    out.write("scenarios:  " + ", ".join(
-        f"scenario:{name}" for name in available_scenarios()) + "\n")
-    out.write("metrics:    " + ", ".join(sorted(METRIC_FACTORIES)) + "\n")
-    models = sorted(ESTIMATOR_FACTORIES) + external_model_names()
-    out.write("models:     " + ", ".join(models)
-              + ", ext:<module:Class>\n")
-    out.write("strategies: auto, " + ", ".join(available_strategies()) + "\n")
-    out.write("backends:   " + ", ".join(available_backends()) + "\n")
+    for label, items in inventory().items():
+        out.write(f"{label + ':':<11} " + ", ".join(items) + "\n")
     return 0
 
 
@@ -236,6 +318,82 @@ def _cmd_train(args, out):
     return 0
 
 
+def _cmd_serve(args, out):
+    # imported here so `repro list/train` stay asyncio-free
+    from .serving import FairnessService, ModelRegistry
+
+    try:
+        registry = ModelRegistry(
+            store_dir=args.store_dir, max_models=args.max_models,
+        )
+        for pair in args.load or []:
+            name, sep, path = pair.partition("=")
+            if not sep or not name.strip() or not path.strip():
+                raise SpecificationError(
+                    f"--load expects NAME=PATH, got {pair!r}"
+                )
+            registry.load(name.strip(), path.strip())
+        service = FairnessService(
+            registry=registry,
+            batching=not args.no_batching,
+            max_batch_size=args.max_batch_size,
+            max_wait_us=args.max_wait_us,
+            n_workers=args.n_workers,
+            backend=args.backend,
+        )
+    except (SpecificationError, OSError, ValueError) as exc:
+        out.write(f"SPEC ERROR: {exc}\n")
+        return 2
+
+    async def run():
+        port = await service.start(args.host, args.port)
+        batching = "off" if args.no_batching else "on"
+        out.write(
+            f"serving on {service.host}:{port} "
+            f"({len(registry)} model(s), batching {batching})\n"
+        )
+        out.flush()
+        await service.serve_until_stopped()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        out.write("shutting down\n")
+    return 0
+
+
+def _cmd_bench_serve(args, out):
+    from .api import FairModel
+    from .serving import ServingClient, ServingError, run_load
+
+    try:
+        data = load(args.dataset, n=args.rows_n, seed=args.seed)
+    except KeyError as exc:
+        out.write(f"SPEC ERROR: {exc.args[0]}\n")
+        return 2
+    with ServingClient(args.host, args.port) as client:
+        try:
+            client.healthz()
+            if args.expect:
+                expected = FairModel.load(args.expect).predict(data.X)
+            else:
+                # one warm-up bulk predict defines the expectation: every
+                # coalesced per-request answer must match it bit-for-bit
+                expected = client.predict(args.model, data.X)
+        except (ServingError, OSError, ValueError,
+                SpecificationError) as exc:
+            out.write(f"SERVE ERROR: {exc}\n")
+            return 2
+    report = run_load(
+        args.host, args.port, args.model, data.X, expected,
+        n_clients=args.clients, requests_per_client=args.requests,
+        rows_per_request=args.rows,
+    )
+    for key, value in report.to_dict().items():
+        out.write(f"{key}: {value}\n")
+    return 0 if report.predictions_ok else 1
+
+
 def main(argv=None, out=None):
     """CLI entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
@@ -244,6 +402,10 @@ def main(argv=None, out=None):
         return _cmd_list(out)
     if args.command == "train":
         return _cmd_train(args, out)
+    if args.command == "serve":
+        return _cmd_serve(args, out)
+    if args.command == "bench-serve":
+        return _cmd_bench_serve(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

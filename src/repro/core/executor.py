@@ -45,7 +45,9 @@ first feasible result.
 
 from __future__ import annotations
 
+import itertools
 import pickle
+import threading
 import time
 import warnings
 
@@ -64,6 +66,8 @@ __all__ = [
     "available_backends",
     "resolve_backend",
     "run_race",
+    "JobHandle",
+    "submit_job",
 ]
 
 
@@ -383,6 +387,112 @@ def resolve_backend(spec):
                 f"use e.g. 'process:4'"
             ) from None
     return _BACKENDS[name](**kwargs)
+
+
+# -- background job submission -------------------------------------------------
+
+
+_JOB_COUNTER = itertools.count(1)
+
+
+class JobHandle:
+    """A background solve (or any callable) running off the request path.
+
+    The serving layer's ``POST /retune`` endpoint answers with a job id
+    immediately and runs the actual :meth:`Engine.solve` — itself
+    dispatched through the execution-backend registry — on a worker
+    thread; clients poll ``GET /jobs/<id>`` until the handle reports
+    ``done`` or ``error``.  The handle is the synchronization point:
+    ``status``/``result``/``error`` are published under a lock and
+    :meth:`wait` blocks on an event, so it is safe to share between the
+    submitting thread, the worker, and any number of pollers.
+    """
+
+    def __init__(self, job_id, name=None):
+        self.id = job_id
+        self.name = name or f"job-{job_id}"
+        self._lock = threading.Lock()
+        self._finished = threading.Event()
+        self._status = "pending"
+        self._result = None
+        self._error = None
+        self.submitted_at = time.time()
+        self.started_at = None
+        self.finished_at = None
+
+    @property
+    def status(self):
+        """One of ``pending``, ``running``, ``done``, ``error``."""
+        with self._lock:
+            return self._status
+
+    @property
+    def result(self):
+        """The callable's return value once ``status == "done"``."""
+        with self._lock:
+            return self._result
+
+    @property
+    def error(self):
+        """The raised exception once ``status == "error"``."""
+        with self._lock:
+            return self._error
+
+    def wait(self, timeout=None):
+        """Block until the job finishes; True unless the wait timed out."""
+        return self._finished.wait(timeout)
+
+    def describe(self):
+        """JSON-friendly snapshot (the ``GET /jobs/<id>`` payload core)."""
+        with self._lock:
+            out = {
+                "id": self.id,
+                "name": self.name,
+                "status": self._status,
+                "submitted_at": self.submitted_at,
+                "started_at": self.started_at,
+                "finished_at": self.finished_at,
+            }
+            if self._error is not None:
+                out["error"] = f"{type(self._error).__name__}: {self._error}"
+        return out
+
+    # -- worker side --------------------------------------------------------
+
+    def _run(self, fn, args, kwargs):
+        with self._lock:
+            self._status = "running"
+            self.started_at = time.time()
+        try:
+            result = fn(*args, **kwargs)
+        except BaseException as exc:  # published, not swallowed
+            with self._lock:
+                self._status = "error"
+                self._error = exc
+                self.finished_at = time.time()
+        else:
+            with self._lock:
+                self._status = "done"
+                self._result = result
+                self.finished_at = time.time()
+        finally:
+            self._finished.set()
+
+
+def submit_job(fn, *args, name=None, **kwargs):
+    """Run ``fn(*args, **kwargs)`` on a daemon thread; return its handle.
+
+    Exceptions are captured on the handle (``status == "error"``)
+    instead of killing the worker, so a failed retune surfaces through
+    polling rather than a dead server thread.
+    """
+    handle = JobHandle(next(_JOB_COUNTER), name=name)
+    worker = threading.Thread(
+        target=handle._run, args=(fn, args, kwargs),
+        name=handle.name, daemon=True,
+    )
+    worker.start()
+    return handle
 
 
 # -- the race meta-strategy driver --------------------------------------------

@@ -7,6 +7,7 @@ human-readable names needed by grouping functions and reports.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -98,6 +99,22 @@ class Dataset:
             task=self.task,
             extras=extras,
         )
+
+    def fingerprint(self):
+        """Stable content hash of the dataset (rows, labels, groups).
+
+        The serving layer's model registry keys retune results on
+        ``SpecSet.canonical() × Dataset.fingerprint()`` so that
+        canonically-equivalent requests on the same data dedup to one
+        solve.  The hash covers the exact array bytes (plus the name and
+        sensitive-attribute tag), so any row edit changes the key.
+        """
+        digest = hashlib.sha1()
+        digest.update(self.name.encode())
+        digest.update(self.sensitive_attribute.encode())
+        for arr in (self.X, self.y, self.sensitive):
+            digest.update(np.ascontiguousarray(arr).tobytes())
+        return digest.hexdigest()
 
     def group_mask(self, group):
         """Boolean mask for a group given by name or integer code."""

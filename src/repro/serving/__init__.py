@@ -1,0 +1,43 @@
+"""Fairness-as-a-service: a long-lived serving layer over the Engine.
+
+The library's solving stack (compiled kernels, batched fits, ask/tell
+planner over execution backends) is process-oriented: every prediction
+or audit pays a cold :class:`~repro.api.Engine`.  This package turns it
+into a service:
+
+* :mod:`~repro.serving.registry` — a thread-safe :class:`ModelRegistry`
+  owning named fitted :class:`~repro.api.FairModel` artifacts with a
+  load/save/evict lifecycle (persistence-envelope backed) and
+  spec-canonical dedup keys (``SpecSet.canonical() ×
+  Dataset.fingerprint()``);
+* :mod:`~repro.serving.batcher` — a per-model micro-batching queue that
+  coalesces concurrent ``predict`` calls into one
+  :meth:`FairModel.predict_batch` pass;
+* :mod:`~repro.serving.service` — the asyncio HTTP front end
+  (``/predict``, ``/audit``, ``/retune`` + job polling, ``/models``,
+  ``/healthz``, ``/stats``);
+* :mod:`~repro.serving.client` — a stdlib blocking client;
+* :mod:`~repro.serving.loadgen` — the closed-loop load generator behind
+  ``repro bench-serve`` and ``benchmarks/perf/bench_serving.py``.
+
+Everything is stdlib + numpy: ``asyncio.start_server`` with a minimal
+HTTP/1.1 layer, no new dependencies.
+"""
+
+from .batcher import MicroBatcher
+from .client import ServingClient, ServingError
+from .loadgen import LoadReport, run_load
+from .registry import ModelRegistry, canonical_key
+from .service import FairnessService, serve_in_thread
+
+__all__ = [
+    "ModelRegistry",
+    "canonical_key",
+    "MicroBatcher",
+    "FairnessService",
+    "serve_in_thread",
+    "ServingClient",
+    "ServingError",
+    "LoadReport",
+    "run_load",
+]

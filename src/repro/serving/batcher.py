@@ -1,0 +1,197 @@
+"""Micro-batching: coalesce concurrent predict calls into one pass.
+
+Production prediction traffic is many small concurrent requests against
+one model; per-request model invocation pays the fixed Python/numpy
+dispatch cost every time.  A :class:`MicroBatcher` puts an asyncio queue
+in front of each model: the first request opens a batch, the worker
+drains whatever else is queued (waiting at most ``max_wait_us`` for
+stragglers, up to ``max_batch_size`` requests), and the whole batch runs
+as **one** :meth:`FairModel.predict_batch` call — a stack, a single
+``predict`` pass, a split.  Results are bit-identical to per-request
+``predict`` because predictions are per-row.
+
+Each batcher owns a small thread pool (the *per-model worker pool*) so
+one model's slow predict cannot head-of-line-block another model, and
+``n_workers`` batches of the same model may overlap.  A batch-size
+histogram and queue-depth gauge feed the service's ``/stats``.
+
+``max_batch_size=1`` degrades to exactly the unbatched pipeline (still
+one executor hop per request) — that is the serving benchmark's
+batching-off arm, so on/off compare the same code path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+
+__all__ = ["MicroBatcher"]
+
+
+class MicroBatcher:
+    """Per-model request coalescing over an asyncio queue.
+
+    Parameters
+    ----------
+    predict_batch : callable(list of row-blocks) -> list of label arrays
+        Typically ``FairModel.predict_batch`` (or a registry-resolving
+        wrapper so evict/reload and re-registration take effect
+        mid-flight).
+    max_batch_size : int
+        Largest number of requests coalesced into one pass; 1 disables
+        coalescing while keeping the identical pipeline.
+    max_wait_us : int
+        How long an open batch waits for stragglers, in microseconds.
+        0 drains only already-queued requests.
+    n_workers : int
+        Worker tasks (and pool threads) for this model; >1 lets batches
+        overlap.
+    """
+
+    def __init__(self, predict_batch, *, max_batch_size=32,
+                 max_wait_us=2000, n_workers=1, name="model"):
+        if int(max_batch_size) < 1:
+            raise ValueError(
+                f"max_batch_size must be >= 1, got {max_batch_size}"
+            )
+        if int(max_wait_us) < 0:
+            raise ValueError(f"max_wait_us must be >= 0, got {max_wait_us}")
+        if int(n_workers) < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.predict_batch = predict_batch
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_us = int(max_wait_us)
+        self.n_workers = int(n_workers)
+        self.name = name
+        self._queue = None
+        self._workers = []
+        self._pool = None
+        # touched only on the event loop (workers) / read cross-thread
+        self._histogram = {}
+        self._n_requests = 0
+        self._n_batches = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self):
+        """Bind the queue and worker tasks to the running event loop."""
+        if self._queue is not None:
+            return self
+        self._queue = asyncio.Queue()
+        self._pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.n_workers,
+            thread_name_prefix=f"batch-{self.name}",
+        )
+        self._workers = [
+            asyncio.ensure_future(self._worker())
+            for _ in range(self.n_workers)
+        ]
+        return self
+
+    async def close(self):
+        """Cancel workers, fail queued requests, release the pool."""
+        for task in self._workers:
+            task.cancel()
+        for task in self._workers:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._workers = []
+        if self._queue is not None:
+            while not self._queue.empty():
+                _, fut = self._queue.get_nowait()
+                if not fut.done():
+                    fut.set_exception(
+                        RuntimeError(f"batcher {self.name!r} closed")
+                    )
+            self._queue = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+            self._pool = None
+
+    # -- request path --------------------------------------------------------
+
+    async def submit(self, rows):
+        """Enqueue one request's row block; await its label array."""
+        if self._queue is None:
+            await self.start()
+        fut = asyncio.get_running_loop().create_future()
+        self._queue.put_nowait((rows, fut))
+        return await fut
+
+    @property
+    def queue_depth(self):
+        return 0 if self._queue is None else self._queue.qsize()
+
+    def stats(self):
+        coalesced = self._n_requests - self._n_batches
+        return {
+            "requests": self._n_requests,
+            "batches": self._n_batches,
+            "coalesced": max(coalesced, 0),
+            "mean_batch_size": (
+                round(self._n_requests / self._n_batches, 3)
+                if self._n_batches else None
+            ),
+            "histogram": {
+                str(size): count
+                for size, count in sorted(self._histogram.items())
+            },
+            "max_batch_size": self.max_batch_size,
+            "max_wait_us": self.max_wait_us,
+            "queue_depth": self.queue_depth,
+        }
+
+    # -- worker side ---------------------------------------------------------
+
+    def _drain_ready(self, batch):
+        """Move already-queued requests into the open batch (no waiting)."""
+        while len(batch) < self.max_batch_size:
+            try:
+                batch.append(self._queue.get_nowait())
+            except asyncio.QueueEmpty:
+                return
+
+    async def _worker(self):
+        loop = asyncio.get_running_loop()
+        while True:
+            batch = [await self._queue.get()]
+            self._drain_ready(batch)
+            if self.max_wait_us and len(batch) < self.max_batch_size:
+                deadline = loop.time() + self.max_wait_us / 1e6
+                while len(batch) < self.max_batch_size:
+                    remaining = deadline - loop.time()
+                    if remaining <= 0:
+                        break
+                    try:
+                        batch.append(await asyncio.wait_for(
+                            self._queue.get(), remaining,
+                        ))
+                    except asyncio.TimeoutError:
+                        break
+                    self._drain_ready(batch)
+            await self._run_batch(loop, batch)
+
+    async def _run_batch(self, loop, batch):
+        chunks = [rows for rows, _ in batch]
+        try:
+            outputs = await loop.run_in_executor(
+                self._pool, self.predict_batch, chunks,
+            )
+            if len(outputs) != len(batch):
+                raise RuntimeError(
+                    f"predict_batch returned {len(outputs)} blocks for "
+                    f"{len(batch)} requests"
+                )
+        except Exception as exc:
+            for _, fut in batch:
+                if not fut.done():
+                    fut.set_exception(exc)
+            return
+        self._n_requests += len(batch)
+        self._n_batches += 1
+        self._histogram[len(batch)] = self._histogram.get(len(batch), 0) + 1
+        for (_, fut), out in zip(batch, outputs):
+            if not fut.done():
+                fut.set_result(out)

@@ -1,0 +1,145 @@
+"""Blocking stdlib client for the fairness service.
+
+One :class:`ServingClient` wraps one keep-alive
+``http.client.HTTPConnection``; it is **not** thread-safe — give every
+load-generator worker its own client, which is also what a real
+connection-pooled caller would do.  A stale keep-alive socket (server
+restarted, idle timeout) is retried once on a fresh connection.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+import numpy as np
+
+__all__ = ["ServingClient", "ServingError"]
+
+
+class ServingError(Exception):
+    """Non-2xx response from the service (carries status + payload)."""
+
+    def __init__(self, status, payload):
+        message = payload.get("error") if isinstance(payload, dict) else None
+        super().__init__(f"HTTP {status}: {message or payload}")
+        self.status = status
+        self.payload = payload
+
+
+class ServingClient:
+    """Typed wrappers over the service's JSON endpoints."""
+
+    def __init__(self, host="127.0.0.1", port=8000, timeout=30.0):
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+        self._conn = None
+
+    # -- transport -----------------------------------------------------------
+
+    def _connection(self):
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout,
+            )
+        return self._conn
+
+    def close(self):
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    def _request(self, method, path, payload=None, _retry=True):
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        conn = self._connection()
+        try:
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+        except (http.client.HTTPException, ConnectionError, OSError):
+            # stale keep-alive socket: reconnect once, then give up
+            self.close()
+            if not _retry:
+                raise
+            return self._request(method, path, payload, _retry=False)
+        data = json.loads(raw) if raw else {}
+        if response.status >= 400:
+            raise ServingError(response.status, data)
+        return data
+
+    # -- endpoints -----------------------------------------------------------
+
+    def healthz(self):
+        return self._request("GET", "/healthz")
+
+    def models(self):
+        return self._request("GET", "/models")["models"]
+
+    def stats(self):
+        return self._request("GET", "/stats")
+
+    def predict(self, model, rows):
+        """Hard labels for ``rows`` (list-of-rows or 2-D array)."""
+        rows = np.asarray(rows, dtype=np.float64)
+        out = self._request(
+            "POST", "/predict", {"model": model, "rows": rows.tolist()},
+        )
+        return np.asarray(out["predictions"], dtype=np.int64)
+
+    def audit(self, model, dataset=None, n=None, seed=0, data=None):
+        """Server-side audit on a named dataset or an inline one."""
+        payload = {"model": model}
+        if data is not None:
+            payload["data"] = data
+        else:
+            payload["dataset"] = dataset
+            if n is not None:
+                payload["n"] = int(n)
+            payload["seed"] = int(seed)
+        return self._request("POST", "/audit", payload)
+
+    def retune(self, spec, dataset, *, name=None, estimator="NB", n=None,
+               seed=0, strategy="auto", backend=None, options=None):
+        """Submit a retune job; returns ``{"job_id": ..., ...}``."""
+        payload = {
+            "spec": spec, "dataset": dataset, "estimator": estimator,
+            "seed": int(seed), "strategy": strategy,
+        }
+        if name is not None:
+            payload["name"] = name
+        if n is not None:
+            payload["n"] = int(n)
+        if backend is not None:
+            payload["backend"] = backend
+        if options:
+            payload["options"] = options
+        return self._request("POST", "/retune", payload)
+
+    def job(self, job_id):
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def wait_job(self, job_id, timeout=120.0, poll_s=0.05):
+        """Poll a job until it finishes; returns its final status dict."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.job(job_id)
+            if status["status"] in ("done", "error"):
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['status']} after "
+                    f"{timeout:.0f}s"
+                )
+            time.sleep(poll_s)

@@ -1,0 +1,138 @@
+"""Closed-loop load generator for the serving layer.
+
+``n_clients`` worker threads each own a :class:`~repro.serving.client.
+ServingClient` and fire ``requests_per_client`` back-to-back ``/predict``
+requests (closed loop: the next request leaves when the previous answer
+lands).  Every request's rows are a deterministic slice of a shared row
+pool, so each response can be checked **bit-identically** against the
+direct :meth:`FairModel.predict` labels computed up front — the load
+test doubles as an end-to-end correctness check of the batching path.
+
+Reports p50/p99/mean latency and closed-loop throughput; the benchmark
+harness (``benchmarks/perf/bench_serving.py``) and the ``repro
+bench-serve`` CLI both run through :func:`run_load`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from .client import ServingClient
+
+__all__ = ["LoadReport", "run_load"]
+
+
+@dataclass
+class LoadReport:
+    """One load run's outcome (JSON-friendly via :meth:`to_dict`)."""
+
+    model: str
+    n_clients: int
+    requests_per_client: int
+    rows_per_request: int
+    total_requests: int
+    errors: int
+    duration_s: float
+    throughput_rps: float
+    p50_ms: float
+    p99_ms: float
+    mean_ms: float
+    predictions_ok: bool
+
+    def to_dict(self):
+        out = dict(self.__dict__)
+        out["duration_s"] = round(self.duration_s, 4)
+        out["throughput_rps"] = round(self.throughput_rps, 2)
+        for key in ("p50_ms", "p99_ms", "mean_ms"):
+            out[key] = round(out[key], 3)
+        return out
+
+
+def _request_slice(pool_rows, index, rows_per_request):
+    """Deterministic wrap-around slice of the row pool for request #i."""
+    n = len(pool_rows)
+    start = (index * rows_per_request) % n
+    stop = start + rows_per_request
+    if stop <= n:
+        return pool_rows[start:stop]
+    return np.concatenate([pool_rows[start:], pool_rows[: stop - n]])
+
+
+def run_load(host, port, model, pool_X, expected, *, n_clients=8,
+             requests_per_client=25, rows_per_request=4, timeout=60.0):
+    """Drive the service closed-loop; returns a :class:`LoadReport`.
+
+    Parameters
+    ----------
+    pool_X : ndarray (n, d)
+        Row pool requests slice from (wrap-around).
+    expected : ndarray (n,)
+        ``FairModel.predict(pool_X)`` computed directly — every response
+        is compared bit-for-bit against the matching slice.
+    """
+    pool_X = np.asarray(pool_X, dtype=np.float64)
+    expected = np.asarray(expected, dtype=np.int64)
+    if len(pool_X) != len(expected):
+        raise ValueError("pool_X and expected must align row-for-row")
+    if len(pool_X) < rows_per_request:
+        raise ValueError("row pool smaller than one request")
+
+    barrier = threading.Barrier(n_clients + 1)
+    results = [None] * n_clients
+
+    def worker(worker_id):
+        latencies = []
+        errors = 0
+        ok = True
+        with ServingClient(host, port, timeout=timeout) as client:
+            barrier.wait()
+            for j in range(requests_per_client):
+                index = worker_id * requests_per_client + j
+                rows = _request_slice(pool_X, index, rows_per_request)
+                want = _request_slice(expected, index, rows_per_request)
+                t0 = time.perf_counter()
+                try:
+                    got = client.predict(model, rows)
+                except Exception:
+                    errors += 1
+                    continue
+                latencies.append(time.perf_counter() - t0)
+                if not np.array_equal(got, want):
+                    ok = False
+        results[worker_id] = (latencies, errors, ok)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), daemon=True)
+        for i in range(n_clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()  # release all workers at once; the clock starts here
+    t_start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    duration = time.perf_counter() - t_start
+
+    latencies = np.array(
+        [lat for entry in results for lat in entry[0]], dtype=np.float64,
+    )
+    errors = sum(entry[1] for entry in results)
+    completed = int(latencies.size)
+    return LoadReport(
+        model=model,
+        n_clients=n_clients,
+        requests_per_client=requests_per_client,
+        rows_per_request=rows_per_request,
+        total_requests=completed,
+        errors=errors,
+        duration_s=duration,
+        throughput_rps=completed / duration if duration > 0 else 0.0,
+        p50_ms=float(np.percentile(latencies, 50) * 1e3) if completed else 0.0,
+        p99_ms=float(np.percentile(latencies, 99) * 1e3) if completed else 0.0,
+        mean_ms=float(latencies.mean() * 1e3) if completed else 0.0,
+        predictions_ok=all(entry[2] for entry in results) and errors == 0,
+    )

@@ -1,0 +1,309 @@
+"""Thread-safe registry of named fitted :class:`~repro.api.FairModel`\\ s.
+
+The registry is the serving layer's source of truth: request handlers
+resolve model names through it, retune jobs register their results in
+it, and — the semantic-caching move — retune requests whose spec is
+*canonically equivalent* to an already-registered model's spec **on the
+same dataset** hit the registry instead of re-solving.  The dedup key is
+``(SpecSet.canonical(), Dataset.fingerprint())``: order- and
+format-normalized spec string times exact dataset content hash.
+
+Lifecycle is load/save/evict over the existing persistence envelope
+(:mod:`repro.ml.persistence` via :meth:`FairModel.save` /
+:meth:`FairModel.load`): with a ``store_dir``, evicted models spool to
+disk and lazily reload on next use; ``max_models`` bounds residency with
+LRU eviction.  All public methods are safe to call from any thread or
+event loop.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from ..api import FairModel
+from ..core.dsl import parse_spec
+from ..core.exceptions import SpecificationError
+
+__all__ = ["ModelRegistry", "RegistryEntry", "canonical_key"]
+
+
+def canonical_key(spec, dataset_fingerprint):
+    """The registry dedup key: canonical spec string × dataset hash.
+
+    ``spec`` accepts anything :func:`~repro.core.dsl.parse_spec` does (a
+    DSL string, a spec, a list/SpecSet); two specs that parse to the
+    same normalized clause set — reordered conjunctions, reformatted
+    epsilons, composite aliases — produce the same key.
+    """
+    return parse_spec(spec).canonical(), dataset_fingerprint
+
+
+@dataclass
+class RegistryEntry:
+    """Bookkeeping for one registered model (the ``GET /models`` row)."""
+
+    name: str
+    estimator: str
+    spec_canonical: str | None
+    dataset_fingerprint: str | None
+    source: str = "register"
+    registered_at: float = field(default_factory=time.time)
+    path: str | None = None      # spool file once evicted (or saved)
+    resident: bool = True
+    hits: int = 0
+
+    def describe(self):
+        return {
+            "name": self.name,
+            "estimator": self.estimator,
+            "spec": self.spec_canonical,
+            "dataset_fingerprint": self.dataset_fingerprint,
+            "source": self.source,
+            "registered_at": self.registered_at,
+            "resident": self.resident,
+            "hits": self.hits,
+        }
+
+
+class ModelRegistry:
+    """Named fitted FairModels with LRU residency and canonical dedup.
+
+    Parameters
+    ----------
+    store_dir : path-like or None
+        Spool directory for the evict/reload lifecycle.  With a store
+        dir, :meth:`evict` persists the model (persistence envelope) and
+        :meth:`get` transparently reloads it; without one, eviction
+        drops the model for good.
+    max_models : int or None
+        Resident-model bound; registering (or reloading) beyond it
+        evicts the least recently used model first.
+    """
+
+    def __init__(self, store_dir=None, max_models=None):
+        if max_models is not None and int(max_models) < 1:
+            raise SpecificationError(
+                f"max_models must be >= 1 or None, got {max_models}"
+            )
+        self.store_dir = None if store_dir is None else pathlib.Path(store_dir)
+        self.max_models = None if max_models is None else int(max_models)
+        self._lock = threading.RLock()
+        self._models = OrderedDict()   # name -> FairModel (LRU order)
+        self._entries = {}             # name -> RegistryEntry
+        self._by_key = {}              # (canonical, fingerprint) -> name
+        self._stats = {
+            "registered": 0,
+            "gets": 0,
+            "hits": 0,
+            "evictions": 0,
+            "spools": 0,
+            "reloads": 0,
+            "canonical_lookups": 0,
+            "canonical_hits": 0,
+        }
+
+    # -- core lifecycle ------------------------------------------------------
+
+    def register(self, name, model, dataset_fingerprint=None,
+                 source="register"):
+        """Install ``model`` under ``name``; returns its entry.
+
+        When the model's specs render canonically *and* a dataset
+        fingerprint is given, the pair is indexed for
+        :meth:`lookup` dedup.  Re-registering a name replaces the old
+        model (and drops its dedup key).
+        """
+        if not isinstance(model, FairModel):
+            raise SpecificationError(
+                f"registry holds FairModel artifacts, got "
+                f"{type(model).__name__}"
+            )
+        if not name or not isinstance(name, str):
+            raise SpecificationError("model name must be a non-empty string")
+        canonical = model.spec_canonical()
+        entry = RegistryEntry(
+            name=name,
+            estimator=type(model.model).__name__,
+            spec_canonical=canonical,
+            dataset_fingerprint=dataset_fingerprint,
+            source=source,
+        )
+        with self._lock:
+            self._drop_key(name)
+            self._models[name] = model
+            self._models.move_to_end(name)
+            self._entries[name] = entry
+            if canonical is not None and dataset_fingerprint is not None:
+                self._by_key[(canonical, dataset_fingerprint)] = name
+            self._stats["registered"] += 1
+            self._enforce_bound(keep=name)
+        return entry
+
+    def get(self, name):
+        """Resolve a name to its FairModel (LRU touch, lazy reload).
+
+        Raises ``KeyError`` for names never registered or evicted
+        without a spool file.
+        """
+        with self._lock:
+            self._stats["gets"] += 1
+            entry = self._entries.get(name)
+            if entry is None:
+                raise KeyError(
+                    f"no model named {name!r} is registered; known: "
+                    f"{self.names()}"
+                )
+            model = self._models.get(name)
+            if model is None:
+                model = self._reload(entry)
+            self._models.move_to_end(name)
+            entry.hits += 1
+            self._stats["hits"] += 1
+            self._enforce_bound(keep=name)
+            return model
+
+    def evict(self, name):
+        """Drop ``name`` from residency; spool to disk when possible.
+
+        Returns the spool path (str) when the model was persisted, else
+        None.  Without a ``store_dir`` the entry is removed entirely and
+        later :meth:`get` calls raise ``KeyError``.
+        """
+        with self._lock:
+            if name not in self._entries:
+                raise KeyError(f"no model named {name!r} is registered")
+            return self._evict_locked(name)
+
+    def save(self, name, path=None):
+        """Persist ``name`` (persistence envelope); returns the path."""
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None:
+                raise KeyError(f"no model named {name!r} is registered")
+            model = self._models.get(name)
+            if model is None:
+                model = self._reload(entry)
+            path = pathlib.Path(path) if path else self._spool_path(name)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            model.save(path)
+            entry.path = str(path)
+            return str(path)
+
+    def load(self, name, path, dataset_fingerprint=None):
+        """Register the FairModel artifact stored at ``path`` as ``name``."""
+        model = FairModel.load(path)
+        entry = self.register(
+            name, model, dataset_fingerprint=dataset_fingerprint,
+            source="load",
+        )
+        entry.path = str(path)
+        return entry
+
+    # -- semantic dedup ------------------------------------------------------
+
+    def lookup(self, spec, dataset_fingerprint):
+        """Name of a registered model equivalent to ``spec`` on this data.
+
+        Equivalence is canonical (:func:`canonical_key`), so reordered /
+        reformatted / composite-alias specs all hit.  Returns None on
+        miss; hit/lookup counts surface in :meth:`stats` (the serving
+        layer's ``/stats`` payload).
+        """
+        try:
+            key = canonical_key(spec, dataset_fingerprint)
+        except SpecificationError:
+            return None
+        with self._lock:
+            self._stats["canonical_lookups"] += 1
+            name = self._by_key.get(key)
+            if name is not None:
+                self._stats["canonical_hits"] += 1
+            return name
+
+    # -- introspection -------------------------------------------------------
+
+    def names(self):
+        with self._lock:
+            return sorted(self._entries)
+
+    def describe(self):
+        """JSON-friendly rows for every registered model."""
+        with self._lock:
+            return [
+                self._entries[name].describe() for name in sorted(self._entries)
+            ]
+
+    def stats(self):
+        with self._lock:
+            out = dict(self._stats)
+            out["models"] = len(self._entries)
+            out["resident"] = len(self._models)
+            return out
+
+    def __contains__(self, name):
+        with self._lock:
+            return name in self._entries
+
+    def __len__(self):
+        with self._lock:
+            return len(self._entries)
+
+    # -- internals (call with the lock held) ---------------------------------
+
+    def _spool_path(self, name):
+        if self.store_dir is None:
+            raise SpecificationError(
+                "this registry has no store_dir; pass an explicit path"
+            )
+        self.store_dir.mkdir(parents=True, exist_ok=True)
+        return self.store_dir / f"{name}.fairmodel.pkl"
+
+    def _drop_key(self, name):
+        entry = self._entries.get(name)
+        if entry is None:
+            return
+        key = (entry.spec_canonical, entry.dataset_fingerprint)
+        if self._by_key.get(key) == name:
+            del self._by_key[key]
+
+    def _evict_locked(self, name):
+        entry = self._entries[name]
+        model = self._models.pop(name, None)
+        self._stats["evictions"] += 1
+        if self.store_dir is not None:
+            if model is not None:  # already-spooled models keep their file
+                path = self._spool_path(name)
+                model.save(path)
+                entry.path = str(path)
+                self._stats["spools"] += 1
+            entry.resident = False
+            return entry.path
+        self._drop_key(name)
+        del self._entries[name]
+        return None
+
+    def _reload(self, entry):
+        if entry.path is None:
+            raise KeyError(
+                f"model {entry.name!r} was evicted and has no spool file "
+                f"(registry has no store_dir)"
+            )
+        model = FairModel.load(entry.path)
+        self._models[entry.name] = model
+        entry.resident = True
+        self._stats["reloads"] += 1
+        return model
+
+    def _enforce_bound(self, keep=None):
+        if self.max_models is None:
+            return
+        while len(self._models) > self.max_models:
+            # OrderedDict iteration order == LRU order (oldest first)
+            victim = next(
+                name for name in self._models if name != keep
+            )
+            self._evict_locked(victim)

@@ -1,0 +1,526 @@
+"""The asyncio HTTP front end: fairness-as-a-service.
+
+A :class:`FairnessService` owns a :class:`~repro.serving.registry.
+ModelRegistry`, one :class:`~repro.serving.batcher.MicroBatcher` per
+served model, and a table of background retune jobs.  The transport is a
+minimal HTTP/1.1 layer over ``asyncio.start_server`` (keep-alive,
+JSON bodies, no dependencies) — enough for the stdlib ``http.client``
+side in :mod:`~repro.serving.client` and any curl.
+
+Endpoints
+---------
+``POST /predict``
+    ``{"model": name, "rows": [[...], ...]}`` → hard labels.  Requests
+    for the same model coalesce through the micro-batcher into one
+    :meth:`FairModel.predict_batch` pass (bit-identical to per-request
+    ``predict``).
+``POST /audit``
+    ``{"model": name, "dataset": "adult"|"scenario:...", "n": ..,
+    "seed": ..}`` or inline ``{"data": {"X": .., "y": ..,
+    "sensitive": ..}}`` → the full audit dict.
+``POST /retune``
+    ``{"spec": .., "dataset": .., "estimator": "NB", "name": ..,
+    "strategy": .., "options": {..}}`` → ``{"job_id": ..}``.  The solve
+    runs **off the request path** on a worker thread
+    (:func:`~repro.core.executor.submit_job`) through the execution-
+    backend registry; canonically-equivalent requests on the same data
+    hit the registry instead of re-solving.
+``GET /jobs/<id>``
+    Poll a retune job (status / result / error).
+``GET /models`` / ``GET /healthz`` / ``GET /stats``
+    Registry rows; liveness; queue depth, admission counts, batch-size
+    histograms, registry/dedup hit counters, job table.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import threading
+import time
+
+import numpy as np
+
+from ..api import Engine, Problem
+from ..core.exceptions import (
+    InfeasibleConstraintError,
+    OmniFairError,
+    SpecificationError,
+)
+from ..core.executor import resolve_backend, submit_job
+from ..datasets import load
+from ..datasets.schema import Dataset
+from ..ml.adapters import resolve_model
+from .batcher import MicroBatcher
+from .registry import ModelRegistry
+
+__all__ = ["FairnessService", "ServerHandle", "serve_in_thread"]
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 500: "Internal Server Error",
+}
+
+#: bound on inline payload sizes (rows × features) — a serving layer
+#: should reject absurd requests instead of allocating for them
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+def _jsonable(obj):
+    """Recursively convert numpy scalars/arrays for json.dumps."""
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, np.generic):
+        return obj.item()
+    return obj
+
+
+class _BadRequest(SpecificationError):
+    """Client-side request error → HTTP 400."""
+
+
+def _require(body, key, kind=None):
+    if key not in body:
+        raise _BadRequest(f"request body is missing required key {key!r}")
+    value = body[key]
+    if kind is not None and not isinstance(value, kind):
+        raise _BadRequest(
+            f"request key {key!r} must be {kind.__name__}, got "
+            f"{type(value).__name__}"
+        )
+    return value
+
+
+class FairnessService:
+    """Serving state + HTTP dispatch (transport-agnostic core).
+
+    Parameters
+    ----------
+    registry : ModelRegistry or None
+        Model ownership; a fresh in-memory registry by default.
+    batching : bool
+        Coalesce concurrent predicts through the micro-batcher.  False
+        pins every batcher to ``max_batch_size=1`` — the identical
+        pipeline without coalescing (the benchmark's off arm).
+    max_batch_size, max_wait_us, n_workers
+        Micro-batcher knobs, applied per model.
+    backend : str
+        Default execution backend for retune solves (requests may
+        override per job).
+    """
+
+    def __init__(self, registry=None, *, batching=True, max_batch_size=32,
+                 max_wait_us=2000, n_workers=1, backend="serial"):
+        resolve_backend(backend)  # fail fast on unknown backends
+        self.registry = registry if registry is not None else ModelRegistry()
+        self.batching = bool(batching)
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_us = int(max_wait_us)
+        self.n_workers = int(n_workers)
+        self.backend = backend
+        self._batchers = {}
+        self._jobs = {}
+        self._job_ids = itertools.count(1)
+        self._counter_lock = threading.Lock()
+        self._counters = {
+            "admitted": 0, "completed": 0, "errors": 0,
+            "solves": 0, "retune_registry_hits": 0,
+        }
+        self._routes = {}
+        self._started_at = time.time()
+        self._server = None
+        self._closing = None
+        self.host = None
+        self.port = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self, host="127.0.0.1", port=0):
+        """Bind the listening socket; returns the actual port."""
+        self._closing = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host, port,
+        )
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        return self.port
+
+    async def serve_until_stopped(self):
+        """Block until :meth:`stop` (the thread/CLI runner's body)."""
+        await self._closing.wait()
+
+    async def stop(self):
+        """Close the socket and every batcher."""
+        for batcher in self._batchers.values():
+            await batcher.close()
+        self._batchers = {}
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._closing is not None:
+            self._closing.set()
+
+    # -- transport -----------------------------------------------------------
+
+    async def _handle_connection(self, reader, writer):
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, headers, body = request
+                self._count("admitted")
+                status, payload = await self._dispatch(method, path, body)
+                keep_alive = headers.get("connection", "").lower() != "close"
+                data = json.dumps(_jsonable(payload)).encode()
+                head = (
+                    f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+                    f"Content-Type: application/json\r\n"
+                    f"Content-Length: {len(data)}\r\n"
+                    f"Connection: {'keep-alive' if keep_alive else 'close'}"
+                    f"\r\n\r\n"
+                ).encode("latin-1")
+                writer.write(head + data)
+                await writer.drain()
+                self._count("completed" if status < 400 else "errors")
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request
+        except asyncio.CancelledError:
+            pass  # service shutdown with the connection parked on readline
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    async def _read_request(reader):
+        line = await reader.readline()
+        if not line or not line.strip():
+            return None
+        parts = line.decode("latin-1").split()
+        if len(parts) < 2:
+            return None
+        method, path = parts[0].upper(), parts[1]
+        headers = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            key, _, value = raw.decode("latin-1").partition(":")
+            headers[key.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0) or 0)
+        if length > MAX_BODY_BYTES:
+            raise ConnectionError("request body too large")
+        body = await reader.readexactly(length) if length else b""
+        return method, path, headers, body
+
+    # -- dispatch ------------------------------------------------------------
+
+    async def _dispatch(self, method, path, raw_body):
+        self._routes[f"{method} {path.split('?')[0]}"] = (
+            self._routes.get(f"{method} {path.split('?')[0]}", 0) + 1
+        )
+        try:
+            body = {}
+            if raw_body:
+                try:
+                    body = json.loads(raw_body)
+                except ValueError as exc:
+                    raise _BadRequest(f"request body is not JSON: {exc}")
+                if not isinstance(body, dict):
+                    raise _BadRequest("request body must be a JSON object")
+            if method == "GET" and path == "/healthz":
+                return 200, self._healthz()
+            if method == "GET" and path == "/models":
+                return 200, {"models": self.registry.describe()}
+            if method == "GET" and path == "/stats":
+                return 200, self._stats()
+            if method == "GET" and path.startswith("/jobs/"):
+                return 200, self._job_status(path[len("/jobs/"):])
+            if method == "POST" and path == "/predict":
+                return 200, await self._predict(body)
+            if method == "POST" and path == "/audit":
+                return 200, await self._audit(body)
+            if method == "POST" and path == "/retune":
+                return 200, self._retune(body)
+            if path in ("/predict", "/audit", "/retune", "/healthz",
+                        "/models", "/stats") or path.startswith("/jobs/"):
+                return 405, {"error": f"{method} not allowed on {path}"}
+            return 404, {"error": f"no route {method} {path}"}
+        except KeyError as exc:
+            return 404, {"error": str(exc.args[0] if exc.args else exc)}
+        except _BadRequest as exc:
+            return 400, {"error": str(exc)}
+        except (SpecificationError, ValueError, TypeError) as exc:
+            return 400, {"error": f"{type(exc).__name__}: {exc}"}
+        except Exception as exc:  # never kill the connection loop
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+
+    # -- endpoint bodies -----------------------------------------------------
+
+    def _healthz(self):
+        return {
+            "ok": True,
+            "models": len(self.registry),
+            "uptime_s": round(time.time() - self._started_at, 3),
+            "batching": self.batching,
+        }
+
+    def _stats(self):
+        with self._counter_lock:
+            counters = dict(self._counters)
+        jobs = {}
+        for handle, _meta in self._jobs.values():
+            jobs[handle.status] = jobs.get(handle.status, 0) + 1
+        batchers = {
+            name: batcher.stats() for name, batcher in self._batchers.items()
+        }
+        return {
+            "uptime_s": round(time.time() - self._started_at, 3),
+            "admission": counters,
+            "routes": dict(self._routes),
+            "queue_depth": sum(b.queue_depth for b in self._batchers.values()),
+            "batching": {
+                "enabled": self.batching,
+                "max_batch_size": (
+                    self.max_batch_size if self.batching else 1
+                ),
+                "max_wait_us": self.max_wait_us,
+                "per_model": batchers,
+            },
+            "registry": self.registry.stats(),
+            "jobs": {"total": len(self._jobs), "by_status": jobs},
+        }
+
+    def _batcher_for(self, name):
+        batcher = self._batchers.get(name)
+        if batcher is None:
+            # resolve through the registry at call time, so eviction /
+            # reload / re-registration take effect on in-flight traffic
+            def predict_chunks(chunks, _name=name):
+                return self.registry.get(_name).predict_batch(chunks)
+
+            batcher = MicroBatcher(
+                predict_chunks,
+                max_batch_size=self.max_batch_size if self.batching else 1,
+                max_wait_us=self.max_wait_us if self.batching else 0,
+                n_workers=self.n_workers,
+                name=name,
+            )
+            self._batchers[name] = batcher
+        return batcher
+
+    async def _predict(self, body):
+        name = _require(body, "model", str)
+        rows = _require(body, "rows", list)
+        if not rows:
+            raise _BadRequest("rows must be a non-empty list of rows")
+        self.registry.get(name)  # 404 before enqueueing
+        X = np.asarray(rows, dtype=np.float64)
+        if X.ndim != 2:
+            raise _BadRequest(
+                f"rows must be a list of equal-length feature rows; got "
+                f"shape {X.shape}"
+            )
+        labels = await self._batcher_for(name).submit(X)
+        return {
+            "model": name,
+            "n_rows": len(labels),
+            "predictions": labels,
+        }
+
+    async def _audit(self, body):
+        name = _require(body, "model", str)
+        model = self.registry.get(name)
+        dataset = self._resolve_dataset(body, what="audit")
+        loop = asyncio.get_running_loop()
+        report = await loop.run_in_executor(None, model.audit, dataset)
+        return {
+            "model": name,
+            "dataset": dataset.name,
+            "n_rows": len(dataset),
+            "audit": report,
+        }
+
+    @staticmethod
+    def _resolve_dataset(body, what):
+        if "data" in body:
+            data = _require(body, "data", dict)
+            try:
+                return Dataset(
+                    name=str(data.get("name", f"inline-{what}")),
+                    X=np.asarray(_require(data, "X", list), dtype=np.float64),
+                    y=np.asarray(_require(data, "y", list)),
+                    sensitive=np.asarray(_require(data, "sensitive", list)),
+                )
+            except ValueError as exc:
+                raise _BadRequest(f"bad inline dataset: {exc}") from exc
+        name = _require(body, "dataset", str)
+        n = body.get("n")
+        seed = int(body.get("seed", 0))
+        try:
+            return load(name, n=None if n is None else int(n), seed=seed)
+        except KeyError as exc:
+            raise _BadRequest(str(exc.args[0])) from exc
+
+    def _retune(self, body):
+        spec = _require(body, "spec", str)
+        Problem(spec)  # fail fast (400) on an unparseable spec
+        estimator = body.get("estimator", "NB")
+        try:
+            resolve_model(estimator)  # fail fast on unknown estimators
+        except (KeyError, ImportError) as exc:
+            raise _BadRequest(
+                str(exc.args[0] if exc.args else exc)
+            ) from exc
+        dataset_args = {
+            "dataset": _require(body, "dataset", str),
+            "n": body.get("n"),
+            "seed": int(body.get("seed", 0)),
+        }
+        strategy = body.get("strategy", "auto")
+        backend = body.get("backend", self.backend)
+        options = body.get("options") or {}
+        if not isinstance(options, dict):
+            raise _BadRequest("options must be a JSON object")
+        # construct the Engine eagerly so bad strategies / backends /
+        # options come back as a 400 now, not a failed job later
+        engine = Engine(strategy, backend=backend, **options)
+        name = body.get("name") or f"retune-{next(self._job_ids)}"
+        handle = submit_job(
+            self._run_retune, name, spec, estimator, dataset_args,
+            engine, name=f"retune-{name}",
+        )
+        self._jobs[str(handle.id)] = (handle, {"model": name, "spec": spec})
+        return {"job_id": str(handle.id), "status": handle.status,
+                "model": name}
+
+    def _run_retune(self, name, spec, estimator, dataset_args, engine):
+        """Worker-thread body: dedup through the registry, else solve."""
+        n = dataset_args["n"]
+        data = load(
+            dataset_args["dataset"], n=None if n is None else int(n),
+            seed=dataset_args["seed"],
+        )
+        fingerprint = data.fingerprint()
+        hit = self.registry.lookup(spec, fingerprint)
+        if hit is not None:
+            self._count("retune_registry_hits")
+            return {
+                "registry_hit": True,
+                "model": hit,
+                "solves": 0,
+                "spec_canonical": Problem(spec).canonical(),
+            }
+        fair = engine.solve(
+            Problem(spec), resolve_model(estimator), data,
+            seed=dataset_args["seed"],
+        )
+        self.registry.register(
+            name, fair, dataset_fingerprint=fingerprint, source="retune",
+        )
+        self._count("solves")
+        return {
+            "registry_hit": False,
+            "model": name,
+            "solves": 1,
+            "spec_canonical": fair.spec_canonical(),
+            "feasible": fair.report.feasible,
+            "lambdas": fair.report.lambdas,
+            "n_fits": fair.report.n_fits,
+        }
+
+    def _job_status(self, job_id):
+        entry = self._jobs.get(job_id)
+        if entry is None:
+            raise KeyError(f"no job {job_id!r}; known: {sorted(self._jobs)}")
+        handle, meta = entry
+        out = handle.describe()
+        out.update(meta)
+        if handle.status == "done":
+            out["result"] = handle.result
+        elif handle.status == "error":
+            err = handle.error
+            if isinstance(err, InfeasibleConstraintError):
+                out["infeasible"] = True
+        return out
+
+    def _count(self, key):
+        with self._counter_lock:
+            self._counters[key] += 1
+
+
+# -- running the service -------------------------------------------------------
+
+
+class ServerHandle:
+    """A service running on a dedicated thread + event loop."""
+
+    def __init__(self, service, thread, loop):
+        self.service = service
+        self.thread = thread
+        self.loop = loop
+
+    @property
+    def host(self):
+        return self.service.host
+
+    @property
+    def port(self):
+        return self.service.port
+
+    def stop(self, timeout=10):
+        future = asyncio.run_coroutine_threadsafe(
+            self.service.stop(), self.loop,
+        )
+        future.result(timeout)
+        self.thread.join(timeout)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.stop()
+
+
+def serve_in_thread(service, host="127.0.0.1", port=0, ready_timeout=30):
+    """Boot ``service`` on a daemon thread; returns a :class:`ServerHandle`.
+
+    The handle exposes the bound host/port (``port=0`` picks a free one)
+    and ``stop()``; it also works as a context manager.  Used by the
+    tests and the load-generator benchmark.
+    """
+    ready = threading.Event()
+    box = {}
+
+    def runner():
+        async def main():
+            try:
+                await service.start(host, port)
+            except Exception as exc:
+                box["error"] = exc
+                ready.set()
+                return
+            box["loop"] = asyncio.get_running_loop()
+            ready.set()
+            await service.serve_until_stopped()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=runner, name="repro-serve", daemon=True)
+    thread.start()
+    if not ready.wait(ready_timeout):
+        raise OmniFairError("serving thread failed to start in time")
+    if "error" in box:
+        raise box["error"]
+    return ServerHandle(service, thread, box["loop"])

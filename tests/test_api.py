@@ -171,3 +171,58 @@ class TestEvaluationHelpers:
         pred = np.zeros(len(two_group_data), dtype=np.int64)
         vec = disparity_vector(two_group_data.y, pred, constraints)
         assert vec.shape == (1,)
+
+
+class TestEmptyDatasetGuards:
+    def _empty(self):
+        from repro.datasets.schema import Dataset
+
+        return Dataset(
+            name="empty", X=np.zeros((0, 3)),
+            y=np.zeros(0, dtype=np.int64),
+            sensitive=np.zeros(0, dtype=np.int64),
+            sensitive_attribute="g",
+        )
+
+    def test_solve_rejects_zero_row_train(self):
+        with pytest.raises(SpecificationError, match="zero rows"):
+            Engine("auto").solve(
+                "SP <= 0.05", LogisticRegression(), self._empty(),
+            )
+
+    def test_solve_rejects_zero_row_val(self, two_group_splits):
+        train, _, _ = two_group_splits
+        with pytest.raises(SpecificationError, match="zero rows"):
+            Engine("auto").solve(
+                "SP <= 0.05", LogisticRegression(max_iter=200),
+                train, self._empty(),
+            )
+
+    def test_audit_rejects_zero_row_dataset(self, two_group_splits):
+        train, val, _ = two_group_splits
+        fm = fit_fair(
+            LogisticRegression(max_iter=200), "SP <= 0.05", train, val,
+        )
+        with pytest.raises(SpecificationError, match="zero rows"):
+            fm.audit(self._empty())
+
+
+class TestPredictBatch:
+    @pytest.fixture(scope="class")
+    def fair(self, two_group_splits):
+        train, val, _ = two_group_splits
+        return fit_fair(
+            LogisticRegression(max_iter=200), "SP <= 0.05", train, val,
+        )
+
+    def test_coalesced_equals_per_chunk(self, fair, two_group_splits):
+        _, _, test = two_group_splits
+        chunks = [test.X[:5], test.X[5:6], test.X[6:20]]
+        batched = fair.predict_batch(chunks)
+        assert len(batched) == 3
+        for chunk, got in zip(chunks, batched):
+            assert got.shape == (len(chunk),)
+            assert np.array_equal(got, fair.predict(chunk))
+
+    def test_empty_list_is_empty(self, fair):
+        assert fair.predict_batch([]) == []

@@ -123,3 +123,55 @@ class TestCLISaveFlow:
         assert set(audit) == {
             "accuracy", "disparities", "violations", "feasible",
         }
+
+
+class TestEnvelopeExtras:
+    def test_extra_fields_round_trip(self, fitted, tmp_path):
+        fm, _ = fitted
+        path = tmp_path / "fm.pkl"
+        fm.save(path)
+        _, envelope = load_model(path, with_envelope=True)
+        extra = envelope["extra"]
+        assert extra["fairmodel_format_version"] == 1
+        assert extra["spec_canonical"] == "SP <= 0.05"
+
+    def test_unknown_envelope_key_warns_not_crashes(self, tmp_path):
+        path = tmp_path / "odd.pkl"
+        save_model(LogisticRegression(), path)
+        with open(path, "rb") as fh:
+            envelope = pickle.load(fh)
+        envelope["surprise"] = "from the future"
+        with open(path, "wb") as fh:
+            pickle.dump(envelope, fh)
+        with pytest.warns(RuntimeWarning, match="surprise"):
+            load_model(path)
+
+    def test_unknown_extra_key_warns_on_fairmodel_load(
+        self, fitted, tmp_path
+    ):
+        fm, test = fitted
+        path = tmp_path / "fm.pkl"
+        fm.save(path)
+        with open(path, "rb") as fh:
+            envelope = pickle.load(fh)
+        envelope["extra"]["novel_field"] = 1
+        with open(path, "wb") as fh:
+            pickle.dump(envelope, fh)
+        with pytest.warns(RuntimeWarning, match="novel_field"):
+            loaded = FairModel.load(path)
+        assert np.array_equal(loaded.predict(test.X), fm.predict(test.X))
+
+    def test_newer_fairmodel_version_warns_not_crashes(
+        self, fitted, tmp_path
+    ):
+        fm, test = fitted
+        path = tmp_path / "fm.pkl"
+        fm.save(path)
+        with open(path, "rb") as fh:
+            envelope = pickle.load(fh)
+        envelope["extra"]["fairmodel_format_version"] = 99
+        with open(path, "wb") as fh:
+            pickle.dump(envelope, fh)
+        with pytest.warns(RuntimeWarning, match="loading anyway"):
+            loaded = FairModel.load(path)
+        assert np.array_equal(loaded.predict(test.X), fm.predict(test.X))

@@ -1,0 +1,281 @@
+"""Serving tier: the HTTP service end to end (client → service → model).
+
+A real server thread on a real socket: predictions through the
+micro-batcher must be bit-identical to direct ``FairModel.predict``
+under a multi-threaded client hammer, retune jobs must dedup through
+the registry on canonically-equivalent specs, and every error path must
+come back as a clean status code instead of a dead connection.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api import Engine, Problem
+from repro.datasets import load_scenario
+from repro.ml import GaussianNaiveBayes
+from repro.serving import (
+    FairnessService,
+    ModelRegistry,
+    ServingClient,
+    ServingError,
+    serve_in_thread,
+)
+
+SCENARIO_N = 1200
+SCENARIO_SEED = 5
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_scenario("group_sweep", n=SCENARIO_N, seed=SCENARIO_SEED)
+
+
+@pytest.fixture(scope="module")
+def fair_model(dataset):
+    engine = Engine("auto")
+    return engine.solve(
+        Problem("SP <= 0.08"), GaussianNaiveBayes(), dataset,
+        seed=SCENARIO_SEED,
+    )
+
+
+@pytest.fixture()
+def server(dataset, fair_model):
+    registry = ModelRegistry()
+    registry.register(
+        "gs", fair_model, dataset_fingerprint=dataset.fingerprint(),
+    )
+    service = FairnessService(
+        registry=registry, batching=True, max_batch_size=16, max_wait_us=500,
+    )
+    with serve_in_thread(service) as handle:
+        yield handle
+
+
+@pytest.fixture()
+def client(server):
+    with ServingClient(server.host, server.port) as c:
+        yield c
+
+
+class TestBasics:
+    def test_healthz_and_models(self, client):
+        health = client.healthz()
+        assert health["ok"] is True and health["models"] == 1
+        (row,) = client.models()
+        assert row["name"] == "gs"
+        assert row["estimator"] == "GaussianNaiveBayes"
+        assert row["spec"] == "SP <= 0.08"
+
+    def test_predict_matches_direct_model(self, client, dataset, fair_model):
+        rows = dataset.X[:17]
+        got = client.predict("gs", rows)
+        assert np.array_equal(got, fair_model.predict(rows))
+
+    def test_audit_on_named_dataset(self, client, fair_model):
+        out = client.audit(
+            "gs", dataset="scenario:group_sweep", n=400, seed=2,
+        )
+        direct = fair_model.audit(
+            load_scenario("group_sweep", n=400, seed=2)
+        )
+        assert out["audit"]["accuracy"] == pytest.approx(direct["accuracy"])
+        assert out["n_rows"] == 400
+
+    def test_audit_on_inline_data(self, client, dataset, fair_model):
+        sub = dataset.subset(np.arange(60))
+        out = client.audit("gs", data={
+            "X": sub.X.tolist(),
+            "y": sub.y.tolist(),
+            "sensitive": sub.sensitive.tolist(),
+        })
+        assert out["audit"]["accuracy"] == pytest.approx(
+            fair_model.audit(sub)["accuracy"]
+        )
+
+    def test_stats_shape(self, client, dataset):
+        client.predict("gs", dataset.X[:3])
+        stats = client.stats()
+        assert stats["batching"]["enabled"] is True
+        assert "gs" in stats["batching"]["per_model"]
+        assert stats["registry"]["models"] == 1
+        assert stats["admission"]["admitted"] >= 1
+        assert "queue_depth" in stats
+
+    def test_keep_alive_connection_reuse(self, client, dataset):
+        for _ in range(4):
+            client.healthz()
+        client.predict("gs", dataset.X[:2])
+
+
+class TestErrorPaths:
+    def test_unknown_model_is_404(self, client, dataset):
+        with pytest.raises(ServingError) as excinfo:
+            client.predict("ghost", dataset.X[:2])
+        assert excinfo.value.status == 404
+
+    def test_empty_rows_is_400(self, client):
+        with pytest.raises(ServingError) as excinfo:
+            client._request("POST", "/predict", {"model": "gs", "rows": []})
+        assert excinfo.value.status == 400
+
+    def test_ragged_rows_is_400(self, client):
+        with pytest.raises(ServingError) as excinfo:
+            client._request(
+                "POST", "/predict",
+                {"model": "gs", "rows": [[1.0, 2.0], [1.0]]},
+            )
+        assert excinfo.value.status == 400
+
+    def test_empty_inline_audit_is_400(self, client):
+        # the Engine/audit empty-dataset guard surfaces as a clean 400
+        with pytest.raises(ServingError) as excinfo:
+            client.audit("gs", data={"X": [], "y": [], "sensitive": []})
+        assert excinfo.value.status == 400
+        assert "zero rows" in str(excinfo.value)
+
+    def test_bad_json_is_400(self, client):
+        conn = client._connection()
+        conn.request(
+            "POST", "/predict", body=b"{not json",
+            headers={"Content-Type": "application/json",
+                     "Content-Length": "9"},
+        )
+        response = conn.getresponse()
+        response.read()
+        assert response.status == 400
+
+    def test_unknown_route_is_404_and_bad_method_is_405(self, client):
+        with pytest.raises(ServingError) as excinfo:
+            client._request("GET", "/nope")
+        assert excinfo.value.status == 404
+        with pytest.raises(ServingError) as excinfo:
+            client._request("GET", "/predict")
+        assert excinfo.value.status == 405
+
+    def test_bad_retune_spec_is_400(self, client):
+        with pytest.raises(ServingError) as excinfo:
+            client.retune("SP <= banana", "scenario:group_sweep")
+        assert excinfo.value.status == 400
+
+    def test_unknown_retune_estimator_is_400(self, client):
+        with pytest.raises(ServingError) as excinfo:
+            client.retune("SP <= 0.1", "scenario:group_sweep",
+                          estimator="NOPE")
+        assert excinfo.value.status == 400
+
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(ServingError) as excinfo:
+            client.job("999999")
+        assert excinfo.value.status == 404
+
+
+class TestRetune:
+    def test_retune_job_then_canonical_dedup(self, client):
+        job = client.retune(
+            "FNR <= 0.15 and SP <= 0.10", "scenario:group_sweep",
+            name="tuned", n=900, seed=4, estimator="NB",
+        )
+        status = client.wait_job(job["job_id"])
+        assert status["status"] == "done"
+        result = status["result"]
+        assert result["registry_hit"] is False and result["solves"] == 1
+        assert "tuned" in {row["name"] for row in client.models()}
+
+        # canonically equivalent: clauses reordered, epsilons reformatted
+        job2 = client.retune(
+            "sp <= 1e-1 and FNR<=0.15", "scenario:group_sweep",
+            n=900, seed=4, estimator="NB",
+        )
+        status2 = client.wait_job(job2["job_id"])
+        assert status2["status"] == "done"
+        result2 = status2["result"]
+        assert result2["registry_hit"] is True
+        assert result2["model"] == "tuned" and result2["solves"] == 0
+
+        stats = client.stats()
+        assert stats["admission"]["solves"] == 1
+        assert stats["admission"]["retune_registry_hits"] == 1
+        assert stats["registry"]["canonical_hits"] >= 1
+
+        # the deduped model serves predictions immediately
+        probe = load_scenario("group_sweep", n=900, seed=4)
+        preds = client.predict("tuned", probe.X[:9])
+        assert preds.shape == (9,)
+
+    def test_retune_on_different_data_does_not_dedup(self, client):
+        job = client.retune(
+            "SP <= 0.07", "scenario:group_sweep", name="a", n=700, seed=1,
+        )
+        assert client.wait_job(job["job_id"])["result"]["registry_hit"] is False
+        job2 = client.retune(
+            "SP <= 0.07", "scenario:group_sweep", n=700, seed=2,
+        )
+        result = client.wait_job(job2["job_id"])["result"]
+        assert result["registry_hit"] is False  # different fingerprint
+
+
+class TestConcurrentClients:
+    N_CLIENTS = 6
+    REQUESTS = 12
+
+    def test_hammer_bit_identical_predictions(
+        self, server, dataset, fair_model,
+    ):
+        expected = fair_model.predict(dataset.X)
+        failures = []
+        barrier = threading.Barrier(self.N_CLIENTS)
+
+        def worker(worker_id):
+            rng = np.random.default_rng(worker_id)
+            try:
+                with ServingClient(server.host, server.port) as c:
+                    barrier.wait()
+                    for _ in range(self.REQUESTS):
+                        start = int(rng.integers(0, len(dataset.X) - 6))
+                        got = c.predict("gs", dataset.X[start:start + 6])
+                        if not np.array_equal(
+                            got, expected[start:start + 6]
+                        ):
+                            failures.append((worker_id, start))
+            except Exception as exc:  # noqa: BLE001 - recorded, not raised
+                failures.append((worker_id, exc))
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(self.N_CLIENTS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert failures == []
+
+        with ServingClient(server.host, server.port) as c:
+            stats = c.stats()
+        batcher = stats["batching"]["per_model"]["gs"]
+        assert batcher["requests"] == self.N_CLIENTS * self.REQUESTS
+        sizes = {int(s) for s in batcher["histogram"]}
+        assert max(sizes) <= 16
+
+
+class TestBatchingDisabled:
+    def test_unbatched_service_still_bit_identical(self, dataset, fair_model):
+        registry = ModelRegistry()
+        registry.register("gs", fair_model)
+        service = FairnessService(registry=registry, batching=False)
+        with serve_in_thread(service) as handle:
+            with ServingClient(handle.host, handle.port) as c:
+                rows = dataset.X[:11]
+                assert np.array_equal(
+                    c.predict("gs", rows), fair_model.predict(rows)
+                )
+                stats = c.stats()
+                assert stats["batching"]["enabled"] is False
+                assert stats["batching"]["max_batch_size"] == 1
+                histogram = (
+                    stats["batching"]["per_model"]["gs"]["histogram"]
+                )
+                assert histogram == {"1": 1}
