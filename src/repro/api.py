@@ -59,7 +59,9 @@ __all__ = ["Problem", "Engine", "FairModel", "fit_fair"]
 FAIRMODEL_FORMAT_VERSION = 1
 
 #: ``extra`` keys FairModel.load understands; unknown ones warn, not crash
-_KNOWN_EXTRA_KEYS = frozenset({"fairmodel_format_version", "spec_canonical"})
+_KNOWN_EXTRA_KEYS = frozenset({
+    "fairmodel_format_version", "spec_canonical", "dataset_fingerprint",
+})
 
 
 class Problem:
@@ -172,26 +174,59 @@ class FairModel:
         """Tuned hyperparameters (None when no report is attached)."""
         return None if self.report is None else self.report.lambdas
 
-    def save(self, path):
+    def save(self, path, dataset_fingerprint=None):
         """Serialize this artifact with the versioned model envelope.
 
         Beyond the generic envelope, the payload embeds the FairModel
         format version and the spec's canonical string, so a registry
         reload can key the artifact without unpickling-then-reparsing
         and a future revision can migrate old files deliberately.
+
+        Parameters
+        ----------
+        path : path-like
+            Destination file.
+        dataset_fingerprint : str, optional
+            The ``Dataset.fingerprint()`` the model was tuned on.  When
+            given it is stamped into the envelope, and a loader that
+            knows its expected fingerprint (the serving registry) can
+            reject a stale artifact instead of serving it.
         """
-        save_model(self, path, extra={
+        extra = {
             "fairmodel_format_version": FAIRMODEL_FORMAT_VERSION,
             "spec_canonical": self.spec_canonical(),
-        })
+        }
+        if dataset_fingerprint is not None:
+            extra["dataset_fingerprint"] = dataset_fingerprint
+        save_model(self, path, extra=extra)
 
     @classmethod
-    def load(cls, path):
+    def load(cls, path, with_extra=False):
         """Load a saved artifact; rejects files holding other objects.
 
         Unknown ``extra`` keys in the envelope (written by a newer
         revision) warn instead of crashing, so registry evict/reload
         round-trips stay future-proof.
+
+        Parameters
+        ----------
+        path : path-like
+            File written by :meth:`save`.
+        with_extra : bool
+            When True, return ``(model, extra_dict)`` so the caller can
+            inspect the envelope metadata (canonical spec, dataset
+            fingerprint) without re-deriving it.
+
+        Returns
+        -------
+        FairModel or (FairModel, dict)
+
+        Raises
+        ------
+        SpecificationError
+            If the file holds an object that is not a FairModel.
+        ModelFormatError
+            If the file is not a valid persistence envelope.
         """
         obj, envelope = load_model(path, with_envelope=True)
         if not isinstance(obj, cls):
@@ -217,7 +252,7 @@ class FairModel:
                 RuntimeWarning,
                 stacklevel=2,
             )
-        return obj
+        return (obj, dict(extra)) if with_extra else obj
 
     def __repr__(self):
         try:
@@ -279,6 +314,25 @@ class Engine:
         latter two speculatively pre-fit upcoming candidates through
         the shared fit cache while selecting the identical λ.  Worker
         counts spell as ``"process:4"``.
+    store_dir : path-like or None
+        Root of a persistent cross-run cache
+        (:class:`repro.store.CacheStore`).  When set, every solve (a)
+        consults a canonical solution cache first — an exact hit on
+        ``SpecSet.canonical()`` × dataset fingerprints × model params ×
+        strategy config returns the stored :class:`FairModel` with zero
+        fits, and a same-shape tightened-threshold request warm-starts
+        the single-λ search from the previous solve's λ — and (b)
+        persists/reuses individual fitted models and eval scores, so
+        even partially-overlapping solves skip work across processes.
+        Traffic is reported via ``FitReport.store_hits`` /
+        ``store_lookups``.
+    store : repro.store.CacheStore or None
+        Share a prebuilt store instead of opening ``store_dir`` (the
+        serving layer passes one store to every retune engine so its
+        counters aggregate).  Takes precedence over ``store_dir``.
+    store_max_bytes : int or None
+        Byte budget for a store opened via ``store_dir`` (LRU eviction
+        above it); ignored when ``store`` is passed.
     strict : bool
         Whether unknown ``**options`` keys raise (the legacy shim sets
         ``False`` because it forwards the union of all old kwargs).
@@ -300,6 +354,9 @@ class Engine:
         fit_cache=True,
         chunk_size=None,
         backend="serial",
+        store_dir=None,
+        store=None,
+        store_max_bytes=None,
         strict=True,
         **options,
     ):
@@ -328,6 +385,14 @@ class Engine:
         self.n_jobs = n_jobs
         self.fit_cache = fit_cache
         self.chunk_size = None if chunk_size is None else int(chunk_size)
+        if store is not None:
+            self.store = store
+        elif store_dir is not None:
+            from .store import CacheStore
+
+            self.store = CacheStore(store_dir, max_bytes=store_max_bytes)
+        else:
+            self.store = None
         self.strict = strict
         self.options = dict(options)
         # even in non-strict mode, an option no registered strategy
@@ -405,6 +470,26 @@ class Engine:
                 "splits; use a deterministic grouping or larger splits"
             )
 
+        name = resolve_strategy_name(self.strategy, len(train_constraints))
+        strategy = get_strategy(name)
+        config = strategy.make_config(self.options, strict=self.strict)
+
+        solution_cache = desc = None
+        if self.store is not None:
+            from .store import SolutionCache
+
+            solution_cache = SolutionCache(self.store)
+            desc = self._describe_solution(
+                problem, train, val, estimator, name, config,
+            )
+        if desc is not None:
+            hit = solution_cache.get(desc)
+            if hit is not None:
+                return self._from_solution_cache(hit)
+            config = self._warm_config(
+                solution_cache, desc, config, len(train_constraints),
+            )
+
         fitter = WeightedFitter(
             estimator,
             train.X,
@@ -417,11 +502,9 @@ class Engine:
             n_jobs=self.n_jobs,
             fit_cache=self.fit_cache,
             eval_chunk_size=self.chunk_size,
+            store=self.store,
         )
 
-        name = resolve_strategy_name(self.strategy, len(train_constraints))
-        strategy = get_strategy(name)
-        config = strategy.make_config(self.options, strict=self.strict)
         raw = strategy.run(
             fitter, val_constraints, val.X, val.y, config,
             backend=self.backend,
@@ -452,11 +535,19 @@ class Engine:
             fit_cache_lookups=fitter.fit_cache_lookups,
             eval_cache_hits=fitter.eval_stats["hits"],
             eval_cache_lookups=fitter.eval_stats["lookups"],
+            store_hits=(
+                fitter.store_stats["hits"]
+                + fitter.eval_stats.get("store_hits", 0)
+            ),
+            store_lookups=(
+                fitter.store_stats["lookups"]
+                + fitter.eval_stats.get("store_lookups", 0)
+            ),
             fit_paths=dict(fitter.fit_paths),
             train_constraints=list(fitter.constraints),
             val_constraints=list(val_constraints),
         )
-        return FairModel(
+        fair = FairModel(
             raw.model,
             problem.specs,
             report=report,
@@ -465,6 +556,102 @@ class Engine:
                 "strategy": name,
                 "engine": self.engine,
             },
+        )
+        if desc is not None:
+            solution_cache.put(desc, fair)
+            if len(train_constraints) == 1:
+                solution_cache.note_warm(
+                    desc, float(lambdas[0]), bool(swapped),
+                )
+        return fair
+
+    def _describe_solution(self, problem, train, val, estimator, name,
+                           config):
+        """The flat dict that keys a solve in the solution cache.
+
+        Covers everything that determines the selected model: the
+        canonical spec, both split fingerprints, the estimator class
+        and hyperparameters, the strategy and its config (minus the
+        warm-start seed fields, which alter only the trajectory), and
+        the weighted-training knobs.  Performance-only knobs (backend,
+        n_jobs, chunk_size) are deliberately excluded — every backend
+        selects the identical λ, so they would only fragment the cache.
+        Returns ``None`` for non-canonicalizable (non-DSL) specs.
+        """
+        from dataclasses import asdict
+
+        try:
+            canonical = problem.canonical()
+        except SpecificationError:
+            return None
+        cfg = asdict(config)
+        cfg.pop("warm_lambda", None)
+        cfg.pop("warm_swapped", None)
+        specs = problem.specs
+        epsilon = float(specs[0].epsilon) if len(specs) == 1 else None
+        return {
+            "canonical": canonical,
+            "epsilon": epsilon,
+            "train": train.fingerprint(),
+            "val": val.fingerprint(),
+            "estimator": type(estimator).__name__,
+            "params": repr(sorted(estimator.get_params().items())),
+            "strategy": name,
+            "config": repr(sorted(cfg.items())),
+            "negative_weights": self.negative_weights,
+            "warm_start": bool(self.warm_start),
+            "subsample": repr(self.subsample),
+            "engine": self.engine,
+        }
+
+    @staticmethod
+    def _from_solution_cache(stored):
+        """Re-report an exact solution-cache hit for this run.
+
+        The stored artifact's model, specs, and validation metrics are
+        exact for this request (the key covers the data fingerprints),
+        but the fit counters describe the run that *trained* it — this
+        run spent zero fits, which is what the fresh report records.
+        """
+        from dataclasses import replace
+
+        report = stored.report
+        if report is not None:
+            report = replace(
+                report,
+                n_fits=0,
+                history=[],
+                fit_cache_hits=0,
+                fit_cache_lookups=0,
+                eval_cache_hits=0,
+                eval_cache_lookups=0,
+                store_hits=1,
+                store_lookups=1,
+                fit_paths={"solution": 1},
+            )
+        return FairModel(
+            stored.model, stored.specs, report=report,
+            metadata=dict(stored.metadata, solution_cache_hit=True),
+        )
+
+    @staticmethod
+    def _warm_config(solution_cache, desc, config, n_constraints):
+        """Inject a warm-start bracket for a tightened re-solve.
+
+        Only single-constraint solves with warm-capable configs and no
+        caller-set seed are touched; everything else returns ``config``
+        unchanged, keeping cold trajectories byte-identical.
+        """
+        from dataclasses import replace
+
+        if (n_constraints != 1
+                or getattr(config, "warm_lambda", "absent") is not None):
+            return config
+        warm = solution_cache.get_warm(desc)
+        if warm is None:
+            return config
+        return replace(
+            config, warm_lambda=warm["lambda"], warm_swapped=warm["swapped"],
         )
 
     def __repr__(self):

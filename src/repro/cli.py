@@ -164,6 +164,15 @@ def build_parser():
                             "of this size (bit-identical to in-memory "
                             "evaluation; for datasets too large for one "
                             "stacked mask product)")
+    train.add_argument("--store-dir", default=None, metavar="DIR",
+                       help="persistent cross-run cache directory: exact "
+                            "canonical re-solves return the stored model "
+                            "with 0 fits, tightened re-solves warm-start, "
+                            "and individual fit/eval artifacts are reused "
+                            "across processes")
+    train.add_argument("--no-store", action="store_true",
+                       help="ignore --store-dir for this run (cold-solve "
+                            "reference arm for benchmarks)")
     train.add_argument("--save", metavar="PATH", default=None,
                        help="save the deployable FairModel artifact")
 
@@ -181,8 +190,11 @@ def build_parser():
                        help="register a saved FairModel artifact under "
                             "NAME; repeatable")
     serve.add_argument("--store-dir", default=None, metavar="DIR",
-                       help="spool directory for the registry's "
-                            "evict/reload lifecycle")
+                       help="persistence directory: the registry spools "
+                            "evicted models here, previously spooled "
+                            "models are re-registered on startup, and "
+                            "retune jobs share a cross-run fit/eval/"
+                            "solution cache rooted here")
     serve.add_argument("--max-models", type=int, default=None,
                        help="resident-model bound (LRU eviction beyond it)")
     serve.add_argument("--no-batching", action="store_true",
@@ -273,7 +285,9 @@ def _cmd_train(args, out):
             args.search, subsample=args.subsample,
             engine=args.engine, n_jobs=args.n_jobs,
             fit_cache=not args.no_fit_cache,
-            chunk_size=args.chunk_size, backend=args.backend, **options,
+            chunk_size=args.chunk_size, backend=args.backend,
+            store_dir=(None if args.no_store else args.store_dir),
+            **options,
         )
     except SpecificationError as exc:
         out.write(f"SPEC ERROR: {exc}\n")
@@ -305,7 +319,8 @@ def _cmd_train(args, out):
     out.write(
         f"caches: fit {report.fit_cache_hits}/{report.fit_cache_lookups} "
         f"hits, eval {report.eval_cache_hits}/{report.eval_cache_lookups} "
-        f"hits ({paths})\n"
+        f"hits, store {report.store_hits}/{report.store_lookups} hits "
+        f"({paths})\n"
     )
     out.write(f"validation: {report.disparities}\n")
     audit = fair_model.audit(test)
@@ -340,6 +355,7 @@ def _cmd_serve(args, out):
             max_wait_us=args.max_wait_us,
             n_workers=args.n_workers,
             backend=args.backend,
+            store_dir=args.store_dir,
         )
     except (SpecificationError, OSError, ValueError) as exc:
         out.write(f"SPEC ERROR: {exc}\n")

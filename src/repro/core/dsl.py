@@ -72,11 +72,20 @@ class SpecSet(list):
     """
 
     def to_string(self):
+        """Re-render in the DSL, preserving the original clause order."""
         if not self:
             raise SpecificationError("cannot render an empty SpecSet")
         return " and ".join(spec.to_string() for spec in self)
 
     def canonical(self):
+        """Normalized rendering: sorted clauses, ``g``-format epsilons.
+
+        Reordered conjunctions, reformatted thresholds (``8e-2`` vs
+        ``0.08``), and composite aliases (``EO`` vs its FPR∧FNR
+        expansion) all canonicalize to the same string — this is the
+        cache/dedup key used by the solution cache and the serving
+        registry.
+        """
         if not self:
             raise SpecificationError("cannot canonicalize an empty SpecSet")
         clauses = sorted(spec.to_string() for spec in self)

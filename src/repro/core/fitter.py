@@ -35,6 +35,17 @@ the work actually avoided is ``fit_cache_hits``.  The cache holds at
 most :data:`FIT_CACHE_MAX` models (LRU eviction) and is disabled
 under ``warm_start`` (a warm-started fit depends on the mutable shared
 estimator state, not just the weights).
+
+A persistent :class:`~repro.store.CacheStore` can sit *under* the
+in-memory cache (``store=`` constructor argument, usually injected by
+``Engine(store_dir=...)``): a memory miss consults the store before
+training, and every fresh fit is published back.  The persistent key is
+wider than the in-memory one — it adds the estimator class name and a
+digest of the training split itself, because the in-memory key's
+``(weights, labels)`` hash is only unambiguous within one fitter's
+``X``.  Store traffic is tracked in the shared :attr:`store_stats`
+sink, and a store hit still counts as a logical fit (like a cache
+hit).
 """
 
 from __future__ import annotations
@@ -132,6 +143,12 @@ class WeightedFitter:
         scoring over blocks of at most this many rows — bit-identical
         results, bounded peak memory.  ``None`` (default) keeps the
         in-memory path.
+    store : repro.store.CacheStore or None
+        Persistent blob store consulted under the in-memory fit cache
+        and published to after every fresh fit (see module docstring).
+        Ignored when the fit cache is off (including under
+        ``warm_start`` — a warm-started model depends on process-local
+        estimator state no other process can reproduce).
 
     Attributes
     ----------
@@ -142,6 +159,11 @@ class WeightedFitter:
         number of actual training runs.
     fit_cache_hits, fit_cache_lookups : int
         Fit-memoization traffic; ``hits`` short-circuited a fit.
+    store_stats : dict
+        ``{"hits": int, "lookups": int}`` persistent-store traffic for
+        model fits; shared with :meth:`spawn` siblings like
+        :attr:`eval_stats`.  A store hit also short-circuited a fit
+        (the model was trained by an earlier process or solve).
     eval_stats : dict
         ``{"hits": int, "lookups": int}`` sink shared with every
         :class:`~repro.core.kernels.CompiledEvaluator` the search builds
@@ -168,6 +190,7 @@ class WeightedFitter:
         n_jobs=None,
         fit_cache=True,
         eval_chunk_size=None,
+        store=None,
     ):
         if engine not in WEIGHT_ENGINES:
             raise ValueError(
@@ -199,6 +222,12 @@ class WeightedFitter:
         self.fit_cache_hits = 0
         self.fit_cache_lookups = 0
         self._fit_cache = {}
+        # persistent layer under the memory cache; its soundness rests
+        # on the same invariant (resolved vectors determine the model),
+        # so it shares the cache gate
+        self.store = store if self.fit_cache else None
+        self.store_stats = {"hits": 0, "lookups": 0}
+        self._split_digests = {}
         self.eval_stats = {"hits": 0, "lookups": 0}
         self.fit_paths = {}
         self._warned_warm_bypass = False
@@ -333,6 +362,55 @@ class WeightedFitter:
         digest.update(np.ascontiguousarray(y_fit).tobytes())
         return (split, self._params_fingerprint(), digest.digest())
 
+    def _split_digest(self, use_subsample):
+        """SHA1 of the training matrix for the persistent fit key.
+
+        The in-memory key can afford to omit ``X`` — one fitter binds
+        one training set — but the on-disk store is shared across
+        processes and datasets, so the split itself must be part of
+        the key.  Computed once per split and memoized (the matrix is
+        immutable for the fitter's lifetime).
+        """
+        cached = self._split_digests.get(use_subsample)
+        if cached is None:
+            X, _ = self._train_arrays(use_subsample)
+            cached = hashlib.sha1(
+                np.ascontiguousarray(X).tobytes()
+            ).hexdigest()
+            self._split_digests[use_subsample] = cached
+        return cached
+
+    def _store_key(self, w, y_fit, use_subsample):
+        """Hex key for the persistent store: in-memory key + class + X."""
+        digest = hashlib.sha1()
+        digest.update(type(self.estimator).__name__.encode())
+        digest.update(self._params_fingerprint().encode())
+        digest.update(self._split_digest(use_subsample).encode())
+        digest.update(np.ascontiguousarray(w).tobytes())
+        digest.update(np.ascontiguousarray(y_fit).tobytes())
+        return digest.hexdigest()
+
+    def _store_get(self, key, w, y_fit, use_subsample):
+        """Consult the persistent store after a memory miss.
+
+        On a hit the model enters the in-memory cache under ``key`` so
+        in-batch duplicates and later revisits resolve locally.
+        """
+        self.store_stats["lookups"] += 1
+        model = self.store.get("fit", self._store_key(w, y_fit, use_subsample))
+        if model is None:
+            return None
+        self.store_stats["hits"] += 1
+        self._cache_store(key, model)
+        return model
+
+    def _store_put(self, w, y_fit, use_subsample, model):
+        """Publish a freshly trained model to the persistent store."""
+        self.store.put(
+            "fit", self._store_key(w, y_fit, use_subsample), model,
+            extra={"estimator": type(self.estimator).__name__},
+        )
+
     def _record_path(self, path, count=1):
         self.fit_paths[path] = self.fit_paths.get(path, 0) + count
 
@@ -387,6 +465,12 @@ class WeightedFitter:
                 self.n_fits += 1   # logical fit; the work was memoized
                 self._record_path("cached")
                 return cached
+            if self.store is not None:
+                stored = self._store_get(key, w, y_fit, use_subsample)
+                if stored is not None:
+                    self.n_fits += 1   # logical fit; trained by a past run
+                    self._record_path("store")
+                    return stored
         self._record_path("warm" if self.warm_start else "single")
         if self.warm_start:
             self._shared.fit(X, y_fit, sample_weight=w)
@@ -399,6 +483,8 @@ class WeightedFitter:
         self.n_fits += 1
         if self.fit_cache:
             self._cache_store(key, model)
+            if self.store is not None:
+                self._store_put(w, y_fit, use_subsample, model)
         return model
 
     def _resolve_batch(self, W, y):
@@ -481,6 +567,7 @@ class WeightedFitter:
             todo = []
             fresh = set()
             hits = 0
+            store_hits = 0
             for b, key in enumerate(keys):
                 cached = self._cache_get(key)
                 if cached is not None:
@@ -488,12 +575,24 @@ class WeightedFitter:
                     hits += 1
                 elif key in fresh:
                     hits += 1      # in-batch duplicate, filled below
+                elif self.store is not None and (
+                    stored := self._store_get(
+                        key, W_res[b], Y_res[b], use_subsample
+                    )
+                ) is not None:
+                    # _store_get seeded the memory cache, so an
+                    # in-batch duplicate of this key hits "cached"
+                    # on its own iteration
+                    models[b] = stored
+                    store_hits += 1
                 else:
                     fresh.add(key)
                     todo.append(b)
             self.fit_cache_hits += hits
             if hits:
                 self._record_path("cached", hits)
+            if store_hits:
+                self._record_path("store", store_hits)
         else:
             todo = list(range(B))
 
@@ -511,6 +610,10 @@ class WeightedFitter:
                 by_key = {keys[b]: models[b] for b in todo}
                 for b in todo:
                     self._cache_store(keys[b], models[b])
+                    if self.store is not None:
+                        self._store_put(
+                            W_res[b], Y_res[b], use_subsample, models[b]
+                        )
                 for b in range(B):
                     if models[b] is None:  # in-batch duplicate key
                         models[b] = by_key[keys[b]]
@@ -681,7 +784,9 @@ class WeightedFitter:
             n_jobs=self.n_jobs,
             fit_cache=self.fit_cache,
             eval_chunk_size=self.eval_chunk_size,
+            store=self.store,
         )
         sibling._fit_cache = self._fit_cache
         sibling.eval_stats = self.eval_stats
+        sibling.store_stats = self.store_stats
         return sibling

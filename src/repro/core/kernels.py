@@ -417,9 +417,21 @@ class CompiledEvaluator:
     optional ``{"hits": int, "lookups": int}`` dict — pass the owning
     fitter's ``eval_stats`` so the search can surface hit counts through
     :class:`~repro.core.report.FitReport`.
+
+    ``store`` adds a persistent :class:`~repro.store.CacheStore` layer
+    under the memory cache (injected by ``Engine(store_dir=...)``): a
+    memory-missed prediction hash is looked up on disk keyed by the
+    hash *plus* a binding digest covering everything that determines a
+    score — labels, mask columns, epsilons, and per-side rate metadata
+    — and fresh scores are published back.  The store is silently
+    disabled when any constraint uses a custom metric: an arbitrary
+    Python callable cannot be soundly keyed (two processes can bind the
+    same metric name to different functions).  Store traffic lands in
+    ``stats["store_hits"]`` / ``stats["store_lookups"]``.
     """
 
-    def __init__(self, constraints, y, stats=None, chunk_size=None):
+    def __init__(self, constraints, y, stats=None, chunk_size=None,
+                 store=None):
         self.y = np.asarray(y, dtype=np.int64)
         self.n = len(self.y)
         self.constraints = list(constraints)
@@ -466,6 +478,49 @@ class CompiledEvaluator:
             np.column_stack(mask_cols) if mask_cols
             else np.zeros((self.n, 0))
         )
+        # custom metrics are opaque callables the binding digest cannot
+        # cover, so they disqualify the persistent layer entirely
+        self.store = store if (store is not None
+                               and not self._fallback) else None
+        self._binding = self._binding_digest() if self.store else None
+
+    def _binding_digest(self):
+        """Hex digest of everything that maps predictions to scores.
+
+        Two evaluators with equal binding digests produce identical
+        ``(disparities, accuracy)`` for identical prediction vectors,
+        so the persistent eval key is ``binding × prediction hash``.
+        """
+        digest = hashlib.sha1()
+        digest.update(np.ascontiguousarray(self.y).tobytes())
+        digest.update(np.ascontiguousarray(self.epsilons).tobytes())
+        digest.update(np.ascontiguousarray(self._mask_matrix).tobytes())
+        meta = [
+            (key, s.kind, s.size, s.n_y0, s.n_y1, tuple(s.cols), s.costs)
+            for key, s in sorted(self._sides.items())
+        ]
+        digest.update(repr((self.k, meta)).encode())
+        return digest.hexdigest()
+
+    def _store_get(self, dig):
+        """Persistent score for one prediction digest, or ``None``."""
+        self.stats["store_lookups"] = self.stats.get("store_lookups", 0) + 1
+        entry = self.store.get("eval", self._store_key(dig))
+        if (not isinstance(entry, tuple) or len(entry) != 2
+                or np.shape(entry[0]) != (self.k,)):
+            return None
+        self.stats["store_hits"] = self.stats.get("store_hits", 0) + 1
+        return np.asarray(entry[0], dtype=np.float64), float(entry[1])
+
+    def _store_put(self, dig, disparities, accuracy):
+        self.store.put(
+            "eval", self._store_key(dig), (disparities, float(accuracy)),
+        )
+
+    def _store_key(self, dig):
+        return hashlib.sha1(
+            self._binding.encode() + dig
+        ).hexdigest()
 
     # -- scoring -------------------------------------------------------------
 
@@ -613,6 +668,16 @@ class CompiledEvaluator:
                 self.stats["hits"] += 1
             elif dig in fresh:
                 self.stats["hits"] += 1   # in-batch duplicate, filled below
+            elif self.store is not None and (
+                stored := self._store_get(dig)
+            ) is not None:
+                disparities[b], accuracies[b] = stored
+                filled[b] = True
+                # seed the memory cache so duplicates and revisits of
+                # this vector resolve locally
+                if len(cache) >= EVAL_CACHE_MAX:
+                    cache.pop(next(iter(cache)))
+                cache[dig] = stored
             else:
                 fresh[dig] = b
                 todo.append(b)
@@ -626,6 +691,8 @@ class CompiledEvaluator:
                 if len(cache) >= EVAL_CACHE_MAX:
                     cache.pop(next(iter(cache)))
                 cache[digests[b]] = (new_d[j].copy(), float(new_a[j]))
+                if self.store is not None:
+                    self._store_put(digests[b], new_d[j].copy(), new_a[j])
         for b in np.nonzero(~filled)[0]:         # in-batch duplicate rows
             j = fresh[digests[b]]
             disparities[b], accuracies[b] = disparities[j], accuracies[j]
@@ -716,6 +783,10 @@ class CompiledEvaluator:
             if cached is not None:
                 self.stats["hits"] += 1
                 disparities[b], accuracies[b] = cached
+            elif self.store is not None:
+                # the streaming pass already reduced the counts, so a
+                # store *get* saves nothing here — only publish
+                self._store_put(dig, disparities[b].copy(), accuracies[b])
             if len(cache) >= EVAL_CACHE_MAX:
                 cache.pop(next(iter(cache)))
             cache[dig] = (disparities[b].copy(), float(accuracies[b]))
@@ -798,6 +869,7 @@ def evaluate_lambda_batch(
             val_constraints, y_val,
             stats=getattr(fitter, "eval_stats", None),
             chunk_size=chunk_size,
+            store=getattr(fitter, "store", None),
         )
     disparities, accuracies = evaluator.score_models_batch(
         models, X_val, chunk_size=chunk_size,

@@ -279,6 +279,7 @@ class PlanContext:
                 self.val_constraints, self.y_val,
                 stats=getattr(self.fitter, "eval_stats", None),
                 chunk_size=getattr(self.fitter, "eval_chunk_size", None),
+                store=getattr(self.fitter, "store", None),
             )
             self._kernel_key = key
         return self._kernel

@@ -52,6 +52,11 @@ class FitReport:
         (:meth:`~repro.core.kernels.CompiledEvaluator.score_batch`);
         always 0 under the naive engine, which scores through the
         uncached Python path.
+    store_hits, store_lookups : int
+        Persistent-store traffic (fit blobs + eval blobs combined) when
+        the solve ran with ``Engine(store_dir=...)``; a store hit means
+        the artifact was produced by an earlier process or solve.
+        Both 0 when no store is configured.
     fit_paths : dict
         How fits were dispatched, by path name (``"batch_protocol"``,
         ``"pool"``, ``"serial"``, ``"single"``, ``"warm"``,
@@ -75,6 +80,8 @@ class FitReport:
     fit_cache_lookups: int = 0
     eval_cache_hits: int = 0
     eval_cache_lookups: int = 0
+    store_hits: int = 0
+    store_lookups: int = 0
     fit_paths: dict = field(default_factory=dict, repr=False)
     train_constraints: list = field(default_factory=list, repr=False)
     val_constraints: list = field(default_factory=list, repr=False)
@@ -83,6 +90,26 @@ class FitReport:
     def accuracy(self):
         """Validation accuracy of the selected model."""
         return self.validation["accuracy"]
+
+    @property
+    def fits_trained(self):
+        """Models actually trained: logical fits minus every cache layer.
+
+        ``n_fits`` counts logical fits so search budgets are comparable
+        across cache configurations; this subtracts memory-cache hits
+        and persistent fit-store hits to give the training runs that
+        really executed in this process.
+        """
+        return self.n_fits - self.fit_cache_hits - self.fit_store_hits
+
+    @property
+    def fit_store_hits(self):
+        """Persistent-store hits that short-circuited a model fit.
+
+        ``store_hits`` aggregates fit and eval blob traffic;
+        :attr:`fit_paths`' ``"store"`` entry isolates the fit side.
+        """
+        return self.fit_paths.get("store", 0)
 
     @property
     def disparities(self):
@@ -105,7 +132,8 @@ class FitReport:
             f"caches:     fit {self.fit_cache_hits}/"
             f"{self.fit_cache_lookups} hits, "
             f"eval {self.eval_cache_hits}/"
-            f"{self.eval_cache_lookups} hits",
+            f"{self.eval_cache_lookups} hits, "
+            f"store {self.store_hits}/{self.store_lookups} hits",
         ]
         for label, value in self.disparities.items():
             lines.append(f"disparity:  {label} = {value:+.4f}")

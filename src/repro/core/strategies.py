@@ -115,23 +115,41 @@ class StrategyConfig:
 
 @dataclass
 class BinarySearchConfig(StrategyConfig):
-    """Algorithm 1 knobs (paper defaults: δ=0.001, τ=1e-4)."""
+    """Algorithm 1 knobs (paper defaults: δ=0.001, τ=1e-4).
+
+    ``warm_lambda`` / ``warm_swapped`` seed the search from an earlier
+    solve of the same constraint shape (typically injected by the
+    persistent :class:`~repro.store.SolutionCache` on a
+    tightened-threshold re-solve): the signed λ selected before becomes
+    a one-fit bracket probe that replaces the direction probe and most
+    of the bounding ladder.  The defaults (``None``/``False``) leave
+    the trajectory byte-identical to the cold search.
+    """
 
     delta: float = 0.01
     tau: float = 1e-3
     lambda_max: float = 1e5
     max_linear_steps: int = 2000
+    warm_lambda: float = None
+    warm_swapped: bool = False
 
 
 @dataclass
 class HillClimbConfig(StrategyConfig):
-    """Algorithm 2 knobs, plus Algorithm 1 knobs for the k=1 reduction."""
+    """Algorithm 2 knobs, plus Algorithm 1 knobs for the k=1 reduction.
+
+    ``warm_lambda`` / ``warm_swapped`` only apply to the k=1 reduction
+    (see :class:`BinarySearchConfig`); the multi-constraint climb
+    ignores them.
+    """
 
     max_rounds: int = None
     initial_step: float = 0.1
     tau: float = 1e-3
     delta: float = 0.01
     lambda_max: float = 1e5
+    warm_lambda: float = None
+    warm_swapped: bool = False
 
 
 @dataclass
@@ -304,10 +322,13 @@ def resolve_strategy_name(name, n_constraints):
 
 
 def _plan_single_lambda(ctx, delta=0.01, tau=1e-3, lambda_max=1e5,
-                        max_linear_steps=2000):
+                        max_linear_steps=2000, warm_lambda=None,
+                        warm_swapped=False):
     """Algorithm 1 as an ask/tell generator — λ-trajectory identical to
     the pre-planner ``tune_single_lambda`` loop (goldens in
-    ``tests/goldens/trajectories.json``)."""
+    ``tests/goldens/trajectories.json``) unless ``warm_lambda`` seeds
+    the bracket from a previous solve (see
+    :class:`BinarySearchConfig`)."""
     ctx.record_style = "scalar"
     fitter = ctx.fitter
     if len(fitter.constraints) != 1:
@@ -340,46 +361,35 @@ def _plan_single_lambda(ctx, delta=0.01, tau=1e-3, lambda_max=1e5,
     # binary-search refinement always uses the full training set
     prune = fitter.subsample is not None
 
-    # Direction probe.  Lemma 2 guarantees FP(θ*(λ)) non-decreasing in λ
-    # for exact optima of the surrogate; with approximate weights the
-    # observed disparity can move the other way or sit flat near λ=0, so
-    # both signs are probed with escalating steps (see the pre-planner
-    # loop's derivation note).  Always full-data fits: the search
-    # direction must be reliable.
-    probe_step = delta if parameterized else min(1.0, lambda_max)
-    direction = 1.0
-    probe = None
-    for _ in range(6):
-        pos, neg = yield CandidateBatch(
-            [[probe_step], [-probe_step]], purpose="probe",
-            prev_model=model0,
-        )
-        moved = max(pos.fp, neg.fp) > fp0 + 1e-12
-        if moved:
-            direction, probe = (1.0, pos) if pos.fp >= neg.fp else (-1.0, neg)
-            break
-        if probe_step * 4 > lambda_max:
-            break
-        probe_step *= 4.0
-    if probe is None:
-        raise InfeasibleConstraintError(
-            f"disparity does not respond to λ for {label}",
-            best_model=model0,
-        )
-
-    # -- stage 2: bounding t (λ = direction · t) ------------------------------
-    t_u, fp_u, acc_u, model_u = (
-        probe_step, probe.fp, probe.accuracy, probe.model,
-    )
-    t_l, model_l = 0.0, model0
-
     def crossed_band(res):
         return res.fp >= -epsilon
 
-    if not parameterized:
-        # exponential ladder (lines 21-27): rungs t·2^j up to lambda_max,
-        # asked as one batch that stops at the first rung past the band
+    # warm-start eligibility: the previous λ is only a sound bracket
+    # seed when nothing that shaped it differs — same orientation, no
+    # continuation chaining (parameterized), no subsample pruning, and
+    # a magnitude the search could itself have visited
+    warm = (
+        warm_lambda is not None
+        and not parameterized
+        and not prune
+        and bool(warm_swapped) == swapped
+        and tau < abs(warm_lambda) <= lambda_max
+    )
+
+    if warm:
+        # -- warm stages 1-2: one probe at the previous λ --------------------
+        # the previous solve's signed λ carries the direction, so the
+        # two-sided escalating direction probe is skipped outright
+        direction = 1.0 if warm_lambda > 0 else -1.0
+        t_w = abs(warm_lambda)
+        (rw,) = yield CandidateBatch(
+            [[direction * t_w]], purpose="warm", prev_model=model0,
+        )
+        t_u, fp_u, acc_u, model_u = t_w, rw.fp, rw.accuracy, rw.model
+        t_l, model_l = 0.0, model0
         if fp_u < -epsilon:
+            # the tightened band sits above the previous λ: resume the
+            # doubling ladder from t_w instead of from the unit probe
             rungs = []
             t = t_u
             while True:
@@ -395,8 +405,7 @@ def _plan_single_lambda(ctx, delta=0.01, tau=1e-3, lambda_max=1e5,
                 )
             reported = yield CandidateBatch(
                 direction * np.asarray(rungs)[:, None], purpose="bracket",
-                prev_model=model_u, chain=True, use_subsample=prune,
-                stop=crossed_band,
+                prev_model=model_u, chain=True, stop=crossed_band,
             )
             for i, r in enumerate(reported):
                 t_l, model_l = t_u, model_u
@@ -409,32 +418,128 @@ def _plan_single_lambda(ctx, delta=0.01, tau=1e-3, lambda_max=1e5,
                     f"without satisfying {label}",
                     best_model=model0,
                 )
-    else:
-        # linear ladder (lines 29-37): the continuation approximation
-        # needs adjacent λ so each rung chains the previous rung's model
-        step = max(delta, probe_step)
-        if fp_u < -epsilon:
+        else:
+            # the previous λ already clears the tightened band: halve
+            # down toward it, tightening the upper bound each rung and
+            # stopping at the first rung back below the band — that
+            # rung is a far closer lower bracket than 0
             rungs = []
-            t = t_u
-            for _ in range(max_linear_steps):
-                t = t + step
+            t = t_u / 2.0
+            while t >= tau:
                 rungs.append(t)
-            reported = yield CandidateBatch(
-                direction * np.asarray(rungs)[:, None], purpose="bracket",
-                prev_model=model_u, chain=True, use_subsample=prune,
-                stop=crossed_band,
+                t /= 2.0
+            if rungs:
+                reported = yield CandidateBatch(
+                    direction * np.asarray(rungs)[:, None],
+                    purpose="bracket", prev_model=model0, chain=True,
+                    stop=lambda res: res.fp < -epsilon,
+                )
+                for i, r in enumerate(reported):
+                    if r.fp < -epsilon:
+                        t_l, model_l = rungs[i], r.model
+                    else:
+                        if abs(fp_u) <= epsilon and acc_u > best[2]:
+                            best = (model_u, direction * t_u, acc_u)
+                        t_u, fp_u, acc_u, model_u = (
+                            rungs[i], r.fp, r.accuracy, r.model,
+                        )
+    else:
+        # Direction probe.  Lemma 2 guarantees FP(θ*(λ)) non-decreasing
+        # in λ for exact optima of the surrogate; with approximate
+        # weights the observed disparity can move the other way or sit
+        # flat near λ=0, so both signs are probed with escalating steps
+        # (see the pre-planner loop's derivation note).  Always
+        # full-data fits: the search direction must be reliable.
+        probe_step = delta if parameterized else min(1.0, lambda_max)
+        direction = 1.0
+        probe = None
+        for _ in range(6):
+            pos, neg = yield CandidateBatch(
+                [[probe_step], [-probe_step]], purpose="probe",
+                prev_model=model0,
             )
-            for i, r in enumerate(reported):
-                t_l, model_l = t_u, model_u
-                t_u, fp_u, acc_u, model_u = (
-                    rungs[i], r.fp, r.accuracy, r.model,
+            moved = max(pos.fp, neg.fp) > fp0 + 1e-12
+            if moved:
+                direction, probe = (
+                    (1.0, pos) if pos.fp >= neg.fp else (-1.0, neg)
                 )
+                break
+            if probe_step * 4 > lambda_max:
+                break
+            probe_step *= 4.0
+        if probe is None:
+            raise InfeasibleConstraintError(
+                f"disparity does not respond to λ for {label}",
+                best_model=model0,
+            )
+
+        # -- stage 2: bounding t (λ = direction · t) -------------------------
+        t_u, fp_u, acc_u, model_u = (
+            probe_step, probe.fp, probe.accuracy, probe.model,
+        )
+        t_l, model_l = 0.0, model0
+
+        if not parameterized:
+            # exponential ladder (lines 21-27): rungs t·2^j up to
+            # lambda_max, asked as one batch that stops at the first
+            # rung past the band
             if fp_u < -epsilon:
-                raise InfeasibleConstraintError(
-                    f"linear search exhausted {max_linear_steps} steps "
-                    f"without satisfying {label}",
-                    best_model=model_u,
+                rungs = []
+                t = t_u
+                while True:
+                    t = t * 2.0
+                    if t > lambda_max:
+                        break
+                    rungs.append(t)
+                if not rungs:
+                    raise InfeasibleConstraintError(
+                        f"exponential search exceeded lambda_max="
+                        f"{lambda_max} without satisfying {label}",
+                        best_model=model0,
+                    )
+                reported = yield CandidateBatch(
+                    direction * np.asarray(rungs)[:, None],
+                    purpose="bracket", prev_model=model_u, chain=True,
+                    use_subsample=prune, stop=crossed_band,
                 )
+                for i, r in enumerate(reported):
+                    t_l, model_l = t_u, model_u
+                    t_u, fp_u, acc_u, model_u = (
+                        rungs[i], r.fp, r.accuracy, r.model,
+                    )
+                if fp_u < -epsilon:
+                    raise InfeasibleConstraintError(
+                        f"exponential search exceeded lambda_max="
+                        f"{lambda_max} without satisfying {label}",
+                        best_model=model0,
+                    )
+        else:
+            # linear ladder (lines 29-37): the continuation
+            # approximation needs adjacent λ so each rung chains the
+            # previous rung's model
+            step = max(delta, probe_step)
+            if fp_u < -epsilon:
+                rungs = []
+                t = t_u
+                for _ in range(max_linear_steps):
+                    t = t + step
+                    rungs.append(t)
+                reported = yield CandidateBatch(
+                    direction * np.asarray(rungs)[:, None],
+                    purpose="bracket", prev_model=model_u, chain=True,
+                    use_subsample=prune, stop=crossed_band,
+                )
+                for i, r in enumerate(reported):
+                    t_l, model_l = t_u, model_u
+                    t_u, fp_u, acc_u, model_u = (
+                        rungs[i], r.fp, r.accuracy, r.model,
+                    )
+                if fp_u < -epsilon:
+                    raise InfeasibleConstraintError(
+                        f"linear search exhausted {max_linear_steps} "
+                        f"steps without satisfying {label}",
+                        best_model=model_u,
+                    )
 
     if prune:
         # the subsample bracket is a hint: re-verify the upper bound with
@@ -913,6 +1018,8 @@ class BinarySearchStrategy(SearchStrategy):
             ctx, delta=config.delta, tau=config.tau,
             lambda_max=config.lambda_max,
             max_linear_steps=config.max_linear_steps,
+            warm_lambda=config.warm_lambda,
+            warm_swapped=config.warm_swapped,
         )
 
 
@@ -930,6 +1037,8 @@ class HillClimbStrategy(SearchStrategy):
             return _plan_single_lambda(
                 ctx, delta=config.delta, tau=config.tau,
                 lambda_max=config.lambda_max,
+                warm_lambda=config.warm_lambda,
+                warm_swapped=config.warm_swapped,
             )
         return _plan_hill_climb(
             ctx, max_rounds=config.max_rounds,

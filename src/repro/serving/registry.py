@@ -21,6 +21,7 @@ from __future__ import annotations
 import pathlib
 import threading
 import time
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -78,7 +79,11 @@ class ModelRegistry:
         Spool directory for the evict/reload lifecycle.  With a store
         dir, :meth:`evict` persists the model (persistence envelope) and
         :meth:`get` transparently reloads it; without one, eviction
-        drops the model for good.
+        drops the model for good.  On construction, any
+        ``*.fairmodel.pkl`` spool already in the directory — written by
+        a previous process — is re-registered as a non-resident entry,
+        so a restarted server answers the same names (and canonical
+        dedup keys) it served before.
     max_models : int or None
         Resident-model bound; registering (or reloading) beyond it
         evicts the least recently used model first.
@@ -102,9 +107,12 @@ class ModelRegistry:
             "evictions": 0,
             "spools": 0,
             "reloads": 0,
+            "restored": 0,
             "canonical_lookups": 0,
             "canonical_hits": 0,
         }
+        if self.store_dir is not None and self.store_dir.is_dir():
+            self._restore_spooled()
 
     # -- core lifecycle ------------------------------------------------------
 
@@ -277,7 +285,9 @@ class ModelRegistry:
         if self.store_dir is not None:
             if model is not None:  # already-spooled models keep their file
                 path = self._spool_path(name)
-                model.save(path)
+                model.save(
+                    path, dataset_fingerprint=entry.dataset_fingerprint,
+                )
                 entry.path = str(path)
                 self._stats["spools"] += 1
             entry.resident = False
@@ -292,11 +302,71 @@ class ModelRegistry:
                 f"model {entry.name!r} was evicted and has no spool file "
                 f"(registry has no store_dir)"
             )
-        model = FairModel.load(entry.path)
+        model, extra = FairModel.load(entry.path, with_extra=True)
+        spooled_fp = extra.get("dataset_fingerprint")
+        if (entry.dataset_fingerprint is not None
+                and spooled_fp is not None
+                and spooled_fp != entry.dataset_fingerprint):
+            # the spool file was replaced (or the data changed) since
+            # this entry was indexed: serving it would answer requests
+            # with a model tuned on *different* data — warn and miss
+            warnings.warn(
+                f"spooled artifact for {entry.name!r} at {entry.path} "
+                f"carries dataset fingerprint {spooled_fp[:12]}…, but the "
+                f"registry expects {entry.dataset_fingerprint[:12]}…; "
+                f"dropping the stale entry",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            self._drop_key(entry.name)
+            del self._entries[entry.name]
+            raise KeyError(
+                f"model {entry.name!r} has a stale spool file (dataset "
+                f"fingerprint mismatch); re-register or retune it"
+            )
         self._models[entry.name] = model
         entry.resident = True
         self._stats["reloads"] += 1
         return model
+
+    def _restore_spooled(self):
+        """Re-register spool files left by a previous process.
+
+        Entries come back *non-resident* — the model is unpickled once
+        to recover its canonical spec and estimator name for the dedup
+        index, then dropped until first use, so a restart with many
+        spools does not balloon memory.  An unreadable spool warns and
+        is skipped: a stale cache file must never stop the server from
+        booting.
+        """
+        for path in sorted(self.store_dir.glob("*.fairmodel.pkl")):
+            name = path.name[: -len(".fairmodel.pkl")]
+            if not name or name in self._entries:
+                continue
+            try:
+                model, extra = FairModel.load(path, with_extra=True)
+            except Exception as exc:
+                warnings.warn(
+                    f"skipping unreadable spool file {path} ({exc})",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                continue
+            canonical = extra.get("spec_canonical") or model.spec_canonical()
+            fingerprint = extra.get("dataset_fingerprint")
+            entry = RegistryEntry(
+                name=name,
+                estimator=type(model.model).__name__,
+                spec_canonical=canonical,
+                dataset_fingerprint=fingerprint,
+                source="restore",
+                path=str(path),
+                resident=False,
+            )
+            self._entries[name] = entry
+            if canonical is not None and fingerprint is not None:
+                self._by_key[(canonical, fingerprint)] = name
+            self._stats["restored"] += 1
 
     def _enforce_bound(self, keep=None):
         if self.max_models is None:

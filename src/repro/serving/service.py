@@ -112,12 +112,24 @@ class FairnessService:
     backend : str
         Default execution backend for retune solves (requests may
         override per job).
+    store_dir : path-like or None
+        Root of the persistent cross-run cache
+        (:class:`~repro.store.CacheStore`).  Every retune Engine shares
+        this one store, so fits and evaluations survive both across
+        retune jobs and across server restarts.  The registry's spool
+        files and the store's blob tree coexist in the same directory.
     """
 
     def __init__(self, registry=None, *, batching=True, max_batch_size=32,
-                 max_wait_us=2000, n_workers=1, backend="serial"):
+                 max_wait_us=2000, n_workers=1, backend="serial",
+                 store_dir=None):
         resolve_backend(backend)  # fail fast on unknown backends
         self.registry = registry if registry is not None else ModelRegistry()
+        self.store = None
+        if store_dir is not None:
+            from ..store import CacheStore
+
+            self.store = CacheStore(store_dir)
         self.batching = bool(batching)
         self.max_batch_size = int(max_batch_size)
         self.max_wait_us = int(max_wait_us)
@@ -299,6 +311,7 @@ class FairnessService:
                 "per_model": batchers,
             },
             "registry": self.registry.stats(),
+            "store": None if self.store is None else self.store.stats(),
             "jobs": {"total": len(self._jobs), "by_status": jobs},
         }
 
@@ -395,7 +408,8 @@ class FairnessService:
             raise _BadRequest("options must be a JSON object")
         # construct the Engine eagerly so bad strategies / backends /
         # options come back as a 400 now, not a failed job later
-        engine = Engine(strategy, backend=backend, **options)
+        engine = Engine(strategy, backend=backend, store=self.store,
+                        **options)
         name = body.get("name") or f"retune-{next(self._job_ids)}"
         handle = submit_job(
             self._run_retune, name, spec, estimator, dataset_args,

@@ -146,6 +146,69 @@ class TestModelRegistry:
             ModelRegistry(max_models=0)
 
 
+class TestRegistryRestore:
+    """Spool files survive a process restart (ISSUE 7)."""
+
+    def test_restart_restores_spooled_models(self, tmp_path):
+        first = ModelRegistry(store_dir=tmp_path)
+        fair = make_fair_model()
+        first.register("m", fair, dataset_fingerprint="fp")
+        first.evict("m")
+        X = np.random.default_rng(1).normal(size=(20, 4))
+        before = fair.predict(X)
+
+        second = ModelRegistry(store_dir=tmp_path)  # "new process"
+        assert second.names() == ["m"]
+        assert second.stats()["restored"] == 1
+        entry = second.describe()[0]
+        assert entry["source"] == "restore"
+        assert entry["resident"] is False
+        # canonical dedup works again without any re-registration
+        assert second.lookup("sp <= 1e-1", "fp") == "m"
+        assert np.array_equal(second.get("m").predict(X), before)
+
+    def test_restore_skips_unreadable_spools(self, tmp_path):
+        (tmp_path / "bad.fairmodel.pkl").write_bytes(b"rot")
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            registry = ModelRegistry(store_dir=tmp_path)
+        assert len(registry) == 0
+
+    def test_restore_does_not_clobber_loaded_models(self, tmp_path):
+        first = ModelRegistry(store_dir=tmp_path)
+        first.register("m", make_fair_model(), dataset_fingerprint="fp")
+        first.evict("m")
+        second = ModelRegistry(store_dir=tmp_path)
+        assert second.stats()["restored"] == 1
+        # a fresh register under the same name wins over the spool
+        second.register("m", make_fair_model(seed=9))
+        assert second.get("m") is not None
+
+    def test_stale_fingerprint_spool_warns_and_misses(self, tmp_path):
+        """The regression this PR fixes: a spool file whose recorded
+        dataset fingerprint no longer matches the registry's entry must
+        not be served — warn, drop the entry, raise KeyError."""
+        registry = ModelRegistry(store_dir=tmp_path)
+        registry.register("m", make_fair_model(), dataset_fingerprint="old")
+        registry.evict("m")
+        # the file is replaced out-of-band by a model tuned on other data
+        make_fair_model(seed=9).save(
+            tmp_path / "m.fairmodel.pkl", dataset_fingerprint="new",
+        )
+        with pytest.warns(RuntimeWarning, match="fingerprint"):
+            with pytest.raises(KeyError, match="stale"):
+                registry.get("m")
+        assert "m" not in registry
+        assert registry.lookup("SP <= 0.1", "old") is None
+
+    def test_unstamped_spool_still_reloads(self, tmp_path):
+        """Pre-ISSUE-7 spool files carry no fingerprint: they reload."""
+        registry = ModelRegistry(store_dir=tmp_path)
+        registry.register("m", make_fair_model(), dataset_fingerprint="fp")
+        registry.evict("m")
+        make_fair_model().save(tmp_path / "m.fairmodel.pkl")  # no stamp
+        assert registry.get("m") is not None
+
+
 class TestRegistryConcurrency:
     N_THREADS = 8
     OPS_PER_THREAD = 60

@@ -103,6 +103,13 @@ class TestBasics:
         assert stats["registry"]["models"] == 1
         assert stats["admission"]["admitted"] >= 1
         assert "queue_depth" in stats
+        assert stats["store"] is None  # no --store-dir on this server
+
+    def test_stats_reports_store_counters(self, tmp_path):
+        service = FairnessService(store_dir=tmp_path)
+        stats = service._stats()
+        assert stats["store"]["hits"] == 0
+        assert stats["store"]["max_bytes"] is None
 
     def test_keep_alive_connection_reuse(self, client, dataset):
         for _ in range(4):

@@ -1,0 +1,406 @@
+"""Cross-run semantic cache: blob store, solution cache, engine wiring.
+
+Three tiers, mirroring the layering in ``repro.store``:
+
+* ``CacheStore`` — round-trips, atomicity under a thread hammer,
+  corruption injection (a damaged blob must warn and read as a miss,
+  never crash), and an eviction-order property test;
+* ``SolutionCache`` — exact-key canonical equivalence, shape-key
+  threshold erasure, and the warm-start index;
+* engine/CLI integration — a canonically-equivalent re-solve through a
+  fresh Engine spends **0 fits** and returns bit-identical λ, a
+  tightened re-solve warm-starts into strictly fewer fits than cold,
+  and the CLI ``--store-dir`` round-trip does the same end to end.
+"""
+
+import io
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import Engine, FairModel, Problem
+from repro.cli import main as cli_main
+from repro.datasets import load_scenario
+from repro.ml import GaussianNaiveBayes
+from repro.store import CacheStore, SolutionCache
+from repro.store.blob import content_key
+
+KEY_A = content_key("a")
+KEY_B = content_key("b")
+
+
+# -- CacheStore ---------------------------------------------------------------
+
+
+class TestCacheStore:
+    def test_put_get_roundtrip(self, tmp_path):
+        store = CacheStore(tmp_path)
+        payload = {"w": np.arange(5.0), "label": "x"}
+        store.put("fit", KEY_A, payload)
+        loaded = store.get("fit", KEY_A)
+        assert loaded["label"] == "x"
+        np.testing.assert_array_equal(loaded["w"], payload["w"])
+        assert store.counters["puts"] == 1
+        assert store.counters["hits"] == 1
+
+    def test_miss_returns_default(self, tmp_path):
+        store = CacheStore(tmp_path)
+        assert store.get("fit", KEY_A) is None
+        assert store.get("fit", KEY_A, default=7) == 7
+        assert store.counters["misses"] == 2
+
+    def test_namespaces_do_not_collide(self, tmp_path):
+        store = CacheStore(tmp_path)
+        store.put("fit", KEY_A, "fit-side")
+        store.put("eval", KEY_A, "eval-side")
+        assert store.get("fit", KEY_A) == "fit-side"
+        assert store.get("eval", KEY_A) == "eval-side"
+
+    def test_non_hex_keys_rejected(self, tmp_path):
+        store = CacheStore(tmp_path)
+        with pytest.raises(ValueError, match="hex"):
+            store.put("fit", "../escape", "x")
+        with pytest.raises(ValueError, match="hex"):
+            store.get("fit", "UPPER")
+
+    def test_delete(self, tmp_path):
+        store = CacheStore(tmp_path)
+        store.put("fit", KEY_A, 1)
+        assert store.delete("fit", KEY_A) is True
+        assert store.delete("fit", KEY_A) is False
+        assert store.get("fit", KEY_A) is None
+
+    def test_stats_counts_blobs_and_bytes(self, tmp_path):
+        store = CacheStore(tmp_path, max_bytes=10**9)
+        store.put("fit", KEY_A, np.zeros(16))
+        store.put("eval", KEY_B, np.zeros(16))
+        stats = store.stats()
+        assert stats["blobs"] == 2
+        assert stats["bytes"] > 0
+        assert stats["max_bytes"] == 10**9
+
+    def test_corrupt_blob_warns_and_misses(self, tmp_path):
+        store = CacheStore(tmp_path)
+        path = store.put("fit", KEY_A, {"ok": True})
+        with open(path, "wb") as fh:
+            fh.write(b"not a pickle at all")
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            assert store.get("fit", KEY_A) is None
+        assert store.counters["corrupt"] == 1
+        # the damaged file was removed: next read is a clean miss
+        assert store.get("fit", KEY_A) is None
+        assert store.counters["corrupt"] == 1
+
+    def test_truncated_blob_warns_and_misses(self, tmp_path):
+        store = CacheStore(tmp_path)
+        path = store.put("fit", KEY_A, np.arange(1000.0))
+        blob = open(path, "rb").read()
+        with open(path, "wb") as fh:
+            fh.write(blob[: len(blob) // 2])
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            assert store.get("fit", KEY_A) is None
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        store = CacheStore(tmp_path)
+        for i in range(10):
+            store.put("fit", content_key(str(i)), i)
+        assert list(tmp_path.rglob("*.tmp")) == []
+
+    def test_concurrent_writers_and_readers(self, tmp_path):
+        """Thread hammer: shared keys, every read sees a complete blob."""
+        store = CacheStore(tmp_path)
+        keys = [content_key(str(i)) for i in range(8)]
+        payloads = {k: np.full(64, i, dtype=np.float64)
+                    for i, k in enumerate(keys)}
+        errors = []
+
+        def writer():
+            for _ in range(15):
+                for key in keys:
+                    store.put("fit", key, payloads[key])
+
+        def reader():
+            for _ in range(30):
+                for key in keys:
+                    got = store.get("fit", key)
+                    if got is None:
+                        continue  # not yet written
+                    if not np.array_equal(got, payloads[key]):
+                        errors.append(f"partial read for {key}")
+
+        threads = (
+            [threading.Thread(target=writer) for _ in range(4)]
+            + [threading.Thread(target=reader) for _ in range(4)]
+        )
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert store.counters["corrupt"] == 0
+        for key in keys:
+            np.testing.assert_array_equal(
+                store.get("fit", key), payloads[key]
+            )
+
+
+class TestCacheStoreEviction:
+    def test_over_budget_evicts_oldest_first(self, tmp_path):
+        store = CacheStore(tmp_path)
+        keys = [content_key(str(i)) for i in range(4)]
+        for i, key in enumerate(keys):
+            store.put("fit", key, np.zeros(8) + i)
+        blob_size = store.stats()["bytes"] // 4
+        # budget for two blobs: the two oldest must go
+        store.max_bytes = 2 * blob_size + blob_size // 2
+        store._evict_over_budget()
+        assert store.get("fit", keys[0]) is None
+        assert store.get("fit", keys[1]) is None
+        assert store.get("fit", keys[2]) is not None
+        assert store.get("fit", keys[3]) is not None
+
+    def test_get_refreshes_recency(self, tmp_path):
+        store = CacheStore(tmp_path)
+        keys = [content_key(str(i)) for i in range(3)]
+        for key in keys:
+            store.put("fit", key, np.zeros(8))
+        store.get("fit", keys[0])  # oldest put, now most recently used
+        blob_size = store.stats()["bytes"] // 3
+        store.max_bytes = 2 * blob_size + blob_size // 2
+        store._evict_over_budget()
+        assert store.get("fit", keys[0]) is not None
+        assert store.get("fit", keys[1]) is None
+
+    def test_put_never_evicts_its_own_blob(self, tmp_path):
+        store = CacheStore(tmp_path, max_bytes=1)
+        store.put("fit", KEY_A, np.zeros(64))
+        assert store.get("fit", KEY_A) is not None
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(accesses=st.lists(st.integers(min_value=0, max_value=5),
+                             min_size=0, max_size=12),
+           survivors=st.integers(min_value=1, max_value=5))
+    def test_eviction_order_is_lru(self, tmp_path, accesses, survivors):
+        """Property: the blobs kept are exactly the most recently used."""
+        root = tmp_path / f"p{len(accesses)}-{survivors}"
+        store = CacheStore(root)
+        keys = [content_key(str(i)) for i in range(6)]
+        for key in keys:
+            store.put("fit", key, np.zeros(8))
+        for i in accesses:
+            store.get("fit", keys[i])
+        # recency order: puts 0..5, then the access sequence
+        order = list(range(6))
+        for i in accesses:
+            order.remove(i)
+            order.append(i)
+        expected_kept = set(order[-survivors:])
+        blob_size = store.stats()["bytes"] // 6
+        store.max_bytes = survivors * blob_size + blob_size // 2
+        store._evict_over_budget()
+        kept = {
+            i for i, key in enumerate(keys)
+            if (root / "fit" / key[:2] / (key + ".blob")).is_file()
+        }
+        assert kept == expected_kept
+
+
+# -- SolutionCache ------------------------------------------------------------
+
+
+def desc_for(spec, epsilon, **over):
+    desc = {
+        "canonical": Problem(spec).canonical(),
+        "epsilon": epsilon,
+        "train": "tfp", "val": "vfp",
+        "estimator": "GaussianNaiveBayes",
+        "strategy": "binary_search",
+    }
+    desc.update(over)
+    return desc
+
+
+class TestSolutionCacheKeys:
+    def test_exact_key_is_canonical(self):
+        assert SolutionCache.exact_key(desc_for("SP <= 0.08", 0.08)) == \
+            SolutionCache.exact_key(desc_for("sp  <=  8e-2", 0.08))
+
+    def test_exact_key_separates_datasets(self):
+        a = SolutionCache.exact_key(desc_for("SP <= 0.08", 0.08))
+        b = SolutionCache.exact_key(
+            desc_for("SP <= 0.08", 0.08, train="other")
+        )
+        assert a != b
+
+    def test_shape_key_erases_the_threshold(self):
+        tight = desc_for("SP <= 0.05", 0.05)
+        loose = desc_for("SP <= 0.08", 0.08)
+        assert SolutionCache.shape_key(tight) == \
+            SolutionCache.shape_key(loose)
+        assert SolutionCache.exact_key(tight) != \
+            SolutionCache.exact_key(loose)
+
+    def test_multi_constraint_shapes_are_not_indexable(self):
+        desc = desc_for("SP <= 0.05 and FNR <= 0.05", None)
+        assert SolutionCache.shape_key(desc) is None
+
+
+class TestSolutionCacheWarmIndex:
+    def test_roundtrip_and_tightest_looser_wins(self, tmp_path):
+        cache = SolutionCache(CacheStore(tmp_path))
+        cache.note_warm(desc_for("SP <= 0.2", 0.2), 0.5, False)
+        cache.note_warm(desc_for("SP <= 0.1", 0.1), 1.0, True)
+        warm = cache.get_warm(desc_for("SP <= 0.05", 0.05))
+        assert warm == {"lambda": 1.0, "swapped": True, "epsilon": 0.1}
+
+    def test_no_looser_epsilon_means_no_warm_start(self, tmp_path):
+        cache = SolutionCache(CacheStore(tmp_path))
+        cache.note_warm(desc_for("SP <= 0.05", 0.05), 1.0, False)
+        # equal: the exact cache's job.  looser request: not bracketed.
+        assert cache.get_warm(desc_for("SP <= 0.05", 0.05)) is None
+        assert cache.get_warm(desc_for("SP <= 0.2", 0.2)) is None
+
+    def test_foreign_payload_reads_as_miss(self, tmp_path):
+        store = CacheStore(tmp_path)
+        cache = SolutionCache(store)
+        desc = desc_for("SP <= 0.08", 0.08)
+        store.put(SolutionCache.EXACT_NS, SolutionCache.exact_key(desc),
+                  {"not": "a FairModel"})
+        assert cache.get(desc) is None
+
+
+# -- Engine integration -------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def sweep_data():
+    return load_scenario("group_sweep", n=600, seed=3)
+
+
+class TestEngineStore:
+    def test_canonical_resolve_is_zero_fits(self, tmp_path, sweep_data):
+        cold = Engine("hill_climb", store_dir=tmp_path).solve(
+            "SP <= 0.08", GaussianNaiveBayes(), sweep_data,
+        )
+        assert cold.report.n_fits > 0
+        # fresh engine, fresh store object, equivalent spec text
+        warm = Engine("hill_climb", store_dir=tmp_path).solve(
+            "sp  <=  8e-2", GaussianNaiveBayes(), sweep_data,
+        )
+        assert warm.report.n_fits == 0
+        assert warm.report.fit_paths == {"solution": 1}
+        np.testing.assert_array_equal(
+            warm.report.lambdas, cold.report.lambdas
+        )
+        np.testing.assert_array_equal(
+            warm.predict(sweep_data.X), cold.predict(sweep_data.X)
+        )
+
+    def test_different_epsilon_is_not_an_exact_hit(self, tmp_path,
+                                                   sweep_data):
+        Engine("hill_climb", store_dir=tmp_path).solve(
+            "SP <= 0.08", GaussianNaiveBayes(), sweep_data,
+        )
+        other = Engine("hill_climb", store_dir=tmp_path).solve(
+            "SP <= 0.2", GaussianNaiveBayes(), sweep_data,
+        )
+        assert other.report.fit_paths.get("solution") is None
+
+    def test_tightened_resolve_warm_starts_with_fewer_fits(self, tmp_path):
+        data = load_scenario("imbalance", n=1500, seed=5)
+
+        def solve(epsilon, store_dir):
+            return Engine("binary_search", store_dir=store_dir).solve(
+                f"SP <= {epsilon}", GaussianNaiveBayes(), data,
+            )
+
+        solve(0.08, tmp_path)              # seeds the warm index
+        cold = solve(0.05, None)           # reference arm, no store
+        warm = solve(0.05, tmp_path)
+        assert warm.report.feasible
+        assert warm.report.n_fits < cold.report.n_fits
+        np.testing.assert_array_equal(
+            warm.report.lambdas, cold.report.lambdas
+        )
+
+    def test_no_store_changes_nothing(self, tmp_path, sweep_data):
+        plain = Engine("hill_climb").solve(
+            "SP <= 0.08", GaussianNaiveBayes(), sweep_data,
+        )
+        stored = Engine("hill_climb", store_dir=tmp_path).solve(
+            "SP <= 0.08", GaussianNaiveBayes(), sweep_data,
+        )
+        np.testing.assert_array_equal(
+            plain.report.lambdas, stored.report.lambdas
+        )
+        assert plain.report.n_fits == stored.report.n_fits
+
+    def test_corrupt_solution_blob_degrades_to_a_solve(self, tmp_path,
+                                                       sweep_data):
+        Engine("hill_climb", store_dir=tmp_path).solve(
+            "SP <= 0.08", GaussianNaiveBayes(), sweep_data,
+        )
+        for blob in (tmp_path / "solution").rglob("*.blob"):
+            blob.write_bytes(b"rot")
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            again = Engine("hill_climb", store_dir=tmp_path).solve(
+                "SP <= 0.08", GaussianNaiveBayes(), sweep_data,
+            )
+        assert again.report.n_fits > 0
+        assert again.report.feasible
+
+
+class TestCliStore:
+    def test_store_dir_second_invocation_is_zero_fits(self, tmp_path):
+        argv = [
+            "train", "--dataset", "scenario:group_sweep", "--model", "NB",
+            "--rows", "600", "--seed", "3", "--spec", "SP <= 0.08",
+            "--store-dir", str(tmp_path / "store"),
+        ]
+        out1 = io.StringIO()
+        assert cli_main(argv, out=out1) == 0
+        assert "model fits: 0" not in out1.getvalue()
+
+        out2 = io.StringIO()
+        argv[10] = "sp  <=  8e-2"  # canonically equivalent rendering
+        assert cli_main(argv, out=out2) == 0
+        assert "model fits: 0" in out2.getvalue()
+        assert "(solution=1)" in out2.getvalue()
+
+        def lambdas(text):
+            line = next(ln for ln in text.splitlines()
+                        if ln.startswith("lambda(s):"))
+            return line.split("  model fits")[0]
+
+        assert lambdas(out1.getvalue()) == lambdas(out2.getvalue())
+
+    def test_no_store_flag_stays_cold(self, tmp_path):
+        argv = [
+            "train", "--dataset", "scenario:group_sweep", "--model", "NB",
+            "--rows", "600", "--seed", "3", "--spec", "SP <= 0.08",
+            "--store-dir", str(tmp_path / "store"), "--no-store",
+        ]
+        assert cli_main(argv, out=io.StringIO()) == 0
+        out = io.StringIO()
+        assert cli_main(argv, out=out) == 0
+        assert "model fits: 0" not in out.getvalue()
+        assert not (tmp_path / "store").exists()
+
+
+class TestFairModelEnvelopeExtra:
+    def test_save_stamps_fingerprint_and_load_returns_it(self, tmp_path):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(100, 3))
+        y = (X[:, 0] > 0).astype(np.int64)
+        fair = FairModel(GaussianNaiveBayes().fit(X, y), "SP <= 0.1")
+        path = tmp_path / "m.pkl"
+        fair.save(path, dataset_fingerprint="abc123")
+        obj, extra = FairModel.load(path, with_extra=True)
+        assert isinstance(obj, FairModel)
+        assert extra["dataset_fingerprint"] == "abc123"
+        # default load path is unchanged
+        assert isinstance(FairModel.load(path), FairModel)

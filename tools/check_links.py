@@ -1,0 +1,72 @@
+"""Fail CI when a relative Markdown link points at nothing.
+
+Stdlib-only docs gate: scans ``README.md``, ``docs/*.md``, and
+``tests/README.md`` for inline Markdown links, resolves every relative
+target against the linking file's directory, and exits non-zero listing
+each one that does not exist on disk.  ``http(s)``/``mailto`` links and
+pure in-page anchors (``#section``) are skipped — network checks are
+flaky in CI, and anchor slugs are editor-dependent; *file* targets with
+an anchor suffix (``docs/caching.md#keys``) are checked as files.
+
+Run from the repository root (CI does)::
+
+    python tools/check_links.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+# inline links only: [text](target).  Reference-style definitions are
+# rare in this repo; add a second pattern here if they appear.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def iter_doc_files():
+    yield REPO_ROOT / "README.md"
+    yield from sorted((REPO_ROOT / "docs").glob("*.md"))
+    tests_readme = REPO_ROOT / "tests" / "README.md"
+    if tests_readme.exists():
+        yield tests_readme
+
+
+def check_file(path):
+    """Yield ``(lineno, target)`` for each broken relative link."""
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        for match in _LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(_SKIP_PREFIXES):
+                continue
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            resolved = (path.parent / file_part).resolve()
+            if not resolved.exists():
+                yield lineno, target
+
+
+def main():
+    broken = []
+    checked = 0
+    for doc in iter_doc_files():
+        if not doc.exists():
+            broken.append((doc, 0, "(file listed in checker is missing)"))
+            continue
+        checked += 1
+        for lineno, target in check_file(doc):
+            broken.append((doc, lineno, target))
+    for doc, lineno, target in broken:
+        rel = doc.relative_to(REPO_ROOT)
+        print(f"BROKEN {rel}:{lineno}: {target}")
+    print(f"checked {checked} files, {len(broken)} broken links")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
