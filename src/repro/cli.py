@@ -211,6 +211,18 @@ def build_parser():
     serve.add_argument("--backend", default="serial", metavar="NAME",
                        help="default execution backend for retune jobs "
                             f"({', '.join(known['backends'])})")
+    serve.add_argument("--max-inflight", type=int, default=256,
+                       help="concurrent /predict admission bound; "
+                            "beyond it requests shed with 429 + "
+                            "Retry-After (default 256)")
+    serve.add_argument("--max-jobs", type=int, default=32,
+                       help="active retune job bound; beyond it "
+                            "/retune sheds with 429 (default 32)")
+    serve.add_argument("--fault-plan", default=None, metavar="PATH",
+                       help="install a deterministic fault-injection "
+                            "plan (JSON; see docs/resilience.md) for "
+                            "chaos testing — the REPRO_FAULT_PLAN env "
+                            "var is the equivalent ambient switch")
 
     bench = sub.add_parser(
         "bench-serve",
@@ -338,6 +350,15 @@ def _cmd_serve(args, out):
     from .serving import FairnessService, ModelRegistry
 
     try:
+        if args.fault_plan:
+            from .resilience import FaultPlan, install_plan
+
+            plan = FaultPlan.from_file(args.fault_plan)
+            install_plan(plan)
+            out.write(
+                f"fault plan installed from {args.fault_plan} "
+                f"(seed={plan.seed}, {len(plan.rules)} rule(s))\n"
+            )
         registry = ModelRegistry(
             store_dir=args.store_dir, max_models=args.max_models,
         )
@@ -356,6 +377,8 @@ def _cmd_serve(args, out):
             n_workers=args.n_workers,
             backend=args.backend,
             store_dir=args.store_dir,
+            max_inflight=args.max_inflight,
+            max_jobs=args.max_jobs,
         )
     except (SpecificationError, OSError, ValueError) as exc:
         out.write(f"SPEC ERROR: {exc}\n")

@@ -49,6 +49,7 @@ import itertools
 import pickle
 import threading
 import time
+import traceback
 import warnings
 
 import numpy as np
@@ -67,6 +68,7 @@ __all__ = [
     "resolve_backend",
     "run_race",
     "JobHandle",
+    "JOB_TERMINAL",
     "submit_job",
 ]
 
@@ -395,20 +397,34 @@ def resolve_backend(spec):
 _JOB_COUNTER = itertools.count(1)
 
 
+#: statuses a job can never leave; exactly one terminal transition wins
+JOB_TERMINAL = frozenset({"done", "error", "timeout", "cancelled"})
+
+
 class JobHandle:
     """A background solve (or any callable) running off the request path.
 
     The serving layer's ``POST /retune`` endpoint answers with a job id
     immediately and runs the actual :meth:`Engine.solve` — itself
     dispatched through the execution-backend registry — on a worker
-    thread; clients poll ``GET /jobs/<id>`` until the handle reports
-    ``done`` or ``error``.  The handle is the synchronization point:
+    thread; clients poll ``GET /jobs/<id>`` until the handle reports a
+    terminal status.  The handle is the synchronization point:
     ``status``/``result``/``error`` are published under a lock and
     :meth:`wait` blocks on an event, so it is safe to share between the
-    submitting thread, the worker, and any number of pollers.
+    submitting thread, the worker, any number of pollers, a timeout
+    timer, and a canceller.
+
+    Lifecycle: ``pending`` → ``running`` → one of the terminal states
+    ``done`` / ``error`` / ``timeout`` / ``cancelled``.  The *first*
+    terminal transition wins — a job cancelled (or timed out) while its
+    function is still running keeps that status, and the function's
+    eventual return value or exception is discarded.  The worker thread
+    itself cannot be interrupted mid-call (Python threads can't be
+    killed), so ``cancel()``/timeout are *publication* guarantees, not
+    preemption: pollers see the terminal status immediately.
     """
 
-    def __init__(self, job_id, name=None):
+    def __init__(self, job_id, name=None, on_done=None):
         self.id = job_id
         self.name = name or f"job-{job_id}"
         self._lock = threading.Lock()
@@ -416,31 +432,49 @@ class JobHandle:
         self._status = "pending"
         self._result = None
         self._error = None
+        self._traceback = None
+        self._timer = None
+        self._on_done = on_done
         self.submitted_at = time.time()
         self.started_at = None
         self.finished_at = None
 
     @property
     def status(self):
-        """One of ``pending``, ``running``, ``done``, ``error``."""
+        """``pending``/``running`` or a :data:`JOB_TERMINAL` status."""
         with self._lock:
             return self._status
 
     @property
     def result(self):
-        """The callable's return value once ``status == "done"``."""
+        """The callable's return value once ``status == "done"``
+        (``None`` before completion and on every other terminal
+        status)."""
         with self._lock:
             return self._result
 
     @property
     def error(self):
-        """The raised exception once ``status == "error"``."""
+        """The captured exception on ``error``/``timeout``/``cancelled``."""
         with self._lock:
             return self._error
 
     def wait(self, timeout=None):
-        """Block until the job finishes; True unless the wait timed out."""
+        """Block until the job is terminal; True unless the wait timed
+        out.  Safe to call repeatedly — the event stays set."""
         return self._finished.wait(timeout)
+
+    def cancel(self):
+        """Move the job to ``cancelled`` unless already terminal.
+
+        A pending job never runs its function (the worker checks before
+        starting); a running job keeps executing but its outcome is
+        discarded.  Returns True when this call performed the
+        transition.
+        """
+        return self._finish(
+            "cancelled", error=RuntimeError("job cancelled"),
+        )
 
     def describe(self):
         """JSON-friendly snapshot (the ``GET /jobs/<id>`` payload core)."""
@@ -455,38 +489,102 @@ class JobHandle:
             }
             if self._error is not None:
                 out["error"] = f"{type(self._error).__name__}: {self._error}"
+            if self._traceback is not None:
+                out["traceback"] = self._traceback
         return out
+
+    # -- state machine -------------------------------------------------------
+
+    def _finish(self, status, result=None, error=None, tb=None):
+        """Publish a terminal status; False when one already won."""
+        with self._lock:
+            if self._status in JOB_TERMINAL:
+                return False
+            self._status = status
+            self._result = result
+            self._error = error
+            self._traceback = tb
+            self.finished_at = time.time()
+            timer, self._timer = self._timer, None
+            on_done, self._on_done = self._on_done, None
+        if timer is not None:
+            timer.cancel()
+        # observers run before waiters unblock: anyone released by
+        # wait() sees their side effects (e.g. breaker state) applied
+        if on_done is not None:
+            try:
+                on_done(self)
+            except Exception:  # observer bugs must not poison the job
+                warnings.warn(
+                    f"job {self.name!r} on_done callback raised:\n"
+                    f"{traceback.format_exc()}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        self._finished.set()
+        return True
+
+    def _arm_timeout(self, timeout_s):
+        """Start the daemon timer that force-finishes a slow job."""
+        timer = threading.Timer(
+            float(timeout_s),
+            self._finish,
+            args=("timeout",),
+            kwargs={
+                "error": TimeoutError(
+                    f"job exceeded its {float(timeout_s):g}s budget"
+                ),
+            },
+        )
+        timer.daemon = True
+        with self._lock:
+            if self._status in JOB_TERMINAL:
+                return
+            self._timer = timer
+        timer.start()
 
     # -- worker side --------------------------------------------------------
 
     def _run(self, fn, args, kwargs):
         with self._lock:
+            if self._status != "pending":  # cancelled before starting
+                return
             self._status = "running"
             self.started_at = time.time()
         try:
             result = fn(*args, **kwargs)
         except BaseException as exc:  # published, not swallowed
-            with self._lock:
-                self._status = "error"
-                self._error = exc
-                self.finished_at = time.time()
+            self._finish("error", error=exc, tb=traceback.format_exc())
         else:
-            with self._lock:
-                self._status = "done"
-                self._result = result
-                self.finished_at = time.time()
-        finally:
-            self._finished.set()
+            self._finish("done", result=result)
 
 
-def submit_job(fn, *args, name=None, **kwargs):
+def submit_job(fn, *args, name=None, timeout_s=None, on_done=None, **kwargs):
     """Run ``fn(*args, **kwargs)`` on a daemon thread; return its handle.
 
-    Exceptions are captured on the handle (``status == "error"``)
-    instead of killing the worker, so a failed retune surfaces through
-    polling rather than a dead server thread.
+    Exceptions are captured on the handle (``status == "error"``, with
+    the formatted traceback in :meth:`JobHandle.describe`) instead of
+    killing the worker, so a failed retune surfaces through polling
+    rather than a dead server thread.
+
+    Parameters
+    ----------
+    timeout_s : float or None
+        Wall-clock budget.  When it elapses first the handle publishes
+        ``status == "timeout"`` and the function's eventual outcome is
+        discarded (the thread itself is not preempted).
+    on_done : callable or None
+        ``on_done(handle)`` invoked exactly once, on whichever thread
+        performs the terminal transition (the serving layer feeds its
+        per-model circuit breakers this way).
     """
-    handle = JobHandle(next(_JOB_COUNTER), name=name)
+    handle = JobHandle(next(_JOB_COUNTER), name=name, on_done=on_done)
+    if timeout_s is not None:
+        if float(timeout_s) <= 0:
+            raise SpecificationError(
+                f"timeout_s must be > 0 or None, got {timeout_s}"
+            )
+        handle._arm_timeout(timeout_s)
     worker = threading.Thread(
         target=handle._run, args=(fn, args, kwargs),
         name=handle.name, daemon=True,

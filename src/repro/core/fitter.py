@@ -53,10 +53,15 @@ from __future__ import annotations
 import copy
 import hashlib
 import warnings
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 
 import numpy as np
 
+from ..resilience.faults import InjectedFault, inject
 from .kernels import CompiledConstraints
 from .weights import compute_weights, resolve_negative_weights
 
@@ -238,6 +243,10 @@ class WeightedFitter:
         self._pool = None
         self._pool_key = None
         self._shm = None
+        # worker-death degradation: once the process pool breaks (dead
+        # workers, failed startup, injected chaos) every later batch
+        # falls back to bit-identical in-process fits, warned once
+        self._pool_degraded = False
         if warm_start:
             self._shared = estimator.clone()
             if "warm_start" in self._shared.get_params():
@@ -536,6 +545,7 @@ class WeightedFitter:
 
         Returns the fitted models in candidate order.
         """
+        inject("fitter.fit_batch")
         L = np.atleast_2d(np.asarray(lambdas_matrix, dtype=np.float64))
         if self.engine != "compiled":
             raise ValueError(
@@ -682,12 +692,24 @@ class WeightedFitter:
             self._record_path("thread_pool", B)
             with ThreadPoolExecutor(max_workers=n_jobs) as tp:
                 return list(tp.map(_thread_fit, range(B)))
-        if use_pool:
+        if use_pool and not self._pool_degraded:
             tasks = [(self.estimator, Y_res[b], W_res[b]) for b in range(B)]
-            executor = self._get_pool(n_jobs, X)
-            chunk = max(1, B // (4 * n_jobs))
-            self._record_path("pool", B)
-            return list(executor.map(_pool_fit, tasks, chunksize=chunk))
+            try:
+                executor = self._get_pool(n_jobs, X)
+                chunk = max(1, B // (4 * n_jobs))
+                models = list(
+                    executor.map(_pool_fit, tasks, chunksize=chunk)
+                )
+            except (BrokenExecutor, OSError, InjectedFault) as exc:
+                # worker death (or failure to start workers at all):
+                # degrade the whole fitter to in-process fits — the
+                # results are bit-identical clone fits, only slower —
+                # and say so ONCE, like the unpicklable-estimator
+                # fallback in the process execution backend
+                self._degrade_pool(exc)
+            else:
+                self._record_path("pool", B)
+                return models
         self._record_path("serial", B)
         models = []
         for b in range(B):
@@ -699,6 +721,23 @@ class WeightedFitter:
                 model.fit(X, Y_res[b], sample_weight=W_res[b])
                 models.append(model)
         return models
+
+    def _degrade_pool(self, exc):
+        """Permanently fall back to in-process fits after worker death.
+
+        One consolidated :class:`RuntimeWarning` per fitter; λ
+        trajectories are unchanged because the fallback path is the
+        same clone-``fit()`` loop the serial reference uses.
+        """
+        self._pool_degraded = True
+        self.close()
+        warnings.warn(
+            f"process-pool workers died ({type(exc).__name__}: {exc}); "
+            f"degrading to in-process fits for this fitter "
+            f"(bit-identical results, warned once)",
+            RuntimeWarning,
+            stacklevel=4,
+        )
 
     def _get_pool(self, n_jobs, X):
         """Reuse one executor across fit_batch calls.
@@ -715,6 +754,7 @@ class WeightedFitter:
         key = (n_jobs, id(X))
         if self._pool is not None and self._pool_key == key:
             return self._pool
+        inject("executor.worker_start")
         self.close()
         initializer, initargs = _pool_init, (X,)
         try:

@@ -1,0 +1,56 @@
+"""Resilience layer: deterministic chaos, deadlines, retries, breakers.
+
+Two halves, threaded through serving, executor, and store:
+
+* :mod:`~repro.resilience.faults` — a seeded, reproducible fault
+  injector with named sites in the store, the fitter's pools, the
+  micro-batcher, and the HTTP dispatcher.  Chaos runs replay exactly
+  from a JSON plan (``repro serve --fault-plan plan.json`` or the
+  ``REPRO_FAULT_PLAN`` env var), which is what makes them CI-able.
+* :mod:`~repro.resilience.policy` — :class:`Deadline` (propagated
+  per-request budgets), :class:`RetryPolicy` (capped exponential
+  backoff with full jitter over an injected RNG), and
+  :class:`CircuitBreaker`/:class:`BreakerBoard` (shed doomed work with
+  a 503 instead of queueing it).
+
+See ``docs/resilience.md`` for the fault-point catalog and the
+fault ⇒ observed-behavior degradation matrix.
+"""
+
+from .faults import (
+    ENV_VAR,
+    FAULT_SITES,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    active_plan,
+    clear_plan,
+    current_plan,
+    inject,
+    install_plan,
+)
+from .policy import (
+    BreakerBoard,
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    RetryPolicy,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "FAULT_SITES",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "active_plan",
+    "clear_plan",
+    "current_plan",
+    "inject",
+    "install_plan",
+    "BreakerBoard",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceeded",
+    "RetryPolicy",
+]

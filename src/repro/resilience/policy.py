@@ -1,0 +1,304 @@
+"""Resilience policies: deadlines, retries with backoff, circuit breakers.
+
+Three small, dependency-free primitives that the serving, executor, and
+store layers share:
+
+* :class:`Deadline` — a per-request wall-clock budget that *propagates*:
+  the HTTP layer mints it from ``timeout_ms``, the micro-batcher drops
+  entries whose deadline expired while queued, and the service bounds
+  its own wait on the remainder.  One budget, spent once.
+* :class:`RetryPolicy` — capped exponential backoff with **full
+  jitter** (AWS-style: each delay is uniform on ``[0, min(cap, base ·
+  2^attempt)]``) over an *injected* RNG, so retry schedules are
+  deterministic under test and decorrelated in production.
+* :class:`CircuitBreaker` — the classic closed → open → half-open state
+  machine: after ``threshold`` consecutive failures the breaker opens
+  and callers shed immediately instead of queueing doomed work; after
+  ``cooldown_s`` one half-open probe is admitted, and its outcome
+  closes or re-opens the breaker.  :class:`BreakerBoard` keys breakers
+  by name (the service uses one per model).
+
+All three are thread-safe where it matters and take an injectable clock
+for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+__all__ = [
+    "Deadline",
+    "DeadlineExceeded",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "BreakerBoard",
+]
+
+
+class DeadlineExceeded(TimeoutError):
+    """A request's wall-clock budget ran out (HTTP 504 at the edge)."""
+
+
+class Deadline:
+    """An absolute point on the monotonic clock a request must beat.
+
+    Minted once at admission and handed down the stack; every layer
+    asks :meth:`remaining` instead of keeping its own timeout, so
+    queueing time spent in one layer shrinks the budget of the next.
+    """
+
+    __slots__ = ("at", "_clock")
+
+    def __init__(self, at, clock=time.monotonic):
+        self.at = float(at)
+        self._clock = clock
+
+    @classmethod
+    def after(cls, seconds, clock=time.monotonic):
+        """A deadline ``seconds`` from now."""
+        if float(seconds) < 0:
+            raise ValueError(f"deadline seconds must be >= 0, got {seconds}")
+        return cls(clock() + float(seconds), clock=clock)
+
+    @classmethod
+    def after_ms(cls, ms, clock=time.monotonic):
+        """A deadline ``ms`` milliseconds from now."""
+        return cls.after(float(ms) / 1e3, clock=clock)
+
+    def remaining(self):
+        """Seconds left (negative once expired)."""
+        return self.at - self._clock()
+
+    @property
+    def expired(self):
+        return self.remaining() <= 0.0
+
+    def check(self, what="request"):
+        """Raise :class:`DeadlineExceeded` if the budget is spent."""
+        remaining = self.remaining()
+        if remaining <= 0.0:
+            raise DeadlineExceeded(
+                f"{what} deadline exceeded by {-remaining:.3f}s"
+            )
+        return remaining
+
+    def __repr__(self):
+        return f"Deadline(remaining={self.remaining():.3f}s)"
+
+
+class RetryPolicy:
+    """Capped exponential backoff with full jitter.
+
+    Parameters
+    ----------
+    max_attempts : int
+        Total attempts (the first try included); 1 disables retries.
+    base_s : float
+        Backoff base: attempt ``i``'s delay is drawn uniformly from
+        ``[0, min(cap_s, base_s * 2**i)]``.
+    cap_s : float
+        Upper bound on any single delay.
+    jitter : bool
+        False pins each delay to its upper bound (deterministic
+        schedules for polling loops that want monotone growth).
+    rng : random.Random or None
+        Injected jitter source; a fresh unseeded ``Random`` by default.
+        Tests pass ``random.Random(seed)`` for reproducible schedules.
+    retry_on : tuple of exception types
+        What :meth:`call` treats as retryable.
+    """
+
+    def __init__(self, max_attempts=3, base_s=0.05, cap_s=2.0, jitter=True,
+                 rng=None, retry_on=(ConnectionError, OSError,
+                                     TimeoutError)):
+        if int(max_attempts) < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {max_attempts}"
+            )
+        if float(base_s) < 0 or float(cap_s) < 0:
+            raise ValueError("base_s and cap_s must be >= 0")
+        self.max_attempts = int(max_attempts)
+        self.base_s = float(base_s)
+        self.cap_s = float(cap_s)
+        self.jitter = bool(jitter)
+        self.rng = rng if rng is not None else random.Random()
+        self.retry_on = tuple(retry_on)
+
+    def backoff(self, attempt):
+        """The delay to sleep after failed attempt ``attempt`` (0-based)."""
+        upper = min(self.cap_s, self.base_s * (2 ** max(int(attempt), 0)))
+        if not self.jitter:
+            return upper
+        return self.rng.uniform(0.0, upper)
+
+    def delays(self):
+        """The ``max_attempts - 1`` inter-attempt delays, materialized."""
+        return [self.backoff(i) for i in range(self.max_attempts - 1)]
+
+    def call(self, fn, *args, sleep=time.sleep, deadline=None, **kwargs):
+        """Run ``fn`` with retries; re-raises the last retryable failure.
+
+        Only exceptions in :attr:`retry_on` are retried — anything else
+        propagates immediately.  With a :class:`Deadline`, no retry
+        sleeps past it (the last failure is re-raised instead).
+        """
+        for attempt in range(self.max_attempts):
+            try:
+                return fn(*args, **kwargs)
+            except self.retry_on:
+                if attempt + 1 >= self.max_attempts:
+                    raise
+                delay = self.backoff(attempt)
+                if deadline is not None and deadline.remaining() <= delay:
+                    raise
+                sleep(delay)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+class CircuitBreaker:
+    """Closed → open → half-open failure gate around a flaky dependency.
+
+    * **closed** — traffic flows; ``threshold`` *consecutive* failures
+      trip the breaker open (any success resets the streak).
+    * **open** — :meth:`allow` answers False (callers shed, e.g. a 503)
+      until ``cooldown_s`` has passed.
+    * **half-open** — exactly one probe is admitted; its success closes
+      the breaker (counted in ``cycles``), its failure re-opens it for
+      another cooldown.
+
+    Thread-safe; the clock is injectable for tests.
+    """
+
+    CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+
+    def __init__(self, threshold=5, cooldown_s=30.0, clock=time.monotonic):
+        if int(threshold) < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if float(cooldown_s) < 0:
+            raise ValueError(f"cooldown_s must be >= 0, got {cooldown_s}")
+        self.threshold = int(threshold)
+        self.cooldown_s = float(cooldown_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._failures = 0
+        self._opened_at = None
+        self._probe_inflight = False
+        self.opens = 0     # closed/half-open -> open transitions
+        self.cycles = 0    # open -> half-open -> closed recoveries
+
+    @property
+    def state(self):
+        with self._lock:
+            return self._observed_state()
+
+    def _observed_state(self):
+        """Lock held: fold cooldown expiry into the reported state."""
+        if (
+            self._state == self.OPEN
+            and self._clock() - self._opened_at >= self.cooldown_s
+        ):
+            return self.HALF_OPEN
+        return self._state
+
+    def allow(self):
+        """May a call proceed right now?
+
+        In half-open state only the first caller gets True (the probe);
+        concurrent callers keep shedding until the probe reports back.
+        """
+        with self._lock:
+            state = self._observed_state()
+            if state == self.CLOSED:
+                return True
+            if state == self.HALF_OPEN:
+                if self._state == self.OPEN:  # cooldown just elapsed
+                    self._state = self.HALF_OPEN
+                    self._probe_inflight = False
+                if self._probe_inflight:
+                    return False
+                self._probe_inflight = True
+                return True
+            return False
+
+    def record_success(self):
+        """Report a permitted call's success."""
+        with self._lock:
+            if self._state == self.HALF_OPEN:
+                self.cycles += 1
+            self._state = self.CLOSED
+            self._failures = 0
+            self._probe_inflight = False
+            self._opened_at = None
+
+    def record_failure(self):
+        """Report a permitted call's failure."""
+        with self._lock:
+            if self._state == self.HALF_OPEN:
+                self._trip()
+                return
+            self._failures += 1
+            if self._state == self.CLOSED and (
+                self._failures >= self.threshold
+            ):
+                self._trip()
+
+    def _trip(self):
+        self._state = self.OPEN
+        self._opened_at = self._clock()
+        self._failures = 0
+        self._probe_inflight = False
+        self.opens += 1
+
+    def retry_after_s(self):
+        """Seconds until the next half-open probe (0 when not open)."""
+        with self._lock:
+            if self._state != self.OPEN or self._opened_at is None:
+                return 0.0
+            return max(
+                0.0, self.cooldown_s - (self._clock() - self._opened_at)
+            )
+
+    def stats(self):
+        with self._lock:
+            return {
+                "state": self._observed_state(),
+                "consecutive_failures": self._failures,
+                "opens": self.opens,
+                "cycles": self.cycles,
+                "threshold": self.threshold,
+                "cooldown_s": self.cooldown_s,
+            }
+
+
+class BreakerBoard:
+    """A lazy name → :class:`CircuitBreaker` map (one breaker per model)."""
+
+    def __init__(self, threshold=5, cooldown_s=30.0, clock=time.monotonic):
+        self.threshold = int(threshold)
+        self.cooldown_s = float(cooldown_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._breakers = {}
+
+    def get(self, name):
+        with self._lock:
+            breaker = self._breakers.get(name)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    threshold=self.threshold, cooldown_s=self.cooldown_s,
+                    clock=self._clock,
+                )
+                self._breakers[name] = breaker
+            return breaker
+
+    def __len__(self):
+        with self._lock:
+            return len(self._breakers)
+
+    def stats(self):
+        with self._lock:
+            items = list(self._breakers.items())
+        return {name: breaker.stats() for name, breaker in items}

@@ -16,16 +16,20 @@ into a service:
 * :mod:`~repro.serving.service` — the asyncio HTTP front end
   (``/predict``, ``/audit``, ``/retune`` + job polling, ``/models``,
   ``/healthz``, ``/stats``);
-* :mod:`~repro.serving.client` — a stdlib blocking client;
+* :mod:`~repro.serving.client` — a stdlib blocking client (retrying
+  under :class:`~repro.resilience.RetryPolicy` where idempotent);
 * :mod:`~repro.serving.loadgen` — the closed-loop load generator behind
   ``repro bench-serve`` and ``benchmarks/perf/bench_serving.py``.
 
 Everything is stdlib + numpy: ``asyncio.start_server`` with a minimal
-HTTP/1.1 layer, no new dependencies.
+HTTP/1.1 layer, no new dependencies.  Degradation behavior — deadlines
+(504), load shedding (429), per-model retune breakers (503), graceful
+drain, deterministic fault injection — is documented in
+``docs/resilience.md`` and implemented on :mod:`repro.resilience`.
 """
 
 from .batcher import MicroBatcher
-from .client import ServingClient, ServingError
+from .client import JobFailedError, ServingClient, ServingError
 from .loadgen import LoadReport, run_load
 from .registry import ModelRegistry, canonical_key
 from .service import FairnessService, serve_in_thread
@@ -38,6 +42,7 @@ __all__ = [
     "serve_in_thread",
     "ServingClient",
     "ServingError",
+    "JobFailedError",
     "LoadReport",
     "run_load",
 ]

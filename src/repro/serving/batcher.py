@@ -18,12 +18,29 @@ histogram and queue-depth gauge feed the service's ``/stats``.
 ``max_batch_size=1`` degrades to exactly the unbatched pipeline (still
 one executor hop per request) — that is the serving benchmark's
 batching-off arm, so on/off compare the same code path.
+
+Resilience hooks (see ``docs/resilience.md``):
+
+* requests may carry a :class:`~repro.resilience.Deadline`; entries
+  whose budget expired while queued are failed with
+  :class:`~repro.resilience.DeadlineExceeded` *before* the batch runs,
+  so a congested queue never spends model time on answers nobody is
+  waiting for (counted under ``expired`` in :meth:`stats`);
+* a failing batch fails only its own waiters — the worker loop
+  survives a poisoned request and keeps serving the next batch;
+* ``close(drain=True)`` flushes queued and in-flight work before
+  cancelling the workers (the service's graceful-stop path);
+* the ``batcher.predict`` fault-injection site fires inside the batch
+  try-block, so injected chaos exercises the same only-this-batch
+  failure containment as an organic predict error.
 """
 
 from __future__ import annotations
 
 import asyncio
 import concurrent.futures
+
+from ..resilience.faults import inject
 
 __all__ = ["MicroBatcher"]
 
@@ -66,10 +83,13 @@ class MicroBatcher:
         self._queue = None
         self._workers = []
         self._pool = None
+        self._inflight = 0
         # touched only on the event loop (workers) / read cross-thread
         self._histogram = {}
         self._n_requests = 0
         self._n_batches = 0
+        self._n_expired = 0
+        self._n_batch_errors = 0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -88,8 +108,33 @@ class MicroBatcher:
         ]
         return self
 
-    async def close(self):
-        """Cancel workers, fail queued requests, release the pool."""
+    async def close(self, drain=False, drain_timeout_s=5.0):
+        """Stop the batcher; optionally flush in-flight work first.
+
+        ``drain=False`` (default) cancels the workers immediately and
+        fails every still-queued request.  ``drain=True`` first waits —
+        up to ``drain_timeout_s`` — for the queue to empty and running
+        batches to complete, so accepted requests get real answers
+        (the service's graceful-stop path); whatever is still pending
+        when the budget runs out is failed as in the immediate path.
+
+        Returns
+        -------
+        dict
+            ``{"drained": bool, "failed_queued": int}`` — whether the
+            flush completed in budget and how many queued requests were
+            failed without an answer.
+        """
+        report = {"drained": not drain, "failed_queued": 0}
+        if drain and self._queue is not None:
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + float(drain_timeout_s)
+            while self._queue.qsize() or self._inflight:
+                if loop.time() >= deadline:
+                    break
+                await asyncio.sleep(0.005)
+            else:
+                report["drained"] = True
         for task in self._workers:
             task.cancel()
         for task in self._workers:
@@ -100,8 +145,9 @@ class MicroBatcher:
         self._workers = []
         if self._queue is not None:
             while not self._queue.empty():
-                _, fut = self._queue.get_nowait()
+                _, fut, _ = self._queue.get_nowait()
                 if not fut.done():
+                    report["failed_queued"] += 1
                     fut.set_exception(
                         RuntimeError(f"batcher {self.name!r} closed")
                     )
@@ -109,15 +155,23 @@ class MicroBatcher:
         if self._pool is not None:
             self._pool.shutdown(wait=False)
             self._pool = None
+        return report
 
     # -- request path --------------------------------------------------------
 
-    async def submit(self, rows):
-        """Enqueue one request's row block; await its label array."""
+    async def submit(self, rows, deadline=None):
+        """Enqueue one request's row block; await its label array.
+
+        ``deadline`` (a :class:`~repro.resilience.Deadline` or None)
+        rides along with the entry; if it expires while the request is
+        still queued, the worker fails it with
+        :class:`~repro.resilience.DeadlineExceeded` instead of spending
+        a batch slot on it.
+        """
         if self._queue is None:
             await self.start()
         fut = asyncio.get_running_loop().create_future()
-        self._queue.put_nowait((rows, fut))
+        self._queue.put_nowait((rows, fut, deadline))
         return await fut
 
     @property
@@ -141,6 +195,8 @@ class MicroBatcher:
             "max_batch_size": self.max_batch_size,
             "max_wait_us": self.max_wait_us,
             "queue_depth": self.queue_depth,
+            "expired": self._n_expired,
+            "batch_errors": self._n_batch_errors,
         }
 
     # -- worker side ---------------------------------------------------------
@@ -152,6 +208,23 @@ class MicroBatcher:
                 batch.append(self._queue.get_nowait())
             except asyncio.QueueEmpty:
                 return
+
+    def _drop_expired(self, batch):
+        """Fail entries whose deadline lapsed while queued; keep the rest."""
+        from ..resilience.policy import DeadlineExceeded
+
+        live = []
+        for entry in batch:
+            _, fut, deadline = entry
+            if deadline is not None and deadline.expired:
+                self._n_expired += 1
+                if not fut.done():
+                    fut.set_exception(DeadlineExceeded(
+                        f"request expired in {self.name!r} queue"
+                    ))
+                continue
+            live.append(entry)
+        return live
 
     async def _worker(self):
         loop = asyncio.get_running_loop()
@@ -171,11 +244,23 @@ class MicroBatcher:
                     except asyncio.TimeoutError:
                         break
                     self._drain_ready(batch)
-            await self._run_batch(loop, batch)
+            batch = self._drop_expired(batch)
+            if not batch:
+                continue
+            self._inflight += 1
+            try:
+                await self._run_batch(loop, batch)
+            finally:
+                self._inflight -= 1
 
     async def _run_batch(self, loop, batch):
-        chunks = [rows for rows, _ in batch]
+        chunks = [rows for rows, _, _ in batch]
         try:
+            # chaos site: an injected raise lands in the same handler
+            # as an organic predict failure — only this batch's waiters
+            # fail, the worker loop survives.  (A delay fault blocks
+            # the loop briefly, modelling an event-loop stall.)
+            inject("batcher.predict")
             outputs = await loop.run_in_executor(
                 self._pool, self.predict_batch, chunks,
             )
@@ -185,13 +270,14 @@ class MicroBatcher:
                     f"{len(batch)} requests"
                 )
         except Exception as exc:
-            for _, fut in batch:
+            self._n_batch_errors += 1
+            for _, fut, _ in batch:
                 if not fut.done():
                     fut.set_exception(exc)
             return
         self._n_requests += len(batch)
         self._n_batches += 1
         self._histogram[len(batch)] = self._histogram.get(len(batch), 0) + 1
-        for (_, fut), out in zip(batch, outputs):
+        for (_, fut, _), out in zip(batch, outputs):
             if not fut.done():
                 fut.set_result(out)

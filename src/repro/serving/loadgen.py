@@ -9,8 +9,14 @@ direct :meth:`FairModel.predict` labels computed up front — the load
 test doubles as an end-to-end correctness check of the batching path.
 
 Reports p50/p99/mean latency and closed-loop throughput; the benchmark
-harness (``benchmarks/perf/bench_serving.py``) and the ``repro
-bench-serve`` CLI both run through :func:`run_load`.
+harnesses (``benchmarks/perf/bench_serving.py``,
+``benchmarks/perf/bench_resilience.py``) and the ``repro bench-serve``
+CLI all run through :func:`run_load`.
+
+Resilience accounting: responses shed by policy — 429 (admission), 503
+(open breaker), 504 (spent deadline) — count under ``shed``, separate
+from ``errors``, and do not taint ``predictions_ok``; shedding is
+correct behavior under overload, a wrong *answer* never is.
 """
 
 from __future__ import annotations
@@ -21,7 +27,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .client import ServingClient
+from .client import ServingClient, ServingError
+
+#: statuses that mean "the service chose not to answer", not "broken"
+_SHED_STATUSES = (429, 503, 504)
 
 __all__ = ["LoadReport", "run_load"]
 
@@ -36,6 +45,7 @@ class LoadReport:
     rows_per_request: int
     total_requests: int
     errors: int
+    shed: int
     duration_s: float
     throughput_rps: float
     p50_ms: float
@@ -63,7 +73,8 @@ def _request_slice(pool_rows, index, rows_per_request):
 
 
 def run_load(host, port, model, pool_X, expected, *, n_clients=8,
-             requests_per_client=25, rows_per_request=4, timeout=60.0):
+             requests_per_client=25, rows_per_request=4, timeout=60.0,
+             timeout_ms=None):
     """Drive the service closed-loop; returns a :class:`LoadReport`.
 
     Parameters
@@ -73,6 +84,9 @@ def run_load(host, port, model, pool_X, expected, *, n_clients=8,
     expected : ndarray (n,)
         ``FairModel.predict(pool_X)`` computed directly — every response
         is compared bit-for-bit against the matching slice.
+    timeout_ms : float or None
+        Per-request server-side deadline forwarded to ``/predict``;
+        504s it causes are counted as ``shed``, not errors.
     """
     pool_X = np.asarray(pool_X, dtype=np.float64)
     expected = np.asarray(expected, dtype=np.int64)
@@ -87,6 +101,7 @@ def run_load(host, port, model, pool_X, expected, *, n_clients=8,
     def worker(worker_id):
         latencies = []
         errors = 0
+        shed = 0
         ok = True
         with ServingClient(host, port, timeout=timeout) as client:
             barrier.wait()
@@ -96,14 +111,22 @@ def run_load(host, port, model, pool_X, expected, *, n_clients=8,
                 want = _request_slice(expected, index, rows_per_request)
                 t0 = time.perf_counter()
                 try:
-                    got = client.predict(model, rows)
+                    got = client.predict(
+                        model, rows, timeout_ms=timeout_ms,
+                    )
+                except ServingError as exc:
+                    if exc.status in _SHED_STATUSES:
+                        shed += 1
+                    else:
+                        errors += 1
+                    continue
                 except Exception:
                     errors += 1
                     continue
                 latencies.append(time.perf_counter() - t0)
                 if not np.array_equal(got, want):
                     ok = False
-        results[worker_id] = (latencies, errors, ok)
+        results[worker_id] = (latencies, errors, ok, shed)
 
     threads = [
         threading.Thread(target=worker, args=(i,), daemon=True)
@@ -121,6 +144,7 @@ def run_load(host, port, model, pool_X, expected, *, n_clients=8,
         [lat for entry in results for lat in entry[0]], dtype=np.float64,
     )
     errors = sum(entry[1] for entry in results)
+    shed = sum(entry[3] for entry in results)
     completed = int(latencies.size)
     return LoadReport(
         model=model,
@@ -129,6 +153,7 @@ def run_load(host, port, model, pool_X, expected, *, n_clients=8,
         rows_per_request=rows_per_request,
         total_requests=completed,
         errors=errors,
+        shed=shed,
         duration_s=duration,
         throughput_rps=completed / duration if duration > 0 else 0.0,
         p50_ms=float(np.percentile(latencies, 50) * 1e3) if completed else 0.0,

@@ -26,19 +26,37 @@ Endpoints
     backend registry; canonically-equivalent requests on the same data
     hit the registry instead of re-solving.
 ``GET /jobs/<id>``
-    Poll a retune job (status / result / error).
+    Poll a retune job (status / result / error / timeout / cancelled).
 ``GET /models`` / ``GET /healthz`` / ``GET /stats``
     Registry rows; liveness; queue depth, admission counts, batch-size
-    histograms, registry/dedup hit counters, job table.
+    histograms, registry/dedup hit counters, job table, breaker states,
+    shed/deadline counters, fault-plan schedule.
+
+Resilience semantics (see ``docs/resilience.md``):
+
+* ``POST /predict`` takes an optional ``timeout_ms``; the minted
+  :class:`~repro.resilience.Deadline` propagates into the micro-batcher
+  (queued entries past their budget are dropped) and an expired request
+  answers **504** instead of occupying a batch slot.
+* Admission is bounded: more than ``max_inflight`` concurrent predicts
+  or ``max_jobs`` active retunes sheds with **429** + ``Retry-After``
+  instead of queueing doomed work.
+* Each retune target has a circuit breaker: consecutive failed solves
+  open it and further retunes answer **503** ``{"state": "open"}``
+  until a half-open probe succeeds.
+* ``stop()`` drains: the socket closes first, batchers flush in-flight
+  batches, and still-pending jobs are cancelled to a terminal status.
 """
 
 from __future__ import annotations
 
 import asyncio
+import concurrent.futures
 import itertools
 import json
 import threading
 import time
+import warnings
 
 import numpy as np
 
@@ -48,10 +66,12 @@ from ..core.exceptions import (
     OmniFairError,
     SpecificationError,
 )
-from ..core.executor import resolve_backend, submit_job
+from ..core.executor import JOB_TERMINAL, resolve_backend, submit_job
 from ..datasets import load
 from ..datasets.schema import Dataset
 from ..ml.adapters import resolve_model
+from ..resilience.faults import current_plan, inject
+from ..resilience.policy import BreakerBoard, Deadline, DeadlineExceeded
 from .batcher import MicroBatcher
 from .registry import ModelRegistry
 
@@ -59,7 +79,9 @@ __all__ = ["FairnessService", "ServerHandle", "serve_in_thread"]
 
 _REASONS = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 500: "Internal Server Error",
+    405: "Method Not Allowed", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 #: bound on inline payload sizes (rows × features) — a serving layer
@@ -82,6 +104,24 @@ def _jsonable(obj):
 
 class _BadRequest(SpecificationError):
     """Client-side request error → HTTP 400."""
+
+
+class _Shed(Exception):
+    """Admission bound exceeded → HTTP 429 with a Retry-After hint."""
+
+    def __init__(self, what, retry_after_s=0.1):
+        super().__init__(what)
+        self.what = what
+        self.retry_after_s = float(retry_after_s)
+
+
+class _BreakerOpen(Exception):
+    """Per-model circuit breaker is open → HTTP 503."""
+
+    def __init__(self, name, retry_after_s):
+        super().__init__(name)
+        self.name = name
+        self.retry_after_s = float(retry_after_s)
 
 
 def _require(body, key, kind=None):
@@ -118,12 +158,32 @@ class FairnessService:
         this one store, so fits and evaluations survive both across
         retune jobs and across server restarts.  The registry's spool
         files and the store's blob tree coexist in the same directory.
+    max_inflight : int
+        Concurrent ``POST /predict`` admission bound; request
+        ``max_inflight + 1`` sheds with 429 + ``Retry-After`` instead
+        of queueing (counted under ``shed_predict``).
+    max_jobs : int
+        Active (pending + running) retune job bound; excess ``POST
+        /retune`` requests shed with 429 (``shed_retune``).
+    breaker_threshold, breaker_cooldown_s
+        Per-model retune circuit breakers: ``breaker_threshold``
+        consecutive failed/timed-out solves open a model's breaker
+        (503 until ``breaker_cooldown_s`` admits a half-open probe).
     """
 
     def __init__(self, registry=None, *, batching=True, max_batch_size=32,
                  max_wait_us=2000, n_workers=1, backend="serial",
-                 store_dir=None):
+                 store_dir=None, max_inflight=256, max_jobs=32,
+                 breaker_threshold=5, breaker_cooldown_s=30.0):
         resolve_backend(backend)  # fail fast on unknown backends
+        if int(max_inflight) < 1:
+            raise SpecificationError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        if int(max_jobs) < 0:
+            raise SpecificationError(
+                f"max_jobs must be >= 0, got {max_jobs}"
+            )
         self.registry = registry if registry is not None else ModelRegistry()
         self.store = None
         if store_dir is not None:
@@ -135,6 +195,12 @@ class FairnessService:
         self.max_wait_us = int(max_wait_us)
         self.n_workers = int(n_workers)
         self.backend = backend
+        self.max_inflight = int(max_inflight)
+        self.max_jobs = int(max_jobs)
+        self.breakers = BreakerBoard(
+            threshold=breaker_threshold, cooldown_s=breaker_cooldown_s,
+        )
+        self._inflight = 0  # event-loop only: concurrent predicts
         self._batchers = {}
         self._jobs = {}
         self._job_ids = itertools.count(1)
@@ -142,6 +208,8 @@ class FairnessService:
         self._counters = {
             "admitted": 0, "completed": 0, "errors": 0,
             "solves": 0, "retune_registry_hits": 0,
+            "shed_predict": 0, "shed_retune": 0, "deadline_expired": 0,
+            "breaker_rejected": 0, "retune_failures": 0,
         }
         self._routes = {}
         self._started_at = time.time()
@@ -166,17 +234,40 @@ class FairnessService:
         """Block until :meth:`stop` (the thread/CLI runner's body)."""
         await self._closing.wait()
 
-    async def stop(self):
-        """Close the socket and every batcher."""
-        for batcher in self._batchers.values():
-            await batcher.close()
-        self._batchers = {}
+    async def stop(self, drain_timeout_s=5.0):
+        """Graceful drain: stop accepting, flush, fail what remains.
+
+        In order: (1) close the listening socket so no new connection
+        is accepted; (2) drain every batcher — queued and in-flight
+        batches get real answers, bounded by ``drain_timeout_s``;
+        (3) cancel retune jobs that are not yet terminal, so pollers
+        (and the job table) see ``cancelled`` rather than a job frozen
+        in ``running`` forever.
+
+        Returns
+        -------
+        dict
+            Drain report: per-batcher flush outcomes, number of jobs
+            cancelled, and an overall ``drained`` flag.
+        """
+        report = {"drained": True, "batchers": {}, "cancelled_jobs": 0}
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        for name, batcher in self._batchers.items():
+            flush = await batcher.close(
+                drain=True, drain_timeout_s=drain_timeout_s,
+            )
+            report["batchers"][name] = flush
+            report["drained"] = report["drained"] and flush["drained"]
+        self._batchers = {}
+        for handle, _meta in self._jobs.values():
+            if handle.status not in JOB_TERMINAL and handle.cancel():
+                report["cancelled_jobs"] += 1
         if self._closing is not None:
             self._closing.set()
+        return report
 
     # -- transport -----------------------------------------------------------
 
@@ -188,13 +279,19 @@ class FairnessService:
                     break
                 method, path, headers, body = request
                 self._count("admitted")
-                status, payload = await self._dispatch(method, path, body)
+                status, payload, extra = await self._dispatch(
+                    method, path, body,
+                )
                 keep_alive = headers.get("connection", "").lower() != "close"
                 data = json.dumps(_jsonable(payload)).encode()
+                extra_lines = "".join(
+                    f"{key}: {value}\r\n" for key, value in extra.items()
+                )
                 head = (
                     f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
                     f"Content-Type: application/json\r\n"
                     f"Content-Length: {len(data)}\r\n"
+                    f"{extra_lines}"
                     f"Connection: {'keep-alive' if keep_alive else 'close'}"
                     f"\r\n\r\n"
                 ).encode("latin-1")
@@ -239,10 +336,20 @@ class FairnessService:
     # -- dispatch ------------------------------------------------------------
 
     async def _dispatch(self, method, path, raw_body):
+        """Route one request; returns ``(status, payload, headers)``.
+
+        Degradation statuses map 1:1 to resilience policies: 429 for
+        admission sheds (with ``Retry-After``), 503 for an open
+        circuit breaker, 504 for a spent deadline.  The generic
+        ``Exception`` arm keeps every failure — organic or injected at
+        the ``service.dispatch`` fault site — inside the connection
+        loop.
+        """
         self._routes[f"{method} {path.split('?')[0]}"] = (
             self._routes.get(f"{method} {path.split('?')[0]}", 0) + 1
         )
         try:
+            inject("service.dispatch")
             body = {}
             if raw_body:
                 try:
@@ -252,31 +359,49 @@ class FairnessService:
                 if not isinstance(body, dict):
                     raise _BadRequest("request body must be a JSON object")
             if method == "GET" and path == "/healthz":
-                return 200, self._healthz()
+                return 200, self._healthz(), {}
             if method == "GET" and path == "/models":
-                return 200, {"models": self.registry.describe()}
+                return 200, {"models": self.registry.describe()}, {}
             if method == "GET" and path == "/stats":
-                return 200, self._stats()
+                return 200, self._stats(), {}
             if method == "GET" and path.startswith("/jobs/"):
-                return 200, self._job_status(path[len("/jobs/"):])
+                return 200, self._job_status(path[len("/jobs/"):]), {}
             if method == "POST" and path == "/predict":
-                return 200, await self._predict(body)
+                return 200, await self._predict(body), {}
             if method == "POST" and path == "/audit":
-                return 200, await self._audit(body)
+                return 200, await self._audit(body), {}
             if method == "POST" and path == "/retune":
-                return 200, self._retune(body)
+                return 200, self._retune(body), {}
             if path in ("/predict", "/audit", "/retune", "/healthz",
                         "/models", "/stats") or path.startswith("/jobs/"):
-                return 405, {"error": f"{method} not allowed on {path}"}
-            return 404, {"error": f"no route {method} {path}"}
+                return 405, {"error": f"{method} not allowed on {path}"}, {}
+            return 404, {"error": f"no route {method} {path}"}, {}
         except KeyError as exc:
-            return 404, {"error": str(exc.args[0] if exc.args else exc)}
+            return 404, {"error": str(exc.args[0] if exc.args else exc)}, {}
         except _BadRequest as exc:
-            return 400, {"error": str(exc)}
+            return 400, {"error": str(exc)}, {}
+        except _Shed as exc:
+            retry_after = max(exc.retry_after_s, 0.001)
+            return (
+                429,
+                {"error": f"overloaded: {exc.what}", "shed": True,
+                 "retry_after_s": retry_after},
+                {"Retry-After": f"{retry_after:.3f}"},
+            )
+        except _BreakerOpen as exc:
+            return (
+                503,
+                {"error": f"retune breaker open for model {exc.name!r}",
+                 "state": "open", "model": exc.name,
+                 "retry_after_s": exc.retry_after_s},
+                {"Retry-After": f"{max(exc.retry_after_s, 0.001):.3f}"},
+            )
+        except DeadlineExceeded as exc:
+            return 504, {"error": str(exc), "deadline_exceeded": True}, {}
         except (SpecificationError, ValueError, TypeError) as exc:
-            return 400, {"error": f"{type(exc).__name__}: {exc}"}
+            return 400, {"error": f"{type(exc).__name__}: {exc}"}, {}
         except Exception as exc:  # never kill the connection loop
-            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}, {}
 
     # -- endpoint bodies -----------------------------------------------------
 
@@ -313,6 +438,16 @@ class FairnessService:
             "registry": self.registry.stats(),
             "store": None if self.store is None else self.store.stats(),
             "jobs": {"total": len(self._jobs), "by_status": jobs},
+            "resilience": {
+                "inflight": self._inflight,
+                "max_inflight": self.max_inflight,
+                "max_jobs": self.max_jobs,
+                "breakers": self.breakers.stats(),
+                "faults": (
+                    None if current_plan() is None
+                    else current_plan().stats()
+                ),
+            },
         }
 
     def _batcher_for(self, name):
@@ -338,6 +473,26 @@ class FairnessService:
         rows = _require(body, "rows", list)
         if not rows:
             raise _BadRequest("rows must be a non-empty list of rows")
+        deadline = None
+        timeout_ms = body.get("timeout_ms")
+        if timeout_ms is not None:
+            if not isinstance(timeout_ms, (int, float)) or timeout_ms <= 0:
+                raise _BadRequest(
+                    f"timeout_ms must be a positive number, got "
+                    f"{timeout_ms!r}"
+                )
+            deadline = Deadline.after_ms(timeout_ms)
+        if self._inflight >= self.max_inflight:
+            # shed instead of queueing work the client will give up on;
+            # Retry-After scales with how deep the backlog runs
+            self._count("shed_predict")
+            raise _Shed(
+                f"{self._inflight} predicts in flight "
+                f"(max_inflight={self.max_inflight})",
+                retry_after_s=0.05 * max(
+                    self._inflight / self.max_inflight, 1.0,
+                ),
+            )
         self.registry.get(name)  # 404 before enqueueing
         X = np.asarray(rows, dtype=np.float64)
         if X.ndim != 2:
@@ -345,7 +500,26 @@ class FairnessService:
                 f"rows must be a list of equal-length feature rows; got "
                 f"shape {X.shape}"
             )
-        labels = await self._batcher_for(name).submit(X)
+        self._inflight += 1
+        try:
+            submit = self._batcher_for(name).submit(X, deadline=deadline)
+            if deadline is None:
+                labels = await submit
+            else:
+                try:
+                    labels = await asyncio.wait_for(
+                        submit, max(deadline.remaining(), 0.0),
+                    )
+                except (DeadlineExceeded, asyncio.TimeoutError) as exc:
+                    self._count("deadline_expired")
+                    if isinstance(exc, DeadlineExceeded):
+                        raise
+                    raise DeadlineExceeded(
+                        f"predict on {name!r} missed its "
+                        f"{float(timeout_ms):g}ms budget"
+                    ) from exc
+        finally:
+            self._inflight -= 1
         return {
             "model": name,
             "n_rows": len(labels),
@@ -406,14 +580,48 @@ class FairnessService:
         options = body.get("options") or {}
         if not isinstance(options, dict):
             raise _BadRequest("options must be a JSON object")
+        timeout_ms = body.get("timeout_ms")
+        if timeout_ms is not None and (
+            not isinstance(timeout_ms, (int, float)) or timeout_ms <= 0
+        ):
+            raise _BadRequest(
+                f"timeout_ms must be a positive number, got {timeout_ms!r}"
+            )
         # construct the Engine eagerly so bad strategies / backends /
         # options come back as a 400 now, not a failed job later
         engine = Engine(strategy, backend=backend, store=self.store,
                         **options)
         name = body.get("name") or f"retune-{next(self._job_ids)}"
+        active = sum(
+            1 for handle, _meta in self._jobs.values()
+            if handle.status not in JOB_TERMINAL
+        )
+        if active >= self.max_jobs:
+            self._count("shed_retune")
+            raise _Shed(
+                f"{active} retune jobs active (max_jobs={self.max_jobs})",
+                retry_after_s=1.0,
+            )
+        # the breaker gate runs last: every earlier exit is a 4xx that
+        # never consumed the half-open probe slot
+        breaker = self.breakers.get(name)
+        if not breaker.allow():
+            self._count("breaker_rejected")
+            raise _BreakerOpen(name, breaker.retry_after_s())
+
+        def _feed_breaker(handle, _breaker=breaker):
+            if handle.status == "done":
+                _breaker.record_success()
+            elif handle.status in ("error", "timeout"):
+                _breaker.record_failure()
+                self._count("retune_failures")
+            # cancelled says nothing about the model's health
+
         handle = submit_job(
             self._run_retune, name, spec, estimator, dataset_args,
             engine, name=f"retune-{name}",
+            timeout_s=None if timeout_ms is None else timeout_ms / 1e3,
+            on_done=_feed_breaker,
         )
         self._jobs[str(handle.id)] = (handle, {"model": name, "spec": spec})
         return {"job_id": str(handle.id), "status": handle.status,
@@ -494,11 +702,46 @@ class ServerHandle:
         return self.service.port
 
     def stop(self, timeout=10):
+        """Stop the service; escalate instead of hanging.
+
+        The happy path awaits the service's graceful drain.  If that
+        does not finish within ``timeout`` seconds the coroutine is
+        abandoned and every task on the serving loop is cancelled
+        (``forced: True`` in the report) — a stop must never wedge the
+        caller on a stuck drain.  A worker thread that *still* refuses
+        to die is reported under ``unjoined_threads`` rather than
+        joined forever.
+        """
+        report = {"forced": False, "unjoined_threads": []}
         future = asyncio.run_coroutine_threadsafe(
             self.service.stop(), self.loop,
         )
-        future.result(timeout)
+        try:
+            drain = future.result(timeout)
+            if isinstance(drain, dict):
+                report.update(drain)
+        except concurrent.futures.TimeoutError:
+            report["forced"] = True
+            future.cancel()
+
+            def _cancel_all():
+                for task in asyncio.all_tasks():
+                    task.cancel()
+
+            try:
+                self.loop.call_soon_threadsafe(_cancel_all)
+            except RuntimeError:
+                pass  # loop already closed on its own
         self.thread.join(timeout)
+        if self.thread.is_alive():
+            report["unjoined_threads"].append(self.thread.name)
+            warnings.warn(
+                f"serving thread {self.thread.name!r} did not exit "
+                f"within {timeout}s of stop(); leaking it as a daemon",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return report
 
     def __enter__(self):
         return self
@@ -529,7 +772,10 @@ def serve_in_thread(service, host="127.0.0.1", port=0, ready_timeout=30):
             ready.set()
             await service.serve_until_stopped()
 
-        asyncio.run(main())
+        try:
+            asyncio.run(main())
+        except asyncio.CancelledError:
+            pass  # forced stop() cancelled the main task
 
     thread = threading.Thread(target=runner, name="repro-serve", daemon=True)
     thread.start()

@@ -34,6 +34,8 @@ import time
 import warnings
 
 from ..ml.persistence import load_model, save_model
+from ..resilience.faults import inject
+from ..resilience.policy import CircuitBreaker
 
 __all__ = ["CacheStore", "content_key"]
 
@@ -80,20 +82,31 @@ class CacheStore:
         put evicts least-recently-used blobs (by mtime, which reads
         refresh) until the tree fits.  ``None`` (default) means
         unbounded.
+    breaker : repro.resilience.CircuitBreaker, None, or False
+        Circuit breaker around the store's disk I/O.  Consecutive
+        I/O errors (a full disk, a yanked network mount, injected
+        chaos) trip it open, after which gets answer as immediate
+        misses and puts are dropped — no syscalls — until the cooldown
+        admits a half-open probe.  ``None`` (default) builds one with
+        ``threshold=8, cooldown_s=30``; ``False`` disables the gate.
 
     Attributes
     ----------
     counters : dict
         ``hits`` / ``misses`` / ``puts`` / ``evictions`` / ``corrupt``
-        traffic counters for this store instance (per process — the
-        on-disk tree itself is shared between processes).
+        / ``io_errors`` / ``breaker_skips`` traffic counters for this
+        store instance (per process — the on-disk tree itself is
+        shared between processes).
     """
 
-    def __init__(self, root, max_bytes=None):
+    def __init__(self, root, max_bytes=None, breaker=None):
         self.root = pathlib.Path(root)
         if max_bytes is not None and int(max_bytes) < 1:
             raise ValueError(f"max_bytes must be >= 1 or None, got {max_bytes}")
         self.max_bytes = None if max_bytes is None else int(max_bytes)
+        if breaker is None:
+            breaker = CircuitBreaker(threshold=8, cooldown_s=30.0)
+        self.breaker = breaker or None
         self._lock = threading.Lock()
         self._tmp_ids = itertools.count()
         # strictly-increasing mtime clock: filesystem timestamp
@@ -102,6 +115,7 @@ class CacheStore:
         self._clock = time.time()
         self.counters = {
             "hits": 0, "misses": 0, "puts": 0, "evictions": 0, "corrupt": 0,
+            "io_errors": 0, "breaker_skips": 0,
         }
 
     # -- paths ---------------------------------------------------------------
@@ -135,6 +149,37 @@ class CacheStore:
                 continue  # raced with an eviction/replace
             yield path, stat.st_size, stat.st_mtime
 
+    # -- I/O degradation -----------------------------------------------------
+
+    def _breaker_allows(self):
+        """False when the I/O breaker is open (callers degrade to miss)."""
+        if self.breaker is None or self.breaker.allow():
+            return True
+        with self._lock:
+            self.counters["breaker_skips"] += 1
+        return False
+
+    def _io_failure(self, op, path, exc):
+        """Count + warn one disk failure; feeds the breaker.
+
+        A cache must never turn a flaky disk into a crashed solve: every
+        I/O error (organic or injected) degrades to a miss/dropped put.
+        """
+        with self._lock:
+            self.counters["io_errors"] += 1
+        if self.breaker is not None:
+            self.breaker.record_failure()
+        warnings.warn(
+            f"cache store {op} failed on {path} ({exc}); degrading to a "
+            f"cache {'miss' if op == 'get' else 'drop'}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+    def _io_ok(self):
+        if self.breaker is not None:
+            self.breaker.record_success()
+
     # -- blob lifecycle ------------------------------------------------------
 
     def put(self, namespace, key, obj, extra=None):
@@ -158,21 +203,33 @@ class CacheStore:
         extra : dict, optional
             Caller metadata embedded in the envelope.
 
+        A disk failure (no space, permissions, injected chaos) is a
+        warning plus a dropped put — the blob simply is not published —
+        never a crashed solve.  Returns ``None`` in that case, and
+        immediately when the I/O circuit breaker is open.
+
         Returns
         -------
-        str
-            The published blob path.
+        str or None
+            The published blob path (``None`` when the put was dropped).
         """
         path = self._path(namespace, key)
-        path.parent.mkdir(parents=True, exist_ok=True)
+        if not self._breaker_allows():
+            return None
         tmp = path.parent / (
             f".{key}.{os.getpid()}.{next(self._tmp_ids)}.tmp"
         )
         try:
+            inject("store.put", path=path)
+            path.parent.mkdir(parents=True, exist_ok=True)
             save_model(obj, tmp, extra=extra)
             os.replace(tmp, path)
+        except OSError as exc:
+            self._io_failure("put", path, exc)
+            return None
         finally:
             tmp.unlink(missing_ok=True)
+        self._io_ok()
         self._touch(path)
         with self._lock:
             self.counters["puts"] += 1
@@ -185,16 +242,36 @@ class CacheStore:
         A hit refreshes the blob's recency.  A blob that exists but
         fails to load — truncated, garbage, or an incompatible envelope
         — emits a :class:`RuntimeWarning`, is deleted, counts under
-        ``counters["corrupt"]``, and reads as a miss; a cache must
-        never turn disk rot into a crashed solve.
+        ``counters["corrupt"]``, and reads as a miss; a disk error on
+        the way to it (or an open I/O circuit breaker) likewise reads
+        as a miss — a cache must never turn disk rot into a crashed
+        solve.
         """
         path = self._path(namespace, key)
-        if not path.is_file():
+        if not self._breaker_allows():
+            with self._lock:
+                self.counters["misses"] += 1
+            return default
+        try:
+            inject("store.get", path=path)
+            exists = path.is_file()
+        except OSError as exc:
+            self._io_failure("get", path, exc)
+            with self._lock:
+                self.counters["misses"] += 1
+            return default
+        if not exists:
+            self._io_ok()
             with self._lock:
                 self.counters["misses"] += 1
             return default
         try:
             obj = load_model(path)
+        except OSError as exc:
+            self._io_failure("get", path, exc)
+            with self._lock:
+                self.counters["misses"] += 1
+            return default
         except Exception as exc:
             warnings.warn(
                 f"dropping corrupt cache blob {path} ({exc}); "
@@ -207,6 +284,7 @@ class CacheStore:
                 self.counters["corrupt"] += 1
                 self.counters["misses"] += 1
             return default
+        self._io_ok()
         self._touch(path)
         with self._lock:
             self.counters["hits"] += 1
@@ -257,6 +335,7 @@ class CacheStore:
         out["blobs"] = len(blobs)
         out["bytes"] = sum(size for _, size, _ in blobs)
         out["max_bytes"] = self.max_bytes
+        out["breaker"] = None if self.breaker is None else self.breaker.stats()
         return out
 
     def __repr__(self):

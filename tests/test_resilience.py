@@ -1,0 +1,435 @@
+"""Resilience primitives: fault plans, deadlines, retries, breakers.
+
+Pure unit tier — no sockets, no solves.  The contract under test
+(ISSUE 8):
+
+* a :class:`FaultPlan` is *deterministic*: the same plan (same seed,
+  same rules) produces the same fault schedule on every run, including
+  through a JSON round-trip, and never depends on global RNG state;
+* :class:`Deadline` budgets propagate and expire on an injected clock;
+* :class:`RetryPolicy` draws full-jitter backoff from an injected RNG
+  (deterministic under test) and only retries its ``retry_on`` set;
+* :class:`CircuitBreaker` walks closed → open → half-open → closed with
+  exactly one half-open probe admitted at a time.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+
+import pytest
+
+from repro.resilience import (
+    FAULT_SITES,
+    BreakerBoard,
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    RetryPolicy,
+    active_plan,
+    current_plan,
+    inject,
+)
+
+
+def _schedule(plan, site, calls):
+    """Drive ``site`` ``calls`` times; 1 marks a call that raised."""
+    out = []
+    with active_plan(plan):
+        for _ in range(calls):
+            try:
+                inject(site)
+                out.append(0)
+            except Exception as exc:
+                assert isinstance(exc, InjectedFault)
+                out.append(1)
+    return out
+
+
+class TestFaultPlanDeterminism:
+    def test_same_seed_same_schedule(self):
+        make = lambda: FaultPlan(  # noqa: E731 - tiny local factory
+            [FaultRule("store.get", "raise", p=0.4)], seed=13,
+        )
+        first = _schedule(make(), "store.get", 50)
+        second = _schedule(make(), "store.get", 50)
+        assert first == second
+        assert 0 < sum(first) < 50
+
+    def test_different_seeds_differ(self):
+        plans = [
+            FaultPlan([FaultRule("store.get", "raise", p=0.4)], seed=s)
+            for s in (1, 2)
+        ]
+        schedules = [_schedule(plan, "store.get", 60) for plan in plans]
+        assert schedules[0] != schedules[1]
+
+    def test_json_roundtrip_preserves_schedule(self):
+        plan = FaultPlan(
+            [
+                FaultRule("store.get", "raise", p=0.3, error="OSError"),
+                FaultRule("batcher.predict", "delay", p=0.5, ms=0.0),
+            ],
+            seed=99,
+        )
+        clone = FaultPlan.from_dict(
+            json.loads(json.dumps(plan.to_dict()))
+        )
+        assert _schedule(plan, "store.get", 40) == _schedule(
+            clone, "store.get", 40,
+        )
+
+    def test_schedule_survives_other_sites_interleaved(self):
+        # each rule has a private stream: traffic on one site must not
+        # shift another site's schedule
+        rules = lambda: [  # noqa: E731
+            FaultRule("store.get", "raise", p=0.4),
+            FaultRule("store.put", "raise", p=0.4),
+        ]
+        lone = _schedule(FaultPlan(rules(), seed=5), "store.get", 30)
+        plan = FaultPlan(rules(), seed=5)
+        with active_plan(plan):
+            mixed = []
+            for _ in range(30):
+                try:
+                    inject("store.put")
+                except Exception:
+                    pass
+                try:
+                    inject("store.get")
+                    mixed.append(0)
+                except Exception:
+                    mixed.append(1)
+        assert mixed == lone
+
+
+class TestFaultRuleGates:
+    def test_after_skips_warmup_calls(self):
+        plan = FaultPlan(
+            [FaultRule("store.get", "raise", after=3)], seed=0,
+        )
+        assert _schedule(plan, "store.get", 6) == [0, 0, 0, 1, 1, 1]
+
+    def test_every_fires_periodically(self):
+        plan = FaultPlan(
+            [FaultRule("store.get", "raise", every=3)], seed=0,
+        )
+        assert _schedule(plan, "store.get", 7) == [1, 0, 0, 1, 0, 0, 1]
+
+    def test_max_fires_caps_activations(self):
+        plan = FaultPlan(
+            [FaultRule("store.get", "raise", max_fires=2)], seed=0,
+        )
+        assert _schedule(plan, "store.get", 5) == [1, 1, 0, 0, 0]
+
+    def test_raise_mode_uses_requested_error_class(self):
+        plan = FaultPlan(
+            [FaultRule("store.get", "raise", error="OSError")], seed=0,
+        )
+        with active_plan(plan), pytest.raises(OSError) as excinfo:
+            inject("store.get")
+        assert isinstance(excinfo.value, InjectedFault)
+        assert "fault-injection" in str(excinfo.value)
+
+    def test_truncate_chops_the_handed_file(self, tmp_path):
+        victim = tmp_path / "blob.bin"
+        victim.write_bytes(b"x" * 1000)
+        plan = FaultPlan([FaultRule("store.get", "truncate")], seed=0)
+        with active_plan(plan):
+            inject("store.get", path=victim)
+        assert victim.stat().st_size == 500
+
+    def test_truncate_without_path_is_harmless(self):
+        plan = FaultPlan([FaultRule("store.get", "truncate")], seed=0)
+        with active_plan(plan):
+            inject("store.get")  # nothing handed over, nothing chopped
+
+    def test_stats_report_fires_and_calls(self):
+        plan = FaultPlan(
+            [FaultRule("store.get", "raise", max_fires=2)], seed=0,
+        )
+        _schedule(plan, "store.get", 5)
+        stats = plan.stats()
+        assert stats["fired"] == {"store.get:raise": 2}
+        assert stats["calls"] == {"store.get": 5}
+        assert stats["seed"] == 0
+
+
+class TestFaultPlanValidation:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultRule("store.nope", "raise")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault mode"):
+            FaultRule("store.get", "explode")
+
+    def test_unknown_error_class_rejected(self):
+        with pytest.raises(ValueError, match="unknown error class"):
+            FaultRule("store.get", "raise", error="KeyboardInterrupt")
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError, match="p must be"):
+            FaultRule("store.get", "raise", p=1.5)
+
+    def test_unknown_rule_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown key"):
+            FaultPlan.from_dict({
+                "rules": [{"site": "store.get", "mode": "raise",
+                           "colour": "red"}],
+            })
+
+    def test_sites_catalog_is_closed(self):
+        # every documented site parses; nothing else does
+        for site in FAULT_SITES:
+            FaultRule(site, "delay", ms=0.0)
+
+    def test_env_var_bootstraps_a_plan(self, tmp_path, monkeypatch):
+        from repro.resilience import faults
+
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps({
+            "seed": 3,
+            "rules": [{"site": "store.get", "mode": "raise", "p": 1.0}],
+        }))
+        monkeypatch.setenv(faults.ENV_VAR, str(path))
+        monkeypatch.setattr(faults, "_PLAN", None)
+        monkeypatch.setattr(faults, "_ENV_CHECKED", False)
+        try:
+            with pytest.raises(RuntimeError):
+                inject("store.get")
+            assert current_plan() is not None
+        finally:
+            monkeypatch.setattr(faults, "_PLAN", None)
+            monkeypatch.setattr(faults, "_ENV_CHECKED", True)
+
+
+class _FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestDeadline:
+    def test_remaining_counts_down(self):
+        clock = _FakeClock()
+        deadline = Deadline.after(2.0, clock=clock)
+        assert deadline.remaining() == pytest.approx(2.0)
+        clock.now += 1.5
+        assert deadline.remaining() == pytest.approx(0.5)
+        assert not deadline.expired
+
+    def test_check_raises_past_budget(self):
+        clock = _FakeClock()
+        deadline = Deadline.after_ms(100, clock=clock)
+        assert deadline.check("predict") > 0
+        clock.now += 0.2
+        assert deadline.expired
+        with pytest.raises(DeadlineExceeded, match="predict"):
+            deadline.check("predict")
+
+    def test_deadline_exceeded_is_a_timeout(self):
+        # so generic TimeoutError handlers (HTTP 504 mapping, retry
+        # policies) treat it uniformly
+        assert issubclass(DeadlineExceeded, TimeoutError)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline.after(-1.0)
+
+
+class TestRetryPolicy:
+    def test_seeded_rng_gives_deterministic_delays(self):
+        mk = lambda: RetryPolicy(  # noqa: E731
+            max_attempts=5, base_s=0.1, cap_s=1.0,
+            rng=random.Random(42),
+        )
+        assert mk().delays() == mk().delays()
+
+    def test_full_jitter_bounds(self):
+        policy = RetryPolicy(
+            max_attempts=8, base_s=0.1, cap_s=0.5, rng=random.Random(7),
+        )
+        for attempt in range(7):
+            upper = min(0.5, 0.1 * 2 ** attempt)
+            for _ in range(20):
+                delay = policy.backoff(attempt)
+                assert 0.0 <= delay <= upper
+
+    def test_no_jitter_is_monotone_and_capped(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_s=0.05, cap_s=0.4, jitter=False,
+        )
+        delays = policy.delays()
+        assert delays == sorted(delays)
+        assert delays[-1] == 0.4
+        assert delays[0] == 0.05
+
+    def test_call_retries_then_succeeds(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise ConnectionError("transient")
+            return "ok"
+
+        slept = []
+        policy = RetryPolicy(max_attempts=3, rng=random.Random(0))
+        assert policy.call(flaky, sleep=slept.append) == "ok"
+        assert len(attempts) == 3
+        assert len(slept) == 2
+
+    def test_call_gives_up_after_max_attempts(self):
+        policy = RetryPolicy(max_attempts=2, rng=random.Random(0))
+        with pytest.raises(ConnectionError):
+            policy.call(
+                lambda: (_ for _ in ()).throw(ConnectionError("down")),
+                sleep=lambda _s: None,
+            )
+
+    def test_non_retryable_raises_immediately(self):
+        attempts = []
+
+        def typed():
+            attempts.append(1)
+            raise ValueError("not transient")
+
+        policy = RetryPolicy(max_attempts=5, rng=random.Random(0))
+        with pytest.raises(ValueError):
+            policy.call(typed, sleep=lambda _s: None)
+        assert len(attempts) == 1
+
+    def test_deadline_stops_retry_sleeps(self):
+        clock = _FakeClock()
+        deadline = Deadline.after(0.001, clock=clock)
+        policy = RetryPolicy(
+            max_attempts=5, base_s=1.0, jitter=False,
+        )
+        attempts = []
+
+        def failing():
+            attempts.append(1)
+            raise ConnectionError("down")
+
+        with pytest.raises(ConnectionError):
+            policy.call(failing, sleep=lambda _s: None, deadline=deadline)
+        assert len(attempts) == 1  # no sleep fits inside the budget
+
+    def test_knob_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_s=-0.1)
+
+
+class TestCircuitBreaker:
+    def test_full_cycle_closed_open_halfopen_closed(self):
+        clock = _FakeClock()
+        breaker = CircuitBreaker(threshold=3, cooldown_s=10.0, clock=clock)
+        assert breaker.state == "closed"
+        for _ in range(3):
+            assert breaker.allow()
+            breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.retry_after_s() == pytest.approx(10.0)
+        clock.now += 11.0
+        assert breaker.state == "half_open"
+        assert breaker.allow()       # the probe
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.opens == 1
+        assert breaker.cycles == 1
+
+    def test_half_open_admits_exactly_one_probe(self):
+        clock = _FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown_s=5.0, clock=clock)
+        breaker.record_failure()
+        clock.now += 6.0
+        assert breaker.allow()
+        assert not breaker.allow()   # concurrent caller keeps shedding
+        breaker.record_success()
+        assert breaker.allow()
+
+    def test_half_open_failure_reopens(self):
+        clock = _FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown_s=5.0, clock=clock)
+        breaker.record_failure()
+        clock.now += 6.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.opens == 2
+        assert breaker.cycles == 0
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # streak broke at 2
+
+    def test_stats_shape(self):
+        breaker = CircuitBreaker(threshold=4, cooldown_s=7.0)
+        stats = breaker.stats()
+        assert stats["state"] == "closed"
+        assert stats["threshold"] == 4
+        assert stats["cooldown_s"] == 7.0
+        assert stats["opens"] == 0
+
+    def test_knob_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_s=-1.0)
+
+
+class TestBreakerBoard:
+    def test_one_breaker_per_name(self):
+        board = BreakerBoard(threshold=2, cooldown_s=1.0)
+        assert board.get("a") is board.get("a")
+        assert board.get("a") is not board.get("b")
+        assert len(board) == 2
+
+    def test_stats_key_by_name(self):
+        board = BreakerBoard(threshold=1, cooldown_s=60.0)
+        board.get("m").record_failure()
+        stats = board.stats()
+        assert stats["m"]["state"] == "open"
+
+
+class TestInjectFastPath:
+    def test_no_plan_is_a_noop(self):
+        # must not raise, must not need env (the suite runs with the
+        # plan slot empty)
+        if current_plan() is None:
+            inject("store.get")
+
+    def test_active_plan_restores_previous(self):
+        outer = FaultPlan([], seed=1)
+        inner = FaultPlan([], seed=2)
+        with active_plan(outer):
+            with active_plan(inner):
+                assert current_plan() is inner
+            assert current_plan() is outer
+
+    def test_delay_mode_actually_sleeps(self):
+        plan = FaultPlan(
+            [FaultRule("store.get", "delay", ms=30.0, max_fires=1)],
+            seed=0,
+        )
+        with active_plan(plan):
+            t0 = time.perf_counter()
+            inject("store.get")
+            assert time.perf_counter() - t0 >= 0.025
+            inject("store.get")  # max_fires spent: no sleep, no raise
