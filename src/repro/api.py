@@ -587,6 +587,7 @@ class Engine:
         cfg = asdict(config)
         cfg.pop("warm_lambda", None)
         cfg.pop("warm_swapped", None)
+        cfg.pop("warm_lambdas", None)
         specs = problem.specs
         epsilon = float(specs[0].epsilon) if len(specs) == 1 else None
         return {

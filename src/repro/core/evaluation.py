@@ -10,6 +10,7 @@ from .exceptions import SpecificationError
 __all__ = [
     "evaluate_model",
     "max_violation",
+    "max_violation_from_disparities",
     "all_satisfied",
     "disparity_vector",
 ]
@@ -50,6 +51,25 @@ def max_violation(y, pred, constraints):
             "max_violation requires at least one constraint"
         )
     return max(abs(c.disparity(y, pred)) - c.epsilon for c in constraints)
+
+
+def max_violation_from_disparities(disparities, epsilons):
+    """``max_i |FP_i| − ε_i`` from an already-computed disparity vector.
+
+    The reduction step of :func:`max_violation`, factored out so callers
+    that hold exact disparities from another source — the compiled
+    evaluator's batched path, or the incremental auditor's count
+    accumulators — apply the *same* float operations in the same order
+    and stay bit-identical to the per-constraint reference.
+    """
+    disparities = [float(d) for d in disparities]
+    epsilons = [float(e) for e in epsilons]
+    if not disparities or len(disparities) != len(epsilons):
+        raise SpecificationError(
+            "max_violation_from_disparities needs matching, non-empty "
+            "disparity and epsilon sequences"
+        )
+    return max(abs(d) - e for d, e in zip(disparities, epsilons))
 
 
 def all_satisfied(y, pred, constraints, tol=1e-12):

@@ -62,6 +62,7 @@ __all__ = [
     "CompiledEvaluator",
     "BatchEvalResult",
     "evaluate_lambda_batch",
+    "rate_from_counts",
 ]
 
 # prediction-score cache bound (entries are ~300 B: digest key, (k,)
@@ -277,14 +278,19 @@ class CompiledConstraints:
                     term._dirty = True
         else:
             changed = np.nonzero(predictions != self._predictions)[0]
-            if changed.size:
-                for term in self._param_terms:
-                    if isinstance(term, _CountScaledTerm):
-                        term.apply_delta(
-                            changed, predictions, self._predictions
-                        )
-                    else:
-                        term.mark_if_touched(changed)
+            if changed.size == 0:
+                # true no-op: zero rows changed, so every term is
+                # already consistent — skip the copy and the per-term
+                # refresh walk entirely (regression-tested: a repeated
+                # identical update must not touch clean terms)
+                return
+            for term in self._param_terms:
+                if isinstance(term, _CountScaledTerm):
+                    term.apply_delta(
+                        changed, predictions, self._predictions
+                    )
+                else:
+                    term.mark_if_touched(changed)
         self._predictions = predictions.copy()
         for term in self._param_terms:
             if isinstance(term, _GenericParamTerm):
@@ -363,6 +369,51 @@ class _RateSide:
         self.n_y1 = n_y1
         self.cols = cols
         self.costs = costs
+
+
+def _safe_div(num, den):
+    """Vectorized twin of :func:`repro.ml.metrics._safe_div`."""
+    num = np.asarray(num, dtype=np.float64)
+    den = np.asarray(den, dtype=np.float64)
+    out = np.zeros(np.broadcast(num, den).shape, dtype=np.float64)
+    np.divide(num, den, out=out, where=den != 0)
+    return out
+
+
+def rate_from_counts(kind, counts, size, n_y0, n_y1, costs=None):
+    """Closed-form group rate from exact positive-prediction counts.
+
+    ``counts`` carries the per-mask positive-prediction tallies for one
+    group side — one entry for ``sp``/``fpr``/``fnr``, the
+    ``(y=0 rows, y=1 rows)`` pair for the two-column kinds — as float64
+    scalars or arrays.  Every operation is float64 arithmetic over
+    exact integers (< 2**53), so *any* caller that supplies the same
+    counts gets the same bits back: this one function is shared by the
+    batched :class:`CompiledEvaluator` matmul path and the
+    :class:`~repro.incremental.IncrementalAuditor` accumulator path,
+    which is what makes incremental audits bit-identical to
+    from-scratch evaluation.
+    """
+    if kind == "sp":
+        return counts[0] / size
+    if kind == "fpr":
+        return _safe_div(counts[0], n_y0)
+    if kind == "fnr":
+        return _safe_div(n_y1 - counts[0], n_y1)
+    pos0 = counts[0]   # pred=1 among y=0 rows: FP
+    pos1 = counts[1]   # pred=1 among y=1 rows: TP
+    if kind == "mr":
+        return (pos0 + (n_y1 - pos1)) / size
+    if kind == "for":
+        fn = n_y1 - pos1
+        pred_neg = size - (pos0 + pos1)
+        return _safe_div(fn, pred_neg)
+    if kind == "fdr":
+        return _safe_div(pos0, pos0 + pos1)
+    if kind == "aec":
+        cost_fp, cost_fn = costs
+        return (cost_fp * pos0 + cost_fn * (n_y1 - pos1)) / size
+    raise AssertionError(f"unhandled rate kind {kind!r}")
 
 
 def _rate_kind(metric):
@@ -524,45 +575,22 @@ class CompiledEvaluator:
 
     # -- scoring -------------------------------------------------------------
 
-    @staticmethod
-    def _safe_div(num, den):
-        """Vectorized twin of :func:`repro.ml.metrics._safe_div`."""
-        num = np.asarray(num, dtype=np.float64)
-        den = np.asarray(den, dtype=np.float64)
-        out = np.zeros(np.broadcast(num, den).shape, dtype=np.float64)
-        np.divide(num, den, out=out, where=den != 0)
-        return out
+    # kept as a staticmethod alias: external callers/tests reach the
+    # division helper through the evaluator class
+    _safe_div = staticmethod(_safe_div)
 
     def _side_values(self, side, pos_counts):
         """Rates for one group side from the positive-prediction counts.
 
         ``pos_counts`` holds ``Σ_{i∈mask}(pred_i = 1)`` per stacked mask
-        column; every other count is an exact integer complement.
+        column; every other count is an exact integer complement.  The
+        arithmetic lives in :func:`rate_from_counts`, shared with the
+        incremental auditor for bit-identity.
         """
-        kind = side.kind
-        if kind == "sp":
-            pos = pos_counts[..., side.cols[0]]
-            return pos / side.size
-        if kind == "fpr":
-            fp = pos_counts[..., side.cols[0]]
-            return self._safe_div(fp, side.n_y0)
-        if kind == "fnr":
-            tp = pos_counts[..., side.cols[0]]
-            return self._safe_div(side.n_y1 - tp, side.n_y1)
-        pos0 = pos_counts[..., side.cols[0]]   # pred=1 among y=0 rows: FP
-        pos1 = pos_counts[..., side.cols[1]]   # pred=1 among y=1 rows: TP
-        if kind == "mr":
-            return (pos0 + (side.n_y1 - pos1)) / side.size
-        if kind == "for":
-            fn = side.n_y1 - pos1
-            pred_neg = side.size - (pos0 + pos1)
-            return self._safe_div(fn, pred_neg)
-        if kind == "fdr":
-            return self._safe_div(pos0, pos0 + pos1)
-        if kind == "aec":
-            cost_fp, cost_fn = side.costs
-            return (cost_fp * pos0 + cost_fn * (side.n_y1 - pos1)) / side.size
-        raise AssertionError(f"unhandled rate kind {kind!r}")
+        counts = tuple(pos_counts[..., c] for c in side.cols)
+        return rate_from_counts(
+            side.kind, counts, side.size, side.n_y0, side.n_y1, side.costs
+        )
 
     def _pos_counts(self, preds):
         """Stacked positive-prediction counts, optionally row-chunked.

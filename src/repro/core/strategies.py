@@ -139,8 +139,13 @@ class HillClimbConfig(StrategyConfig):
     """Algorithm 2 knobs, plus Algorithm 1 knobs for the k=1 reduction.
 
     ``warm_lambda`` / ``warm_swapped`` only apply to the k=1 reduction
-    (see :class:`BinarySearchConfig`); the multi-constraint climb
-    ignores them.
+    (see :class:`BinarySearchConfig`).  ``warm_lambdas`` is the
+    multi-constraint warm re-search entry (used by the incremental
+    engine's drift retune): a length-k vector that seeds the climb's
+    starting Λ instead of the zero vector, so a solve on slightly
+    drifted data starts next to the previous optimum and typically
+    converges in a round or two.  The default (``None``) leaves the
+    trajectory byte-identical to the cold climb.
     """
 
     max_rounds: int = None
@@ -150,6 +155,7 @@ class HillClimbConfig(StrategyConfig):
     lambda_max: float = 1e5
     warm_lambda: float = None
     warm_swapped: bool = False
+    warm_lambdas: tuple = None
 
 
 @dataclass
@@ -746,9 +752,10 @@ def _plan_tune_dimension(ctx, lambdas, j, model, disparities,
 
 
 def _plan_hill_climb(ctx, max_rounds=None, initial_step=0.1, tau=1e-3,
-                     dimension_order="most_violated"):
+                     dimension_order="most_violated", warm_lambdas=None):
     """Algorithm 2 as an ask/tell generator (trajectory-identical to the
-    pre-planner ``hill_climb`` loop)."""
+    pre-planner ``hill_climb`` loop unless ``warm_lambdas`` seeds the
+    starting Λ from a previous solve — the drift-retune warm entry)."""
     ctx.record_style = "vector"
     fitter = ctx.fitter
     k = len(fitter.constraints)
@@ -758,7 +765,15 @@ def _plan_hill_climb(ctx, max_rounds=None, initial_step=0.1, tau=1e-3,
         max_rounds = 5 * k
 
     lambdas = np.zeros(k)
-    (r0,) = yield CandidateBatch([np.zeros(k)], purpose="init", record=False)
+    if warm_lambdas is not None:
+        warm = np.asarray(warm_lambdas, dtype=np.float64).reshape(-1)
+        # a malformed or non-finite seed silently falls back to cold:
+        # warmth is an optimization, never a correctness dependency
+        if warm.shape == (k,) and np.all(np.isfinite(warm)):
+            lambdas = warm.copy()
+    (r0,) = yield CandidateBatch(
+        [lambdas.copy()], purpose="init", record=False,
+    )
     model, disparities, acc = r0.model, r0.disparities, r0.accuracy
     ctx.record(HistoryPoint(
         lambdas.copy(), disparities.copy(), acc,
@@ -1043,6 +1058,7 @@ class HillClimbStrategy(SearchStrategy):
         return _plan_hill_climb(
             ctx, max_rounds=config.max_rounds,
             initial_step=config.initial_step, tau=config.tau,
+            warm_lambdas=config.warm_lambdas,
         )
 
 

@@ -26,6 +26,16 @@ Families
     A two-group family with ``n`` defaulting to 1,000,000 rows and a
     deliberately narrow feature block — the chunked-evaluation scaling
     workload.
+``drifting_mix``
+    Group proportions interpolate with the absolute row index (group A
+    shrinks from ``prop_start`` to ``prop_end`` over ``drift_rows``
+    rows) — the incremental engine's demographic-drift stream: a model
+    tuned on the head of the stream drifts out of fairness as later
+    batches arrive.
+``label_drift``
+    Per-group base rates interpolate with the absolute row index —
+    the incremental engine's concept-drift stream; stresses the
+    drift-retune policy without any change in group mix.
 
 Chunked materialization
 -----------------------
@@ -75,6 +85,12 @@ class Scenario:
     for ``n`` rows, where ``extras`` maps names to per-row arrays (may
     be empty).  It must be row-wise independent given ``rng`` — no
     global statistics — so blockwise generation is exact.
+
+    A *positional* family's generator takes an extra ``start`` argument:
+    the absolute index of the block's first row.  Row distributions may
+    then depend on absolute position (drifting families) while staying
+    blockwise deterministic — the canonical block layout fixes ``start``
+    independently of chunk size.
     """
 
     name: str
@@ -84,6 +100,7 @@ class Scenario:
     defaults: dict = field(default_factory=dict)
     n_default: int = 20_000
     sensitive_attribute: str = "group"
+    positional: bool = False
     # column geometry of _feature_block, for feature naming
     feature_spec: dict = field(default_factory=lambda: dict(
         n_informative=2, n_proxy=1, n_noise=1,
@@ -210,6 +227,33 @@ def _gen_million_row(rng, n, p):
     return X, y, sensitive, {}
 
 
+def _drift_t(start, n, p):
+    """Per-row drift progress in [0, 1]: absolute index / drift_rows."""
+    pos = start + np.arange(n, dtype=np.float64)
+    return np.clip(pos / float(p["drift_rows"]), 0.0, 1.0)
+
+
+def _gen_drifting_mix(rng, n, p, start):
+    t = _drift_t(start, n, p)
+    prop_a = p["prop_start"] + (p["prop_end"] - p["prop_start"]) * t
+    sensitive = (rng.random(n) >= prop_a).astype(np.int64)
+    rates = np.array([p["rate_a"], p["rate_b"]])
+    y = (rng.random(n) < rates[sensitive]).astype(np.int64)
+    X = _feature_block(rng, n, y, sensitive, 2, separation=p["separation"])
+    return X, y, sensitive, {"drift_t": t}
+
+
+def _gen_label_drift(rng, n, p, start):
+    t = _drift_t(start, n, p)
+    rate_a = p["rate_a_start"] + (p["rate_a_end"] - p["rate_a_start"]) * t
+    rate_b = p["rate_b_start"] + (p["rate_b_end"] - p["rate_b_start"]) * t
+    sensitive = _draw_groups(rng, n, (0.55, 0.45))
+    rate = np.where(sensitive == 0, rate_a, rate_b)
+    y = (rng.random(n) < rate).astype(np.int64)
+    X = _feature_block(rng, n, y, sensitive, 2, separation=p["separation"])
+    return X, y, sensitive, {"drift_t": t}
+
+
 register_scenario(Scenario(
     name="group_sweep",
     description="k groups, geometric sizes, base-rate gradient",
@@ -258,6 +302,29 @@ register_scenario(Scenario(
     feature_spec=dict(n_informative=2, n_proxy=1, n_noise=0),
 ))
 
+register_scenario(Scenario(
+    name="drifting_mix",
+    description="group mix drifts with absolute row index",
+    generate=_gen_drifting_mix,
+    group_names=("A", "B"),
+    defaults=dict(prop_start=0.6, prop_end=0.35, drift_rows=200_000,
+                  rate_a=0.55, rate_b=0.35, separation=0.9),
+    n_default=100_000,
+    positional=True,
+))
+
+register_scenario(Scenario(
+    name="label_drift",
+    description="per-group base rates drift with absolute row index",
+    generate=_gen_label_drift,
+    group_names=("A", "B"),
+    defaults=dict(rate_a_start=0.55, rate_a_end=0.35,
+                  rate_b_start=0.35, rate_b_end=0.45,
+                  drift_rows=200_000, separation=0.9),
+    n_default=100_000,
+    positional=True,
+))
+
 
 # -- materialization ----------------------------------------------------------
 
@@ -290,7 +357,13 @@ def _iter_raw_blocks(scenario, n, seed, params):
     while produced < n:
         size = min(GENERATION_BLOCK, n - produced)
         rng = np.random.default_rng([int(seed), family_tag, block_index])
-        yield scenario.generate(rng, size, params)
+        if scenario.positional:
+            # positional families see the block's absolute row offset,
+            # which the canonical block layout fixes per block_index —
+            # chunk-size invariance is untouched
+            yield scenario.generate(rng, size, params, produced)
+        else:
+            yield scenario.generate(rng, size, params)
         produced += size
         block_index += 1
 

@@ -72,20 +72,53 @@ class Dataset:
             return len(self.group_names)
         return int(self.sensitive.max()) + 1
 
+    def _slice_extra(self, key, value, idx, n):
+        """Slice one ``extras`` entry along the row axis when it is per-row.
+
+        Any length-``n`` sequence — ndarray, list, or tuple — is a
+        per-row role (``is_val``, ``label_flipped``, ...) and must be
+        sliced with the rows; silently copying it whole would misalign
+        the role in the subset.  Strings/bytes and mappings are metadata
+        even at length ``n``.  Other length-``n`` sequence types are
+        ambiguous (we cannot tell role from metadata) and raise.
+        """
+        if isinstance(value, np.ndarray):
+            if value.ndim >= 1 and len(value) == n:
+                return value[idx]
+            return value
+        if isinstance(value, (str, bytes, dict)):
+            return value
+        try:
+            length = len(value)
+        except TypeError:
+            return value
+        if length != n:
+            return value
+        if isinstance(value, (list, tuple)):
+            positions = np.arange(n)[idx]
+            if positions.ndim == 0:
+                positions = positions.reshape(1)
+            return type(value)(value[int(i)] for i in positions)
+        raise TypeError(
+            f"extras[{key!r}] is a length-{n} {type(value).__name__}; "
+            f"cannot tell whether it is per-row (needs slicing) or "
+            f"metadata — convert it to an ndarray/list/tuple (per-row) "
+            f"or a dict/str (metadata)"
+        )
+
     def subset(self, idx):
         """Return a new Dataset restricted to the rows in ``idx``.
 
-        Per-row arrays in ``extras`` (length-``n`` ndarrays, e.g. the
-        scenario registry's ``is_val`` / ``label_flipped`` roles) are
-        sliced along with the rows; scalar/metadata entries are copied
-        as-is.
+        Per-row entries in ``extras`` (length-``n`` ndarrays, lists, or
+        tuples, e.g. the scenario registry's ``is_val`` /
+        ``label_flipped`` roles) are sliced along with the rows;
+        scalar/metadata entries are copied as-is.  A length-``n``
+        sequence of an unrecognized type raises rather than silently
+        misaligning (see :meth:`_slice_extra`).
         """
         n = len(self)
         extras = {
-            key: (value[idx]
-                  if isinstance(value, np.ndarray)
-                  and value.ndim >= 1 and len(value) == n
-                  else value)
+            key: self._slice_extra(key, value, idx, n)
             for key, value in self.extras.items()
         }
         return Dataset(
@@ -100,20 +133,58 @@ class Dataset:
             extras=extras,
         )
 
-    def fingerprint(self):
-        """Stable content hash of the dataset (rows, labels, groups).
+    @staticmethod
+    def _digest_array(digest, tag, arr):
+        """Feed one array into ``digest`` with an unambiguous framing.
 
-        The serving layer's model registry keys retune results on
-        ``SpecSet.canonical() × Dataset.fingerprint()`` so that
-        canonically-equivalent requests on the same data dedup to one
-        solve.  The hash covers the exact array bytes (plus the name and
-        sensitive-attribute tag), so any row edit changes the key.
+        The frame is ``tag|dtype|shape|bytes``: without the dtype/shape
+        prefix, a reshaped or retyped array with identical raw bytes
+        (e.g. ``X.reshape(-1)`` or an int64 view of the same buffer)
+        would collide with the original, and without the tag separator
+        two adjacent arrays could trade a boundary byte unnoticed.
         """
+        arr = np.ascontiguousarray(arr)
+        if arr.dtype == object:
+            # object arrays have no stable buffer; hash a repr instead
+            digest.update(f"{tag}|object|{arr.shape}|".encode())
+            digest.update(repr(arr.tolist()).encode())
+            return
+        digest.update(f"{tag}|{arr.dtype.str}|{arr.shape}|".encode())
+        digest.update(arr.tobytes())
+
+    def fingerprint(self):
+        """Stable content hash of the dataset (rows, labels, groups, roles).
+
+        The serving layer's model registry and the solution cache key
+        results on ``SpecSet.canonical() × Dataset.fingerprint()`` so
+        that canonically-equivalent requests on the same data dedup to
+        one solve.  Version 2 of the hash frames every array with its
+        dtype and shape (a reshaped/retyped ``X`` with identical bytes
+        no longer collides) and folds in per-row ``extras`` (two
+        datasets differing only in their ``is_val`` split role no
+        longer collide).  Non-per-row metadata extras stay outside the
+        hash — they do not change which rows the model sees.
+        """
+        n = len(self)
         digest = hashlib.sha1()
-        digest.update(self.name.encode())
-        digest.update(self.sensitive_attribute.encode())
-        for arr in (self.X, self.y, self.sensitive):
-            digest.update(np.ascontiguousarray(arr).tobytes())
+        digest.update(b"dataset-fingerprint-v2\x00")
+        digest.update(self.name.encode() + b"\x00")
+        digest.update(self.sensitive_attribute.encode() + b"\x00")
+        self._digest_array(digest, "X", self.X)
+        self._digest_array(digest, "y", self.y)
+        self._digest_array(digest, "sensitive", self.sensitive)
+        for key in sorted(self.extras):
+            value = self.extras[key]
+            if isinstance(value, (str, bytes, dict)):
+                continue
+            if isinstance(value, np.ndarray):
+                if value.ndim >= 1 and len(value) == n:
+                    self._digest_array(digest, f"extra:{key}", value)
+                continue
+            if isinstance(value, (list, tuple)) and len(value) == n:
+                self._digest_array(
+                    digest, f"extra:{key}", np.asarray(value, dtype=object)
+                )
         return digest.hexdigest()
 
     def group_mask(self, group):

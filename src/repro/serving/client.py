@@ -207,6 +207,40 @@ class ServingClient:
             payload["timeout_ms"] = float(timeout_ms)
         return self._request("POST", "/retune", payload)
 
+    def update(self, model, *, base=None, append=None, retire=None,
+               tolerance=None, retune=True, estimator=None):
+        """Apply an append/retire delta to a model's incremental auditor.
+
+        The first call for ``model`` must carry ``base`` (a dataset
+        spec dict like ``{"dataset": "adult", "n": 1000}`` or inline
+        ``{"data": {...}}``) to seed the auditor.  ``append`` is a dict
+        with ``X``/``y``/``sensitive`` rows; ``retire`` a list of row
+        ids.  Returns the updated audit plus the drift-retune decision.
+        Not retried after a successful send — an update applies a
+        delta, so a lost response must surface rather than double-apply.
+        """
+        payload = {"model": model}
+        if base is not None:
+            payload["base"] = base
+        if append is not None:
+            payload["append"] = {
+                key: (
+                    {k: np.asarray(v).tolist() for k, v in value.items()}
+                    if key == "extras"
+                    else np.asarray(value).tolist()
+                )
+                for key, value in append.items()
+            }
+        if retire is not None:
+            payload["retire"] = np.asarray(retire).tolist()
+        if tolerance is not None:
+            payload["tolerance"] = float(tolerance)
+        if not retune:
+            payload["retune"] = False
+        if estimator is not None:
+            payload["estimator"] = estimator
+        return self._request("POST", "/update", payload)
+
     def job(self, job_id):
         return self._request("GET", f"/jobs/{job_id}")
 

@@ -25,6 +25,17 @@ Endpoints
     (:func:`~repro.core.executor.submit_job`) through the execution-
     backend registry; canonically-equivalent requests on the same data
     hit the registry instead of re-solving.
+``POST /update``
+    The incremental engine's front door.  The first call for a model
+    seeds an :class:`~repro.incremental.IncrementalAuditor` from a
+    ``base`` dataset spec; subsequent calls carry ``append`` (inline
+    rows) and/or ``retire`` (row ids) deltas, are audited in O(batch)
+    via exact count maintenance, and answer with the updated audit —
+    disparities, accuracy, max-violation, and the delta-chained
+    fingerprint.  When the updated max-violation breaches the drift
+    ``tolerance``, a **warm** λ re-search is submitted as a background
+    job (seeded from the deployed model's fitted λ) and the refit model
+    replaces the served one under the same name.
 ``GET /jobs/<id>``
     Poll a retune job (status / result / error / timeout / cancelled).
 ``GET /models`` / ``GET /healthz`` / ``GET /stats``
@@ -69,6 +80,7 @@ from ..core.exceptions import (
 from ..core.executor import JOB_TERMINAL, resolve_backend, submit_job
 from ..datasets import load
 from ..datasets.schema import Dataset
+from ..incremental import DriftPolicy, IncrementalAuditor, warm_retune
 from ..ml.adapters import resolve_model
 from ..resilience.faults import current_plan, inject
 from ..resilience.policy import BreakerBoard, Deadline, DeadlineExceeded
@@ -204,12 +216,14 @@ class FairnessService:
         self._batchers = {}
         self._jobs = {}
         self._job_ids = itertools.count(1)
+        self._auditors = {}  # event-loop only: name -> auditor entry
         self._counter_lock = threading.Lock()
         self._counters = {
             "admitted": 0, "completed": 0, "errors": 0,
             "solves": 0, "retune_registry_hits": 0,
             "shed_predict": 0, "shed_retune": 0, "deadline_expired": 0,
             "breaker_rejected": 0, "retune_failures": 0,
+            "updates": 0, "update_rows": 0, "drift_retunes": 0,
         }
         self._routes = {}
         self._started_at = time.time()
@@ -372,8 +386,11 @@ class FairnessService:
                 return 200, await self._audit(body), {}
             if method == "POST" and path == "/retune":
                 return 200, self._retune(body), {}
-            if path in ("/predict", "/audit", "/retune", "/healthz",
-                        "/models", "/stats") or path.startswith("/jobs/"):
+            if method == "POST" and path == "/update":
+                return 200, await self._update(body), {}
+            if path in ("/predict", "/audit", "/retune", "/update",
+                        "/healthz", "/models",
+                        "/stats") or path.startswith("/jobs/"):
                 return 405, {"error": f"{method} not allowed on {path}"}, {}
             return 404, {"error": f"no route {method} {path}"}, {}
         except KeyError as exc:
@@ -438,6 +455,16 @@ class FairnessService:
             "registry": self.registry.stats(),
             "store": None if self.store is None else self.store.stats(),
             "jobs": {"total": len(self._jobs), "by_status": jobs},
+            "incremental": {
+                name: {
+                    "n_live": entry["auditor"].n_live,
+                    "n_total": entry["auditor"].n_total,
+                    "n_updates": entry["auditor"].n_updates,
+                    "fingerprint": entry["auditor"].fingerprint,
+                    "tolerance": entry["policy"].tolerance,
+                }
+                for name, entry in self._auditors.items()
+            },
             "resilience": {
                 "inflight": self._inflight,
                 "max_inflight": self.max_inflight,
@@ -660,6 +687,198 @@ class FairnessService:
             "feasible": fair.report.feasible,
             "lambdas": fair.report.lambdas,
             "n_fits": fair.report.n_fits,
+        }
+
+    async def _update(self, body):
+        """Apply an append/retire delta and answer the updated audit.
+
+        The first call for a model must carry ``base`` (a dataset spec
+        or inline data) to seed the auditor; later calls must not.
+        Count maintenance runs on a worker thread under the model's
+        auditor lock, so updates serialize against a concurrent drift
+        retune but never block the event loop.  A triggered retune is
+        reported in the response, not awaited — poll its job id.
+        """
+        name = _require(body, "model", str)
+        model = self.registry.get(name)  # 404 before any state change
+        tolerance = body.get("tolerance")
+        if tolerance is not None and not isinstance(tolerance, (int, float)):
+            raise _BadRequest(
+                f"tolerance must be a number, got {tolerance!r}"
+            )
+        loop = asyncio.get_running_loop()
+        entry = self._auditors.get(name)
+        if entry is None:
+            base = body.get("base")
+            if not isinstance(base, dict):
+                raise _BadRequest(
+                    f"no auditor for model {name!r} yet; the first "
+                    f"/update must carry 'base' (a dataset spec or "
+                    f"inline data) to seed it"
+                )
+            dataset = self._resolve_dataset(base, what="update-base")
+            auditor = await loop.run_in_executor(
+                None, IncrementalAuditor, model.specs, model, dataset,
+            )
+            entry = {
+                "auditor": auditor,
+                "policy": DriftPolicy(
+                    tolerance=0.0 if tolerance is None else float(tolerance)
+                ),
+                "lock": threading.Lock(),
+            }
+            self._auditors[name] = entry
+        elif "base" in body:
+            raise _BadRequest(
+                f"auditor for model {name!r} is already seeded; send "
+                f"append/retire deltas without 'base'"
+            )
+        if tolerance is not None:
+            entry["policy"].tolerance = float(tolerance)
+
+        append = body.get("append")
+        retire = body.get("retire")
+        if append is not None and not isinstance(append, dict):
+            raise _BadRequest("'append' must be {\"X\": .., \"y\": .., "
+                              "\"sensitive\": ..}")
+        if retire is not None and not isinstance(retire, list):
+            raise _BadRequest("'retire' must be a list of row ids")
+
+        def _apply():
+            auditor = entry["auditor"]
+            with entry["lock"]:
+                ops, rows = [], 0
+                snapshot = auditor.audit()
+                if append is not None:
+                    X = np.asarray(
+                        _require(append, "X", list), dtype=np.float64,
+                    )
+                    snapshot = auditor.append_rows(
+                        X=X,
+                        y=np.asarray(_require(append, "y", list)),
+                        sensitive=np.asarray(
+                            _require(append, "sensitive", list)
+                        ),
+                        extras=append.get("extras"),
+                    )
+                    ops.append("append")
+                    rows += len(X)
+                if retire is not None:
+                    snapshot = auditor.retire_rows(
+                        np.asarray(retire, dtype=np.int64)
+                    )
+                    ops.append("retire")
+                    rows += len(retire)
+                return snapshot, ops, rows
+
+        snapshot, ops, rows = await loop.run_in_executor(None, _apply)
+        with self._counter_lock:
+            self._counters["updates"] += 1
+            self._counters["update_rows"] += rows
+        retune = {"triggered": False}
+        policy = entry["policy"]
+        if policy.should_retune(snapshot):
+            if body.get("retune", True):
+                retune = self._submit_drift_retune(name, entry, body)
+                if retune["triggered"]:
+                    policy.note_retune(snapshot)
+            else:
+                retune = {"triggered": False, "reason": "disabled"}
+            retune["max_violation"] = snapshot["max_violation"]
+            retune["tolerance"] = policy.tolerance
+        return {
+            "model": name,
+            "ops": ops,
+            "rows": rows,
+            "audit": snapshot,
+            "retune": retune,
+        }
+
+    def _submit_drift_retune(self, name, entry, body):
+        """Queue a warm λ re-search; degrade to a reported reason.
+
+        Unlike ``POST /retune``, the update that got us here has
+        already been applied — shedding or an open breaker must not
+        fail the request, so both come back as ``triggered: False``
+        with a reason instead of a 429/503.
+        """
+        estimator = body.get("estimator")
+        if estimator is not None:
+            try:
+                estimator = resolve_model(estimator)
+            except (KeyError, ImportError) as exc:
+                raise _BadRequest(
+                    str(exc.args[0] if exc.args else exc)
+                ) from exc
+        active = sum(
+            1 for handle, _meta in self._jobs.values()
+            if handle.status not in JOB_TERMINAL
+        )
+        if active >= self.max_jobs:
+            self._count("shed_retune")
+            return {
+                "triggered": False,
+                "reason": f"shed: {active} jobs active "
+                          f"(max_jobs={self.max_jobs})",
+            }
+        breaker = self.breakers.get(name)
+        if not breaker.allow():
+            self._count("breaker_rejected")
+            return {
+                "triggered": False,
+                "reason": "breaker open",
+                "retry_after_s": breaker.retry_after_s(),
+            }
+
+        def _feed_breaker(handle, _breaker=breaker):
+            if handle.status == "done":
+                _breaker.record_success()
+            elif handle.status in ("error", "timeout"):
+                _breaker.record_failure()
+                self._count("retune_failures")
+
+        handle = submit_job(
+            self._run_drift_retune, name, entry, estimator,
+            name=f"drift-retune-{name}", on_done=_feed_breaker,
+        )
+        self._jobs[str(handle.id)] = (
+            handle, {"model": name, "spec": "drift-retune"},
+        )
+        self._count("drift_retunes")
+        return {
+            "triggered": True,
+            "job_id": str(handle.id),
+            "status": handle.status,
+        }
+
+    def _run_drift_retune(self, name, entry, estimator):
+        """Worker-thread body: warm re-search on the auditor's live rows.
+
+        Holds the auditor lock for the whole solve so concurrent
+        updates serialize behind a consistent snapshot; on success the
+        auditor is rebased onto the refit model and the registry entry
+        is replaced under the same name, keyed by the delta-chained
+        fingerprint of the update history.
+        """
+        auditor = entry["auditor"]
+        with entry["lock"]:
+            fair = warm_retune(auditor, estimator=estimator,
+                               store=self.store)
+            fingerprint = auditor.fingerprint
+            audit = auditor.audit()
+        self.registry.register(
+            name, fair, dataset_fingerprint=fingerprint,
+            source="drift-retune",
+        )
+        self._count("solves")
+        return {
+            "model": name,
+            "warm": True,
+            "n_fits": fair.report.n_fits,
+            "lambdas": fair.report.lambdas,
+            "feasible": fair.report.feasible,
+            "max_violation": audit["max_violation"],
+            "dataset_fingerprint": fingerprint,
         }
 
     def _job_status(self, job_id):

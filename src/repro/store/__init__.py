@@ -34,6 +34,13 @@ key anatomy and invalidation rules.
 """
 
 from .blob import CacheStore
+from .delta import append_digest, chain_fingerprint, retire_digest
 from .solution import SolutionCache
 
-__all__ = ["CacheStore", "SolutionCache"]
+__all__ = [
+    "CacheStore",
+    "SolutionCache",
+    "append_digest",
+    "retire_digest",
+    "chain_fingerprint",
+]

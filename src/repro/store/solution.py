@@ -8,11 +8,13 @@ and the strategy configuration — so a canonically-equivalent request in
 a fresh process gets the finished :class:`~repro.api.FairModel` back
 without training a single model.
 
-Two namespaces:
+Two namespaces (suffixed ``-v2`` since the dataset fingerprint format
+changed; bumping the namespace makes any blob written under the v1
+fingerprint scheme an automatic miss instead of a potential wrong hit):
 
-* ``solution`` — exact hits.  One blob per solution key, holding the
+* ``solution-v2`` — exact hits.  One blob per solution key, holding the
   pickled ``FairModel``.
-* ``solution_index`` — warm-start indexes.  One blob per *shape* key
+* ``solution_index-v2`` — warm-start indexes.  One blob per *shape* key
   (the solution key with the fairness threshold erased), holding a map
   from every previously-solved epsilon to its selected λ.  When a new
   request tightens the threshold of a shape we have solved before, the
@@ -67,8 +69,10 @@ class SolutionCache:
         The blob store that holds the solution and index blobs.
     """
 
-    EXACT_NS = "solution"
-    WARM_NS = "solution_index"
+    #: namespace version tracks the Dataset.fingerprint format: blobs
+    #: keyed under the v1 fingerprints must read as misses, not hits
+    EXACT_NS = "solution-v2"
+    WARM_NS = "solution_index-v2"
 
     def __init__(self, store):
         self.store = store

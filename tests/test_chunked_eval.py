@@ -203,6 +203,8 @@ class TestEndToEndWorkloads:
         "label_noise": 0.05,
         "covariate_shift": 0.10,
         "million_row": 0.05,
+        "drifting_mix": 0.10,
+        "label_drift": 0.10,
     }
 
     @pytest.mark.parametrize("name", sorted(available_scenarios()))

@@ -99,6 +99,109 @@ class TestDatasetContainer:
             )
 
 
+def _extras_dataset(n=6, **extras):
+    rng = np.random.default_rng(0)
+    return Dataset(
+        "x",
+        rng.normal(size=(n, 2)),
+        rng.integers(0, 2, size=n),
+        rng.integers(0, 2, size=n),
+        group_names=("a", "b"),
+        extras=extras,
+    )
+
+
+class TestSubsetExtras:
+    """Regression: per-row extras must follow the rows through subset."""
+
+    def test_per_row_ndarray_is_sliced(self):
+        role = np.array([0, 1, 0, 1, 0, 1], dtype=bool)
+        s = _extras_dataset(is_val=role).subset(np.array([1, 4, 5]))
+        assert np.array_equal(s.extras["is_val"], role[[1, 4, 5]])
+
+    def test_per_row_list_and_tuple_are_sliced_preserving_type(self):
+        # the pre-fix behaviour copied these whole, silently misaligning
+        # the role in the subset
+        d = _extras_dataset(
+            tags=["a", "b", "c", "d", "e", "f"],
+            weights=(10, 11, 12, 13, 14, 15),
+        )
+        s = d.subset(np.array([5, 0, 2]))
+        assert s.extras["tags"] == ["f", "a", "c"]
+        assert s.extras["weights"] == (15, 10, 12)
+
+    def test_boolean_mask_index_slices_extras(self):
+        mask = np.array([True, False, True, False, True, False])
+        s = _extras_dataset(tags=list("abcdef")).subset(mask)
+        assert s.extras["tags"] == ["a", "c", "e"]
+
+    def test_metadata_passes_through_even_at_length_n(self):
+        d = _extras_dataset(
+            note="abcdef",               # length-n str: metadata
+            params={"k": 1},             # dict: metadata
+            short=[1, 2],                # wrong length: metadata
+            scalar=3.5,
+        )
+        s = d.subset(np.array([0, 1]))
+        assert s.extras == d.extras
+
+    def test_ambiguous_length_n_sequence_raises(self):
+        class Weird:
+            def __len__(self):
+                return 6
+
+        with pytest.raises(TypeError, match="per-row.*metadata"):
+            _extras_dataset(odd=Weird()).subset(np.array([0]))
+
+
+class TestFingerprintV2:
+    """Regression: the content hash must see shape, dtype, and roles."""
+
+    def test_reshape_no_longer_collides(self):
+        d = _extras_dataset()
+        flat = Dataset(
+            d.name, d.X.reshape(len(d), -1, 1).reshape(len(d), 2),
+            d.y, d.sensitive, group_names=d.group_names,
+        )
+        wide = Dataset(
+            d.name, d.X.reshape(3, 4), d.y[:3], d.sensitive[:3],
+            group_names=d.group_names,
+        )
+        assert flat.fingerprint() != wide.fingerprint()
+
+    def test_extra_dtype_change_with_same_bytes_differs(self):
+        # X/y/sensitive are dtype-canonicalized by the constructor, so
+        # the dtype frame matters for extras, which are stored as given
+        role = np.arange(6, dtype=np.int64)
+        a = _extras_dataset(fold=role)
+        b = _extras_dataset(fold=role.view(np.uint64))
+        assert a.extras["fold"].tobytes() == b.extras["fold"].tobytes()
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_per_row_extras_fold_into_hash(self):
+        plain = _extras_dataset()
+        with_role = _extras_dataset(is_val=np.zeros(6, dtype=bool))
+        flipped = _extras_dataset(
+            is_val=np.array([1, 0, 0, 0, 0, 0], dtype=bool)
+        )
+        assert plain.fingerprint() != with_role.fingerprint()
+        assert with_role.fingerprint() != flipped.fingerprint()
+
+    def test_per_row_list_extras_fold_into_hash(self):
+        a = _extras_dataset(tags=list("abcdef"))
+        b = _extras_dataset(tags=list("abcdeg"))
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_metadata_extras_stay_outside_hash(self):
+        a = _extras_dataset(note="same rows", params={"k": 1})
+        b = _extras_dataset(note="different note", params={"k": 2})
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_stable_across_calls(self):
+        d = _extras_dataset(is_val=np.zeros(6, dtype=bool))
+        assert d.fingerprint() == d.fingerprint()
+
+
 class TestTwoGroupView:
     def test_filters_and_recodes(self):
         d = load_compas(n=2000, seed=0)

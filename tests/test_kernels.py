@@ -30,6 +30,7 @@ from repro.core.kernels import (
     CompiledConstraints,
     CompiledEvaluator,
     evaluate_lambda_batch,
+    rate_from_counts,
 )
 from repro.core.spec import Constraint
 from repro.core.weights import (
@@ -214,6 +215,85 @@ class TestIncrementalPredictionUpdates:
         assert np.array_equal(
             kernel.weights(np.array([0.0])), np.ones(40)
         )
+
+    def test_identical_update_is_a_true_noop(self):
+        """Re-sending unchanged predictions must not copy or refresh.
+
+        The bug this pins down: the zero-changed-rows path used to
+        re-copy the prediction vector and walk every parameterized
+        term anyway, re-invoking custom coefficient callables for
+        state that could not have moved.
+        """
+        rng = np.random.default_rng(11)
+        y = rng.integers(0, 2, size=60)
+        calls = {"n": 0}
+
+        def counting_coeff(y_group, pred_group):
+            calls["n"] += 1
+            m = max(int(np.sum(pred_group == 0)), 1)
+            return np.where(y_group == 0, -1.0 / m, 0.0), 1.0
+
+        metric = custom_metric(
+            "COUNTING", counting_coeff, lambda yg, pg: 0.0,
+            parameterized_by_model=True,
+        )
+        kernel = CompiledConstraints(
+            [Constraint(
+                metric=metric, epsilon=0.05, group_names=("a", "b"),
+                g1_idx=np.arange(0, 30), g2_idx=np.arange(30, 60),
+            )],
+            y,
+        )
+        pred = rng.integers(0, 2, size=60)
+        kernel.update_predictions(pred)
+        baseline_calls = calls["n"]
+        held = kernel._predictions
+        weights = kernel.weights(np.array([0.7]))
+        kernel.update_predictions(pred.copy())  # same content, new array
+        assert calls["n"] == baseline_calls  # no coefficient re-walk
+        assert kernel._predictions is held   # and no defensive copy
+        assert np.array_equal(kernel.weights(np.array([0.7])), weights)
+        flipped = pred.copy()
+        flipped[0] = 1 - flipped[0]
+        kernel.update_predictions(flipped)   # a real change still refreshes
+        assert calls["n"] > baseline_calls
+
+
+class TestRateFromCounts:
+    """The shared count→rate arithmetic both audit paths run through."""
+
+    def test_matches_evaluator_disparities_bitwise(self):
+        rng = np.random.default_rng(19)
+        y = rng.integers(0, 2, size=200).astype(np.int64)
+        pred = rng.integers(0, 2, size=200).astype(np.int64)
+        g1 = np.sort(rng.choice(200, size=90, replace=False))
+        g2 = np.sort(rng.choice(200, size=90, replace=False))
+        for name in ["SP", "MR", "FPR", "FNR", "FOR", "FDR"]:
+            metric = _make_metric(name)
+            constraint = Constraint(
+                metric=metric, epsilon=0.05, group_names=("a", "b"),
+                g1_idx=g1, g2_idx=g2,
+            )
+            evaluator = CompiledEvaluator([constraint], y)
+            sides = []
+            for idx in (g1, g2):
+                yg, pg = y[idx], pred[idx]
+                pos0 = np.float64(np.sum((pg == 1) & (yg == 0)))
+                pos1 = np.float64(np.sum((pg == 1) & (yg == 1)))
+                counts = {
+                    "SP": (pos0 + pos1,), "FPR": (pos0,), "FNR": (pos1,),
+                }.get(name, (pos0, pos1))
+                kind = {
+                    "SP": "sp", "MR": "mr", "FPR": "fpr", "FNR": "fnr",
+                    "FOR": "for", "FDR": "fdr",
+                }[name]
+                sides.append(rate_from_counts(
+                    kind, counts, len(idx),
+                    int(np.sum(yg == 0)), int(np.sum(yg == 1)), None,
+                ))
+            expected = np.asarray([sides[0] - sides[1]], dtype=np.float64)
+            actual = evaluator.disparities(pred)
+            assert actual.tobytes() == expected.tobytes(), name
 
 
 class TestCompiledEvaluator:

@@ -22,7 +22,8 @@ from repro.datasets.scenarios import GENERATION_BLOCK, Scenario
 class TestRegistry:
     def test_builtin_families_registered(self):
         assert {"group_sweep", "imbalance", "label_noise",
-                "covariate_shift", "million_row"} <= set(SCENARIOS)
+                "covariate_shift", "million_row", "drifting_mix",
+                "label_drift"} <= set(SCENARIOS)
         assert available_scenarios() == sorted(SCENARIOS)
 
     def test_unknown_scenario_raises(self):
@@ -78,7 +79,8 @@ class TestRegistry:
 class TestDeterminismAndChunking:
     @pytest.mark.parametrize("name", sorted(
         n for n in ("group_sweep", "imbalance", "label_noise",
-                    "covariate_shift", "million_row")
+                    "covariate_shift", "million_row", "drifting_mix",
+                    "label_drift")
     ))
     def test_seed_determinism(self, name):
         a = load_scenario(name, n=1500, seed=9)
@@ -161,6 +163,46 @@ class TestFamilySemantics:
         assert abs(len(val) / len(data) - 0.3) < 0.03
         # validation rows live in a shifted region of feature 0
         assert val.X[:, 0].mean() - train.X[:, 0].mean() > 1.0
+
+    def test_drifting_mix_group_share_follows_schedule(self):
+        n = 40_000
+        data = load_scenario("drifting_mix", n=n, seed=0, drift_rows=n,
+                             prop_start=0.7, prop_end=0.3)
+        head = data.sensitive[: n // 4]
+        tail = data.sensitive[-n // 4:]
+        # group A (code 0) shrinks from ~0.7 toward ~0.3
+        assert (head == 0).mean() > 0.6
+        assert (tail == 0).mean() < 0.45
+        t = data.extras["drift_t"]
+        assert t[0] == 0.0 and t[-1] == pytest.approx(1.0, abs=1e-4)
+        assert np.all(np.diff(t) >= 0)  # progress is monotone
+
+    def test_label_drift_rates_move_mix_does_not(self):
+        n = 40_000
+        data = load_scenario("label_drift", n=n, seed=0, drift_rows=n)
+        head = data.subset(np.arange(n // 4))
+        tail = data.subset(np.arange(n - n // 4, n))
+        # concept drift: group A's base rate falls (0.55 → 0.35) ...
+        assert (head.base_rates()["A"] - tail.base_rates()["A"]) > 0.1
+        # ... while the group mix stays put
+        assert abs(
+            (head.sensitive == 0).mean() - (tail.sensitive == 0).mean()
+        ) < 0.03
+
+    @pytest.mark.parametrize("name", ["drifting_mix", "label_drift"])
+    def test_positional_families_are_chunk_invariant(self, name):
+        # positional generators receive the block's absolute offset; a
+        # bug there would make the stream depend on how it is chunked
+        n = GENERATION_BLOCK + 500  # span a block seam
+        full = load_scenario(name, n=n, seed=2, drift_rows=n)
+        chunks = list(iter_scenario_chunks(
+            name, n=n, seed=2, chunk_size=7_777, drift_rows=n,
+        ))
+        assert np.array_equal(np.vstack([c.X for c in chunks]), full.X)
+        assert np.array_equal(np.concatenate([c.y for c in chunks]), full.y)
+        assert np.array_equal(
+            np.concatenate([c.sensitive for c in chunks]), full.sensitive
+        )
 
     def test_subset_slices_per_row_extras(self):
         # regression: Dataset.subset used to copy extras verbatim, so a

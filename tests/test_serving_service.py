@@ -224,6 +224,113 @@ class TestRetune:
         assert result["registry_hit"] is False  # different fingerprint
 
 
+class TestUpdate:
+    """POST /update: the incremental engine's front door."""
+
+    BASE = {"dataset": "scenario:group_sweep", "n": 400, "seed": 7}
+
+    def _direct_auditor(self, fair_model):
+        from repro.incremental import IncrementalAuditor
+        base = load_scenario("group_sweep", n=400, seed=7)
+        return IncrementalAuditor(fair_model.specs, fair_model, base)
+
+    def test_seed_append_retire_matches_direct_auditor(
+        self, client, fair_model,
+    ):
+        direct = self._direct_auditor(fair_model)
+        seeded = client.update("gs", base=self.BASE, tolerance=10.0)
+        assert seeded["ops"] == [] and seeded["rows"] == 0
+        assert seeded["audit"]["n_live"] == 400
+        assert seeded["audit"]["fingerprint"] == direct.fingerprint
+        assert seeded["retune"] == {"triggered": False}
+
+        batch = load_scenario("group_sweep", n=60, seed=11)
+        out = client.update("gs", append={
+            "X": batch.X, "y": batch.y, "sensitive": batch.sensitive,
+        }, retire=[0, 5, 9])
+        direct.append_rows(batch)
+        snapshot = direct.retire_rows(np.array([0, 5, 9]))
+        assert out["ops"] == ["append", "retire"] and out["rows"] == 63
+        # JSON round-trips float64 exactly (shortest-repr), so the
+        # served audit must equal the in-process auditor to the bit
+        assert out["audit"]["disparities"] == [
+            float(d) for d in snapshot["disparities"]
+        ]
+        assert out["audit"]["accuracy"] == float(snapshot["accuracy"])
+        assert out["audit"]["max_violation"] == float(
+            snapshot["max_violation"]
+        )
+        assert out["audit"]["n_live"] == 457
+        assert out["audit"]["fingerprint"] == direct.fingerprint
+
+        stats = client.stats()
+        assert stats["admission"]["updates"] == 2
+        assert stats["admission"]["update_rows"] == 63
+        inc = stats["incremental"]["gs"]
+        assert inc["n_live"] == 457 and inc["n_updates"] == 2
+        assert inc["fingerprint"] == direct.fingerprint
+        assert inc["tolerance"] == 10.0
+
+    def test_first_update_without_base_is_400(self, client):
+        with pytest.raises(ServingError, match="must carry 'base'") as e:
+            client.update("gs", retire=[0])
+        assert e.value.status == 400
+
+    def test_reseed_with_base_is_400(self, client):
+        client.update("gs", base=self.BASE, tolerance=10.0)
+        with pytest.raises(ServingError, match="already seeded") as e:
+            client.update("gs", base=self.BASE)
+        assert e.value.status == 400
+
+    def test_update_unknown_model_is_404(self, client):
+        with pytest.raises(ServingError) as e:
+            client.update("ghost", base=self.BASE)
+        assert e.value.status == 404
+
+    def test_bad_tolerance_is_400(self, client):
+        # the typed client coerces tolerance; hit the route raw to pin
+        # the server-side validation
+        with pytest.raises(ServingError, match="tolerance") as e:
+            client._request("POST", "/update", {
+                "model": "gs", "base": self.BASE, "tolerance": "tight",
+            })
+        assert e.value.status == 400
+
+    def test_unknown_append_group_is_400(self, client):
+        client.update("gs", base=self.BASE, tolerance=10.0)
+        with pytest.raises(ServingError, match="exceed group_names") as e:
+            client.update("gs", append={
+                "X": [[0.0] * 8], "y": [0], "sensitive": [9],
+            })
+        assert e.value.status == 400
+
+    def test_drift_breach_triggers_warm_retune_job(self, client):
+        # tolerance below any possible max-violation forces the breach
+        out = client.update("gs", base=self.BASE, tolerance=-10.0)
+        retune = out["retune"]
+        assert retune["triggered"] is True
+        assert retune["tolerance"] == -10.0
+        status = client.wait_job(retune["job_id"])
+        result = status["result"]
+        assert result["warm"] is True and result["model"] == "gs"
+        assert result["dataset_fingerprint"] == out["audit"]["fingerprint"]
+        (row,) = client.models()
+        assert row["name"] == "gs"
+        stats = client.stats()
+        assert stats["admission"]["drift_retunes"] == 1
+        # the refit model serves predictions immediately
+        probe = load_scenario("group_sweep", n=20, seed=3)
+        assert client.predict("gs", probe.X).shape == (20,)
+
+    def test_retune_false_reports_disabled(self, client):
+        out = client.update(
+            "gs", base=self.BASE, tolerance=-10.0, retune=False,
+        )
+        assert out["retune"]["triggered"] is False
+        assert out["retune"]["reason"] == "disabled"
+        assert client.stats()["admission"]["drift_retunes"] == 0
+
+
 class TestConcurrentClients:
     N_CLIENTS = 6
     REQUESTS = 12

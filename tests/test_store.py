@@ -344,7 +344,7 @@ class TestEngineStore:
         Engine("hill_climb", store_dir=tmp_path).solve(
             "SP <= 0.08", GaussianNaiveBayes(), sweep_data,
         )
-        for blob in (tmp_path / "solution").rglob("*.blob"):
+        for blob in (tmp_path / SolutionCache.EXACT_NS).rglob("*.blob"):
             blob.write_bytes(b"rot")
         with pytest.warns(RuntimeWarning, match="corrupt"):
             again = Engine("hill_climb", store_dir=tmp_path).solve(

@@ -170,6 +170,46 @@ class TestSolvers:
         assert fm.report.feasible
         assert fm.report.n_rounds == 0  # single-λ path
 
+    def test_hill_climb_warm_lambdas_seed_the_start(self, three_group_splits):
+        train, val, _ = three_group_splits
+        cold = Engine("hill_climb").solve(
+            "SP <= 0.08", LogisticRegression(max_iter=150), train, val,
+        )
+        warm = Engine(
+            "hill_climb", warm_lambdas=tuple(cold.report.lambdas),
+        ).solve(
+            "SP <= 0.08", LogisticRegression(max_iter=150), train, val,
+        )
+        # the climb starts at the previous optimum rather than zero ...
+        assert np.array_equal(
+            warm.report.history[0].lam, cold.report.lambdas
+        )
+        assert np.asarray(cold.report.history[0].lam).tolist() == [0.0, 0.0, 0.0]
+        # ... and converging from the optimum costs no more fits
+        assert warm.report.feasible
+        assert warm.report.n_fits <= cold.report.n_fits
+
+    @pytest.mark.parametrize("seed", [
+        (0.1, 0.2),                      # wrong shape for k=3
+        (0.1, float("nan"), 0.2),        # non-finite entry
+        ((0.1, 0.2, 0.3), (0.1, 0.2, 0.3)),  # wrong rank
+    ])
+    def test_hill_climb_malformed_warm_seed_falls_back_cold(
+        self, three_group_splits, seed,
+    ):
+        train, val, _ = three_group_splits
+        cold = Engine("hill_climb").solve(
+            "SP <= 0.08", LogisticRegression(max_iter=150), train, val,
+        )
+        fm = Engine("hill_climb", warm_lambdas=seed).solve(
+            "SP <= 0.08", LogisticRegression(max_iter=150), train, val,
+        )
+        # warmth is an optimization, never a correctness dependency: a
+        # bad seed silently reproduces the cold trajectory
+        assert fm.report.lambdas.tolist() == cold.report.lambdas.tolist()
+        assert fm.report.n_fits == cold.report.n_fits
+        assert np.asarray(fm.report.history[0].lam).tolist() == [0.0, 0.0, 0.0]
+
     def test_grid_matches_legacy_shim(self, two_group_splits):
         train, val, _ = two_group_splits
         fm = Engine("grid", grid_max=1.0, grid_steps=10).solve(
