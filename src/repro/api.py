@@ -154,12 +154,15 @@ class FairModel:
         except SpecificationError:
             return None
 
-    def audit(self, dataset):
+    def audit(self, dataset, chunk_size=None):
         """Re-evaluate the model's fairness on any :class:`Dataset`.
 
         Binds this model's specs to ``dataset`` and returns the
         :func:`~repro.core.evaluation.evaluate_model` dict (accuracy,
         per-constraint disparities/violations, feasibility).
+        ``chunk_size`` streams the prediction pass in row blocks —
+        identical numbers, bounded peak memory; pass it when auditing
+        memory-mapped (columnar) datasets.
         """
         if len(dataset) == 0:
             raise SpecificationError(
@@ -167,7 +170,10 @@ class FairModel:
                 "no group statistic is defined"
             )
         constraints = bind_specs(self.specs, dataset)
-        return evaluate_model(self.model, dataset.X, dataset.y, constraints)
+        return evaluate_model(
+            self.model, dataset.X, dataset.y, constraints,
+            chunk_size=chunk_size,
+        )
 
     @property
     def lambdas(self):
@@ -528,7 +534,8 @@ class Engine:
             history=list(raw.history),
             constraint_labels=tuple(c.label for c in val_constraints),
             validation=evaluate_model(
-                raw.model, val.X, val.y, val_constraints
+                raw.model, val.X, val.y, val_constraints,
+                chunk_size=self.chunk_size,
             ),
             swapped=swapped,
             fit_cache_hits=fitter.fit_cache_hits,

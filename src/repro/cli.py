@@ -71,6 +71,11 @@ def inventory():
         ),
         "strategies": ["auto"] + available_strategies(),
         "backends": available_backends(),
+        "storage": [
+            "in-memory (default)",
+            "columnar (repro encode --out DIR; train with "
+            "--columnar-dir DIR or <name>@columnar)",
+        ],
     }
 
 
@@ -98,9 +103,38 @@ def build_parser():
 
     sub.add_parser(
         "list",
-        help="list datasets, scenarios, metrics, models, strategies "
-             "and backends",
+        help="list datasets, scenarios, metrics, models, strategies, "
+             "backends and storage backends",
     )
+
+    encode = sub.add_parser(
+        "encode",
+        help="encode a dataset into an out-of-core columnar store "
+             "(memory-mapped columns + encode-once index sidecars); "
+             "scenario families stream block-by-block and never "
+             "materialize the matrix",
+    )
+    encode.add_argument("--dataset", required=True, metavar="NAME",
+                        help="benchmark twin "
+                             f"({', '.join(known['datasets'])}) or "
+                             "scenario:<name> (see 'list'); scenarios "
+                             "are streamed, twins are loaded then "
+                             "encoded")
+    encode.add_argument("--out", required=True, metavar="DIR",
+                        help="store directory (created if needed)")
+    encode.add_argument("--rows", type=int, default=None,
+                        help="row count (default: the family/twin "
+                             "default — hundred_million_row defaults "
+                             "to 1e8)")
+    encode.add_argument("--seed", type=int, default=0)
+    encode.add_argument("--chunk-size", type=int, default=None,
+                        metavar="ROWS",
+                        help="encoder block rows (bounds encode memory; "
+                             "default 65536)")
+    encode.add_argument("--no-feature-order", action="store_true",
+                        help="skip the per-feature argsort sidecar "
+                             "(tree presort falls back to sorting "
+                             "per fit)")
 
     train = sub.add_parser("train", help="train a fair model on a twin")
     train.add_argument("--dataset", required=True,
@@ -133,8 +167,15 @@ def build_parser():
                             "import path ext:module:ClassName (wrapped "
                             "in ExternalEstimatorAdapter)")
     train.add_argument("--rows", type=int, default=4000,
-                       help="twin size (default 4000)")
+                       help="twin size (default 4000; ignored with "
+                            "--columnar-dir — the store's rows are "
+                            "the dataset)")
     train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--columnar-dir", default=None, metavar="DIR",
+                       help="open --dataset out-of-core from a columnar "
+                            "store written by 'repro encode' (columns "
+                            "stay memory-mapped; splits are contiguous "
+                            "slices so nothing is materialized)")
     train.add_argument("--two-group", action="store_true",
                        help="restrict multi-group datasets to the classic "
                             "pair (COMPAS: African-American vs Caucasian)")
@@ -257,11 +298,79 @@ def _cmd_list(out):
     return 0
 
 
-def _cmd_train(args, out):
+def _cmd_encode(args, out):
+    import pathlib
+    import time
+
+    from .datasets import encode_dataset, encode_scenario
+
+    chunk = args.chunk_size if args.chunk_size else 65_536
+    if chunk < 1:
+        out.write("SPEC ERROR: --chunk-size must be >= 1\n")
+        return 2
+    start = time.perf_counter()
     try:
-        data = load(args.dataset, n=args.rows, seed=args.seed)
+        if args.dataset.startswith("scenario:"):
+            manifest = encode_scenario(
+                args.dataset[len("scenario:"):], args.out,
+                n=args.rows, seed=args.seed, chunk_rows=chunk,
+                feature_order=not args.no_feature_order,
+            )
+        else:
+            data = load(args.dataset, n=args.rows, seed=args.seed)
+            manifest = encode_dataset(
+                data, args.out, chunk_rows=chunk,
+                feature_order=not args.no_feature_order,
+            )
+    except (KeyError, ValueError, OSError) as exc:
+        out.write(f"SPEC ERROR: {exc.args[0] if exc.args else exc}\n")
+        return 2
+    elapsed = time.perf_counter() - start
+    total = sum(
+        p.stat().st_size for p in pathlib.Path(args.out).iterdir()
+        if p.is_file()
+    )
+    out.write(
+        f"encoded {manifest['name']} -> {args.out}\n"
+        f"rows: {manifest['n_rows']}  features: {manifest['n_features']}  "
+        f"columns: {len(manifest['columns'])}  "
+        f"sidecars: {', '.join(sorted(manifest['sidecars']))}\n"
+        f"bytes: {total}  seconds: {elapsed:.2f}\n"
+        f"fingerprint: {manifest['fingerprint']}\n"
+    )
+    return 0
+
+
+def _columnar_splits(data, train_frac=0.6, val_frac=0.2):
+    """Contiguous-slice train/val/test splits for a memmap-backed dataset.
+
+    Slices keep every column a view over the store (a permutation split
+    would materialize all rows — see ``Dataset.subset``); scenario rows
+    are i.i.d. across the canonical generation blocks, so contiguous
+    slices are a valid split protocol for them.  Fractions mirror
+    ``train_val_test_split``'s 60/20/20 default.
+    """
+    n = len(data)
+    n_train = int(round(n * train_frac))
+    n_val = int(round(n * val_frac))
+    return (
+        data.subset(slice(0, n_train)),
+        data.subset(slice(n_train, n_train + n_val)),
+        data.subset(slice(n_train + n_val, n)),
+    )
+
+
+def _cmd_train(args, out):
+    from .datasets import ColumnarDataset, ColumnarFormatError
+
+    try:
+        data = load(args.dataset, n=args.rows, seed=args.seed,
+                    columnar_dir=args.columnar_dir)
     except KeyError as exc:
         out.write(f"SPEC ERROR: {exc.args[0]}\n")
+        return 2
+    except ColumnarFormatError as exc:
+        out.write(f"SPEC ERROR: {exc}\n")
         return 2
     if args.two_group and data.n_groups > 2:
         try:
@@ -271,10 +380,13 @@ def _cmd_train(args, out):
             # families have their own group names
             out.write(f"SPEC ERROR: --two-group: {exc}\n")
             return 2
-    strat = data.sensitive * 2 + data.y
-    tr, va, te = train_val_test_split(len(data), seed=args.seed,
-                                      stratify=strat)
-    train, val, test = data.subset(tr), data.subset(va), data.subset(te)
+    if isinstance(data, ColumnarDataset):
+        train, val, test = _columnar_splits(data)
+    else:
+        strat = data.sensitive * 2 + data.y
+        tr, va, te = train_val_test_split(len(data), seed=args.seed,
+                                          stratify=strat)
+        train, val, test = data.subset(tr), data.subset(va), data.subset(te)
 
     try:
         if args.spec:
@@ -335,7 +447,7 @@ def _cmd_train(args, out):
         f"({paths})\n"
     )
     out.write(f"validation: {report.disparities}\n")
-    audit = fair_model.audit(test)
+    audit = fair_model.audit(test, chunk_size=args.chunk_size)
     out.write(f"test accuracy: {audit['accuracy']:.4f}\n")
     for label, value in audit["disparities"].items():
         out.write(f"test {label}: {value:+.4f}\n")
@@ -439,6 +551,8 @@ def main(argv=None, out=None):
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list(out)
+    if args.command == "encode":
+        return _cmd_encode(args, out)
     if args.command == "train":
         return _cmd_train(args, out)
     if args.command == "serve":

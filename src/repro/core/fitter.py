@@ -101,6 +101,22 @@ def _pool_init_shm(name, shape, dtype_str):
     _POOL_X = np.ndarray(shape, dtype=np.dtype(dtype_str), buffer=shm.buf)
 
 
+def _pool_init_mmap(path, dtype_str, shape, offset):
+    """Re-open a memory-mapped training matrix, read-only, in a worker.
+
+    When the parent's ``X`` is a window of an on-disk columnar store
+    (:func:`repro.datasets.columnar.mmap_source`), workers map the same
+    file instead of receiving a copy — zero bytes shipped per worker
+    and no ``shared_memory`` size ceiling, because the kernel shares
+    the page cache across every process mapping the file.
+    """
+    global _POOL_X
+    _POOL_X = np.memmap(
+        path, dtype=np.dtype(dtype_str), mode="r",
+        shape=tuple(shape), offset=int(offset),
+    )
+
+
 def _pool_fit(task):
     estimator, y_fit, w = task
     model = estimator.clone()
@@ -243,6 +259,9 @@ class WeightedFitter:
         self._pool = None
         self._pool_key = None
         self._shm = None
+        # how the current pool received X: "mmap" (workers re-open the
+        # backing file), "shm" (one shared-memory copy), or "pickle"
+        self._pool_handoff = None
         # worker-death degradation: once the process pool breaks (dead
         # workers, failed startup, injected chaos) every later batch
         # falls back to bit-identical in-process fits, warned once
@@ -707,6 +726,14 @@ class WeightedFitter:
                 # and say so ONCE, like the unpicklable-estimator
                 # fallback in the process execution backend
                 self._degrade_pool(exc)
+            except BaseException:
+                # any other error raised through the pool (an estimator
+                # failing inside a worker, a keyboard interrupt) is not
+                # a pool fault — re-raise it, but tear the executor and
+                # its shared-memory segment down first so a failing
+                # batch can never leak /dev/shm residue
+                self.close()
+                raise
             else:
                 self._record_path("pool", B)
                 return models
@@ -757,32 +784,58 @@ class WeightedFitter:
         inject("executor.worker_start")
         self.close()
         initializer, initargs = _pool_init, (X,)
+        self._pool_handoff = "pickle"
         try:
-            # ship X once through one shared-memory block: every worker
-            # maps the same pages instead of holding a pickled copy
-            from multiprocessing import shared_memory
+            from ..datasets.columnar import mmap_source
 
-            X = np.ascontiguousarray(X)
-            shm = shared_memory.SharedMemory(create=True, size=X.nbytes)
-            np.ndarray(X.shape, dtype=X.dtype, buffer=shm.buf)[:] = X
-            self._shm = shm
-            initializer, initargs = (
-                _pool_init_shm, (shm.name, X.shape, X.dtype.str),
-            )
+            source = mmap_source(X)
         except Exception:
-            self._shm = None  # fall back to pickling X into each worker
-        self._pool = ProcessPoolExecutor(
-            max_workers=n_jobs, initializer=initializer, initargs=initargs,
-        )
+            source = None
+        if source is not None:
+            # X is a window of an on-disk map (columnar store): workers
+            # re-open the file read-only — zero copies, no size ceiling
+            path, dtype_str, shape, offset = source
+            initializer = _pool_init_mmap
+            initargs = (path, dtype_str, shape, offset)
+            self._pool_handoff = "mmap"
+        else:
+            try:
+                # ship X once through one shared-memory block: every
+                # worker maps the same pages instead of holding a
+                # pickled copy
+                from multiprocessing import shared_memory
+
+                X = np.ascontiguousarray(X)
+                shm = shared_memory.SharedMemory(create=True, size=X.nbytes)
+                try:
+                    np.ndarray(X.shape, dtype=X.dtype, buffer=shm.buf)[:] = X
+                except BaseException:
+                    # the segment exists in /dev/shm the moment create
+                    # succeeds — reclaim it before falling back, or it
+                    # leaks until interpreter exit
+                    shm.close()
+                    shm.unlink()
+                    raise
+                self._shm = shm
+                initializer, initargs = (
+                    _pool_init_shm, (shm.name, X.shape, X.dtype.str),
+                )
+                self._pool_handoff = "shm"
+            except Exception:
+                self._shm = None  # fall back to pickling X into each worker
+                self._pool_handoff = "pickle"
+        try:
+            self._pool = ProcessPoolExecutor(
+                max_workers=n_jobs, initializer=initializer,
+                initargs=initargs,
+            )
+        except BaseException:
+            self._release_shm()
+            raise
         self._pool_key = key
         return self._pool
 
-    def close(self):
-        """Shut down the cached process pool (no-op when none is open)."""
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
-            self._pool_key = None
+    def _release_shm(self):
         if self._shm is not None:
             try:
                 self._shm.close()
@@ -790,6 +843,15 @@ class WeightedFitter:
             except Exception:
                 pass
             self._shm = None
+
+    def close(self):
+        """Shut down the cached process pool (no-op when none is open)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+            self._pool_key = None
+        self._release_shm()
+        self._pool_handoff = None
 
     def __del__(self):  # best-effort cleanup
         try:

@@ -289,10 +289,19 @@ class PlanContext:
         cached = self.speculative_scores.get(id(model))
         if cached is not None and cached[0] is model:
             return cached[1], cached[2]
-        pred = model.predict(self.X_val)
         if self.compiled:
-            disparities, acc = self.compiled_scorer().score(pred)
+            scorer = self.compiled_scorer()
+            if scorer.chunk_size:
+                # stream the prediction pass: a full-width predict
+                # materializes (n, d) intermediates several times over,
+                # which would dominate peak memory on mapped datasets;
+                # the streaming path is bit-identical and shares the
+                # score cache with the stacked path
+                d, a = scorer.score_models_batch([model], self.X_val)
+                return d[0], float(a[0])
+            disparities, acc = scorer.score(model.predict(self.X_val))
             return disparities, acc
+        pred = model.predict(self.X_val)
         disparities = np.array(
             [c.disparity(self.y_val, pred) for c in self.val_constraints]
         )

@@ -8,6 +8,13 @@ rationale.
 
 from .adult import ADULT_N_ROWS, load_adult
 from .bank import BANK_N_ROWS, load_bank
+from .columnar import (
+    ColumnarDataset,
+    ColumnarFormatError,
+    encode_dataset,
+    encode_scenario,
+    open_columnar,
+)
 from .compas import COMPAS_N_ROWS, load_compas, two_group_view
 from .lsac import LSAC_N_ROWS, load_lsac
 from .scenarios import (
@@ -23,6 +30,11 @@ from .synthetic import make_biased_dataset
 
 __all__ = [
     "Dataset",
+    "ColumnarDataset",
+    "ColumnarFormatError",
+    "encode_dataset",
+    "encode_scenario",
+    "open_columnar",
     "make_biased_dataset",
     "SCENARIOS",
     "available_scenarios",
@@ -49,8 +61,32 @@ LOADERS = {
 }
 
 
-def load(name, n=None, seed=0):
-    """Load a benchmark twin by name, or a ``scenario:<family>`` entry."""
+def load(name, n=None, seed=0, columnar_dir=None):
+    """Load a benchmark twin by name, or a ``scenario:<family>`` entry.
+
+    With ``columnar_dir`` (or a ``<name>@columnar`` suffix, which
+    requires it) the dataset is opened out-of-core from a store written
+    by :func:`encode_dataset` / :func:`encode_scenario` — ``n`` and
+    ``seed`` are ignored, the store's rows are the dataset.  The store
+    must hold the named dataset; a mismatch raises ``KeyError`` so a
+    stale directory can never silently substitute different rows.
+    """
+    if name.endswith("@columnar"):
+        name = name[: -len("@columnar")]
+        if columnar_dir is None:
+            raise KeyError(
+                f"{name}@columnar requires a store directory "
+                f"(columnar_dir= / --columnar-dir); encode one with "
+                f"'repro encode --dataset {name} --out DIR'"
+            )
+    if columnar_dir is not None:
+        data = open_columnar(columnar_dir)
+        if name and data.name != name:
+            raise KeyError(
+                f"columnar store at {columnar_dir} holds "
+                f"{data.name!r}, not {name!r}"
+            )
+        return data
     if name.startswith("scenario:"):
         return load_scenario(name[len("scenario:"):], n=n, seed=seed)
     try:

@@ -26,6 +26,11 @@ Families
     A two-group family with ``n`` defaulting to 1,000,000 rows and a
     deliberately narrow feature block — the chunked-evaluation scaling
     workload.
+``hundred_million_row``
+    The same generator defaulting to 100,000,000 rows — the out-of-core
+    scaling knob.  Stream it into a columnar store with
+    ``repro encode`` (:mod:`repro.datasets.columnar`); materializing it
+    in memory is deliberately impractical.
 ``drifting_mix``
     Group proportions interpolate with the absolute row index (group A
     shrinks from ``prop_start`` to ``prop_end`` over ``drift_rows``
@@ -299,6 +304,17 @@ register_scenario(Scenario(
     group_names=("A", "B"),
     defaults=dict(rate_a=0.45, rate_b=0.30, separation=0.8),
     n_default=1_000_000,
+    feature_spec=dict(n_informative=2, n_proxy=1, n_noise=0),
+))
+
+register_scenario(Scenario(
+    name="hundred_million_row",
+    description="million_row scaled to 1e8 rows; encode to a columnar "
+                "store, never materialize",
+    generate=_gen_million_row,
+    group_names=("A", "B"),
+    defaults=dict(rate_a=0.45, rate_b=0.30, separation=0.8),
+    n_default=100_000_000,
     feature_spec=dict(n_informative=2, n_proxy=1, n_noise=0),
 ))
 

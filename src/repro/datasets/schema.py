@@ -49,10 +49,24 @@ class Dataset:
     task: str = ""
     extras: dict = field(default_factory=dict)
 
+    @staticmethod
+    def _coerce(arr, dtype):
+        """Coerce to ``dtype`` without touching already-conforming arrays.
+
+        An ndarray of the right dtype is returned by identity — this is
+        what keeps ``np.memmap``-backed columns (the out-of-core
+        columnar store, :mod:`repro.datasets.columnar`) memory-mapped
+        instead of silently materialized, and what lets the zero-copy
+        helpers resolve a column back to its backing file.
+        """
+        if isinstance(arr, np.ndarray) and arr.dtype == dtype:
+            return arr
+        return np.asarray(arr, dtype=dtype)
+
     def __post_init__(self):
-        self.X = np.asarray(self.X, dtype=np.float64)
-        self.y = np.asarray(self.y, dtype=np.int64)
-        self.sensitive = np.asarray(self.sensitive, dtype=np.int64)
+        self.X = self._coerce(self.X, np.float64)
+        self.y = self._coerce(self.y, np.int64)
+        self.sensitive = self._coerce(self.sensitive, np.int64)
         n = len(self.X)
         if len(self.y) != n or len(self.sensitive) != n:
             raise ValueError("X, y, sensitive must have equal lengths")
@@ -115,6 +129,16 @@ class Dataset:
         scalar/metadata entries are copied as-is.  A length-``n``
         sequence of an unrecognized type raises rather than silently
         misaligning (see :meth:`_slice_extra`).
+
+        View vs copy follows numpy's indexing rules: a **slice** ``idx``
+        yields view-backed columns — on memory-mapped datasets nothing
+        is read or materialized, which is how the columnar backend's
+        contiguous train/val/test splits stay out-of-core.  Fancy
+        indexing (an integer or boolean array, e.g. a stratified
+        permutation split) necessarily copies the selected rows; there
+        is no view of a non-contiguous row set in numpy, so permutation
+        splits of a memmap-backed dataset cost one materialization of
+        the selected rows.
         """
         n = len(self)
         extras = {

@@ -203,6 +203,7 @@ class TestEndToEndWorkloads:
         "label_noise": 0.05,
         "covariate_shift": 0.10,
         "million_row": 0.05,
+        "hundred_million_row": 0.08,
         "drifting_mix": 0.10,
         "label_drift": 0.10,
     }
@@ -264,6 +265,27 @@ class TestEndToEndWorkloads:
             problem, GaussianNaiveBayes(), train, val
         )
         assert np.array_equal(full.report.lambdas, chunked.report.lambdas)
+
+    def test_evaluate_model_and_audit_chunking_identical(self):
+        # the final validation/audit pass streams predictions in row
+        # blocks when chunking is on — same numbers, bounded peak
+        from repro.core.evaluation import evaluate_model
+
+        data = load_scenario("imbalance", n=1500, seed=2)
+        constraints = bind_specs(Problem("SP <= 0.05").specs, data)
+        model = GaussianNaiveBayes().fit(data.X, data.y)
+        full = evaluate_model(model, data.X, data.y, constraints)
+        for chunk in (1, 64, 1499, 1500, 4000):
+            got = evaluate_model(
+                model, data.X, data.y, constraints, chunk_size=chunk
+            )
+            assert got == full, chunk
+
+        train, val = _splits(data)
+        fair = Engine("binary_search").solve(
+            Problem("SP <= 0.05"), GaussianNaiveBayes(), train, val
+        )
+        assert fair.audit(data, chunk_size=97) == fair.audit(data)
 
     def test_chunked_constraints_bound_via_bind_specs(self):
         # chunking composes with DSL binding (multi-group scenario)

@@ -1,0 +1,192 @@
+"""Process-pool handoff and shared-memory lifecycle of WeightedFitter.
+
+Two invariants under test.  First, the training-matrix handoff picks
+the cheapest sound channel — re-opened memory map for columnar-backed
+``X``, one shared-memory block otherwise, pickling as the last resort —
+without perturbing results.  Second, the /dev/shm segment is reclaimed
+on *every* exit path: clean close, estimator failure inside a worker,
+and executor construction failure.  A leaked segment survives the
+interpreter and eats physical memory until reboot, so each failure
+test asserts on the actual /dev/shm directory, not just fitter state.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.fairness_metrics import METRIC_FACTORIES
+from repro.core.fitter import WeightedFitter
+from repro.core.spec import Constraint
+from repro.datasets import encode_scenario, open_columnar
+from repro.ml import GaussianNaiveBayes
+
+SHM_DIR = "/dev/shm"
+
+
+class ExplodingEstimator:
+    """Picklable estimator that fails inside the pool worker."""
+
+    def get_params(self):
+        return {}
+
+    def clone(self):
+        return ExplodingEstimator()
+
+    def fit(self, X, y, sample_weight=None):
+        raise ValueError("boom inside worker")
+
+
+def _shm_entries():
+    try:
+        return set(os.listdir(SHM_DIR))
+    except FileNotFoundError:  # pragma: no cover - non-Linux
+        return set()
+
+
+def _setup(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 3))
+    y = (X[:, 0] + 0.3 * rng.normal(size=n) > 0).astype(np.int64)
+    groups = rng.integers(0, 2, size=n)
+    constraint = Constraint(
+        metric=METRIC_FACTORIES["SP"](), epsilon=0.05,
+        group_names=("a", "b"),
+        g1_idx=np.nonzero(groups == 0)[0],
+        g2_idx=np.nonzero(groups == 1)[0],
+    )
+    return X, y, [constraint]
+
+
+L = np.array([[0.0], [0.2], [-0.3], [0.45]])
+
+
+class TestHandoffChannels:
+    def test_mmap_handoff_for_columnar_x(self, tmp_path):
+        encode_scenario("imbalance", tmp_path, n=600, seed=0)
+        data = open_columnar(tmp_path)
+        train = data.subset(slice(0, 480))
+        _, _, constraints = _setup()
+        groups = np.asarray(train.sensitive)
+        constraints[0] = Constraint(
+            metric=METRIC_FACTORIES["SP"](), epsilon=0.05,
+            group_names=("a", "b"),
+            g1_idx=np.nonzero(groups == 0)[0],
+            g2_idx=np.nonzero(groups == 1)[0],
+        )
+        serial = WeightedFitter(
+            GaussianNaiveBayes(), train.X, train.y, constraints
+        )
+        ref = serial.fit_batch(L)
+        pooled = WeightedFitter(
+            GaussianNaiveBayes(), train.X, train.y, constraints, n_jobs=2
+        )
+        try:
+            # exact_only pushes GNB past its batch protocol onto the
+            # pool, where speculative clone fits overlap in wall-clock
+            got = pooled.fit_batch(L, pool="process", exact_only=True)
+            assert pooled._pool_handoff == "mmap"
+            assert pooled._shm is None  # zero-copy: no shm block at all
+            assert pooled.fit_paths.get("pool") == len(L)
+            Xp = np.asarray(train.X)
+            for m_s, m_p in zip(ref, got):
+                assert np.array_equal(m_s.predict(Xp), m_p.predict(Xp))
+        finally:
+            pooled.close()
+        assert pooled._pool_handoff is None
+
+    def test_shm_handoff_for_in_memory_x(self):
+        X, y, constraints = _setup()
+        before = _shm_entries()
+        fitter = WeightedFitter(
+            GaussianNaiveBayes(), X, y, constraints, n_jobs=2
+        )
+        try:
+            fitter.fit_batch(L, pool="process", exact_only=True)
+            assert fitter._pool_handoff == "shm"
+            assert fitter._shm is not None
+        finally:
+            fitter.close()
+        assert fitter._shm is None
+        assert _shm_entries() - before == set()
+
+    def test_pickle_fallback_when_shm_unavailable(self, monkeypatch):
+        import multiprocessing.shared_memory as shared_memory
+
+        def _no_shm(*a, **k):
+            raise OSError("shm exhausted")
+
+        monkeypatch.setattr(shared_memory, "SharedMemory", _no_shm)
+        X, y, constraints = _setup()
+        fitter = WeightedFitter(
+            GaussianNaiveBayes(), X, y, constraints, n_jobs=2
+        )
+        try:
+            got = fitter.fit_batch(L, pool="process", exact_only=True)
+            assert fitter._pool_handoff == "pickle"
+            serial = WeightedFitter(
+                GaussianNaiveBayes(), X, y, constraints
+            )
+            for m_s, m_p in zip(serial.fit_batch(L), got):
+                assert np.array_equal(m_s.predict(X), m_p.predict(X))
+        finally:
+            fitter.close()
+
+
+class TestShmLifecycle:
+    def test_worker_estimator_error_leaves_no_residue(self):
+        X, y, constraints = _setup()
+        before = _shm_entries()
+        fitter = WeightedFitter(
+            ExplodingEstimator(), X, y, constraints, n_jobs=2
+        )
+        with pytest.raises(ValueError, match="boom inside worker"):
+            fitter.fit_batch(L, pool="process")
+        # the failing batch tore the executor AND the segment down —
+        # this is the leak regression: estimator errors are re-raised,
+        # not degraded, and used to leave the shm block allocated
+        assert fitter._pool is None
+        assert fitter._shm is None
+        assert fitter._pool_handoff is None
+        assert _shm_entries() - before == set()
+
+    def test_pool_construction_failure_releases_segment(self, monkeypatch):
+        import repro.core.fitter as fitter_mod
+
+        def _broken_executor(*a, **k):
+            raise OSError("fork failed")
+
+        monkeypatch.setattr(
+            fitter_mod, "ProcessPoolExecutor", _broken_executor
+        )
+        X, y, constraints = _setup()
+        before = _shm_entries()
+        fitter = WeightedFitter(
+            GaussianNaiveBayes(), X, y, constraints, n_jobs=2
+        )
+        # startup failure is a pool fault: degrade to in-process fits
+        # with one warning, results bit-identical
+        with pytest.warns(RuntimeWarning, match="degrading"):
+            got = fitter.fit_batch(L, pool="process", exact_only=True)
+        assert fitter._shm is None
+        assert _shm_entries() - before == set()
+        serial = WeightedFitter(GaussianNaiveBayes(), X, y, constraints)
+        for m_s, m_p in zip(serial.fit_batch(L), got):
+            assert np.array_equal(m_s.predict(X), m_p.predict(X))
+
+    def test_clean_reuse_then_close_idempotent(self):
+        X, y, constraints = _setup()
+        before = _shm_entries()
+        fitter = WeightedFitter(
+            GaussianNaiveBayes(), X, y, constraints, n_jobs=2
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # reuse must not re-warn
+            fitter.fit_batch(L, pool="process", exact_only=True)
+            fitter.fit_batch(L[:2] + 0.01, pool="process", exact_only=True)
+        fitter.close()
+        fitter.close()
+        assert _shm_entries() - before == set()
